@@ -1,0 +1,59 @@
+//! Microbenchmarks of the statistics substrate: ICDF sampling of the
+//! workload-model families, KS evaluation, and a small BIC model-selection
+//! pass (the Table II/III machinery).
+
+use aequus_stats::dist::{BirnbaumSaunders, Burr, Gev, Weibull};
+use aequus_stats::{sample_n, select_best, ContinuousDistribution};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("icdf_sample_1k");
+    let gev = Gev::new(-0.386, 19.5, 7.35e4).unwrap();
+    let burr = Burr::new(7.4e4, 0.86, 0.08).unwrap();
+    let bs = BirnbaumSaunders::new(1.76e4, 3.53).unwrap();
+    let weib = Weibull::new(5.49e4, 0.637).unwrap();
+    group.bench_function("gev", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| sample_n(black_box(&gev), 1000, &mut rng))
+    });
+    group.bench_function("burr", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| sample_n(black_box(&burr), 1000, &mut rng))
+    });
+    group.bench_function("birnbaum_saunders", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| sample_n(black_box(&bs), 1000, &mut rng))
+    });
+    group.bench_function("weibull", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| sample_n(black_box(&weib), 1000, &mut rng))
+    });
+    group.finish();
+}
+
+fn bench_ks(c: &mut Criterion) {
+    let gev = Gev::new(-0.3, 20.0, 100.0).unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    let data = sample_n(&gev, 5000, &mut rng);
+    c.bench_function("ks_statistic_5k", |b| {
+        b.iter(|| aequus_stats::ks::ks_statistic(black_box(&data), |x| gev.cdf(x)))
+    });
+}
+
+fn bench_model_selection(c: &mut Criterion) {
+    let gev = Gev::new(-0.3, 20.0, 100.0).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let data = sample_n(&gev, 500, &mut rng);
+    let mut group = c.benchmark_group("bic_selection");
+    group.sample_size(10);
+    group.bench_function("18_families_500pts", |b| {
+        b.iter(|| select_best(black_box(&data)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling, bench_ks, bench_model_selection);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Microbenchmarks of the fairshare calculation kernel: tree computation,
+//! vector extraction, and the three projection algorithms — the work the
+//! FCS performs on every periodic refresh.
+
+use aequus_core::fairshare::{FairshareConfig, FairshareTree};
+use aequus_core::policy::{PolicyNode, PolicyTree};
+use aequus_core::projection::ProjectionKind;
+use aequus_core::GridUser;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+/// A three-level policy: `groups` groups × `users_per_group` users.
+fn policy(groups: usize, users_per_group: usize) -> PolicyTree {
+    let children: Vec<PolicyNode> = (0..groups)
+        .map(|g| {
+            PolicyNode::group(
+                format!("g{g}"),
+                1.0,
+                (0..users_per_group)
+                    .map(|u| PolicyNode::user(format!("g{g}u{u}"), 1.0))
+                    .collect(),
+            )
+        })
+        .collect();
+    PolicyTree::new(PolicyNode::group("root", 1.0, children)).unwrap()
+}
+
+fn usage(groups: usize, users_per_group: usize) -> BTreeMap<GridUser, f64> {
+    let mut out = BTreeMap::new();
+    for g in 0..groups {
+        for u in 0..users_per_group {
+            out.insert(
+                GridUser::new(format!("g{g}u{u}")),
+                ((g * 31 + u * 7) % 100) as f64 + 1.0,
+            );
+        }
+    }
+    out
+}
+
+fn bench_tree_compute(c: &mut Criterion) {
+    let cfg = FairshareConfig::default();
+    let mut group = c.benchmark_group("fairshare_tree_compute");
+    for (groups, users) in [(4, 4), (16, 16), (64, 64)] {
+        let p = policy(groups, users);
+        let u = usage(groups, users);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}users", groups * users)),
+            &(p, u),
+            |b, (p, u)| b.iter(|| FairshareTree::compute(black_box(p), black_box(u), &cfg, 0.0)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_projections(c: &mut Criterion) {
+    let cfg = FairshareConfig::default();
+    let p = policy(16, 16);
+    let u = usage(16, 16);
+    let tree = FairshareTree::compute(&p, &u, &cfg, 0.0);
+    let mut group = c.benchmark_group("projection_256users");
+    for kind in ProjectionKind::ALL {
+        let proj = kind.build();
+        group.bench_function(format!("{kind:?}"), |b| {
+            b.iter(|| proj.project(black_box(&tree)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_vector_extraction(c: &mut Criterion) {
+    let cfg = FairshareConfig::default();
+    let p = policy(32, 32);
+    let u = usage(32, 32);
+    let tree = FairshareTree::compute(&p, &u, &cfg, 0.0);
+    c.bench_function("all_vectors_1024users", |b| {
+        b.iter(|| black_box(&tree).all_vectors())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tree_compute,
+    bench_projections,
+    bench_vector_extraction
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! End-to-end simulation benchmarks: events per second of the full
+//! integrated stack on miniature versions of the paper's scenarios.
+
+use aequus_bench::{baseline_trace, run_baseline, run_bursty};
+use aequus_sim::{GridScenario, GridSimulation};
+use aequus_workload::users::baseline_policy_shares;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_baseline_mini(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid_simulation");
+    group.sample_size(10);
+    group.bench_function("baseline_4k_jobs", |b| {
+        b.iter(|| run_baseline(black_box(4000), 1))
+    });
+    group.bench_function("bursty_4k_jobs", |b| {
+        b.iter(|| run_bursty(black_box(4000), 1))
+    });
+    group.finish();
+}
+
+fn bench_event_rate(c: &mut Criterion) {
+    // Report the event-processing rate of one representative run.
+    let trace = baseline_trace(4000, 2);
+    let scenario = GridScenario::national_testbed(&baseline_policy_shares(), 2);
+    let result = GridSimulation::new(scenario.clone()).run(&trace, 1800.0);
+    eprintln!(
+        "representative run: {} events over {:.0}s simulated",
+        result.events_processed, result.end_s
+    );
+    let mut group = c.benchmark_group("event_loop");
+    group.sample_size(10);
+    group.bench_function("national_testbed_4k", |b| {
+        b.iter(|| GridSimulation::new(scenario.clone()).run(black_box(&trace), 1800.0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline_mini, bench_event_rate);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Baseline convergence run (the reference case of §IV-A, called Figure 10a
+//! by §IV-A-2): policy = actual usage shares, 6 h, 43,200 jobs, 95% load.
+
+use aequus_bench::{jobs_arg, report, run_baseline, PAPER_JOBS};
+
+fn main() {
+    let jobs = jobs_arg(PAPER_JOBS);
+    let result = run_baseline(jobs, 42);
+    let m = &result.metrics;
+    println!(
+        "{}",
+        report::render_series(
+            "Figure 10a: baseline — per-user usage share (targets .6525/.3049/.0286/.0140)",
+            &[
+                ("U65", m.usage_share_series("U65")),
+                ("U30", m.usage_share_series("U30")),
+                ("U3", m.usage_share_series("U3")),
+                ("Uoth", m.usage_share_series("Uoth")),
+            ],
+            5,
+        )
+    );
+    println!(
+        "{}",
+        report::render_series(
+            "Figure 10b: baseline — per-user priority (fairshare distance)",
+            &[
+                ("U65", m.priority_series("U65")),
+                ("U30", m.priority_series("U30")),
+                ("U3", m.priority_series("U3")),
+                ("Uoth", m.priority_series("Uoth")),
+            ],
+            5,
+        )
+    );
+    println!("{}", report::render_summary("baseline", &result));
+}

@@ -1,0 +1,40 @@
+//! Figure 12 reproduction: non-optimal policy test. Same workload as the
+//! baseline, but policy targets 70/20/8/2 against actual usage of
+//! 65.25/30.49/2.86/1.40. Shape targets: close to balance in the 120–180
+//! minute range; balance lost when U65 jobs dry up; re-convergence when U65
+//! jobs return; late-run dominated by U30 jobs running despite low priority.
+
+use aequus_bench::{jobs_arg, report, run_nonoptimal, PAPER_JOBS};
+
+fn main() {
+    let jobs = jobs_arg(PAPER_JOBS);
+    let result = run_nonoptimal(jobs, 42);
+    let m = &result.metrics;
+    println!(
+        "{}",
+        report::render_series(
+            "Figure 12a: non-optimal policy — usage shares (targets .70/.20/.08/.02)",
+            &[
+                ("U65", m.usage_share_series("U65")),
+                ("U30", m.usage_share_series("U30")),
+                ("U3", m.usage_share_series("U3")),
+                ("Uoth", m.usage_share_series("Uoth")),
+            ],
+            5,
+        )
+    );
+    println!(
+        "{}",
+        report::render_series(
+            "Figure 12b: non-optimal policy — priorities",
+            &[
+                ("U65", m.priority_series("U65")),
+                ("U30", m.priority_series("U30")),
+                ("U3", m.priority_series("U3")),
+                ("Uoth", m.priority_series("Uoth")),
+            ],
+            5,
+        )
+    );
+    println!("{}", report::render_summary("non-optimal policy", &result));
+}

@@ -1,0 +1,65 @@
+//! Figure 13 reproduction: bursty usage test. Job mix 45.5/6.5/45.5/3,
+//! usage shares 47/38.5/12/2.5, U3 burst shifted to one third of the run.
+//! Shape targets: balance between minutes ~80 and ~130 (U3's unused
+//! allocation divided among the others), U3 priority peaking at
+//! 0.5·(1+0.12) = 0.56, readjustment after the burst at the ~130 min mark.
+
+use aequus_bench::{jobs_arg, report, run_bursty, PAPER_JOBS};
+
+fn main() {
+    let jobs = jobs_arg(PAPER_JOBS);
+    let result = run_bursty(jobs, 42);
+    let m = &result.metrics;
+    println!(
+        "{}",
+        report::render_series(
+            "Figure 13a: bursty — usage shares (targets .47/.385/.12/.025)",
+            &[
+                ("U65", m.usage_share_series("U65")),
+                ("U30", m.usage_share_series("U30")),
+                ("U3", m.usage_share_series("U3")),
+                ("Uoth", m.usage_share_series("Uoth")),
+            ],
+            5,
+        )
+    );
+    println!(
+        "{}",
+        report::render_series(
+            "Figure 13b: bursty — priorities",
+            &[
+                ("U65", m.priority_series("U65")),
+                ("U30", m.priority_series("U30")),
+                ("U3", m.priority_series("U3")),
+                ("Uoth", m.priority_series("Uoth")),
+            ],
+            5,
+        )
+    );
+    // Figure 13c: the job arrival model (jobs per minute per user).
+    println!("# Figure 13c: arrivals per minute (see submissions_per_minute)");
+    let spm = &m.submissions_per_minute;
+    for (minute, count) in spm.iter().enumerate().step_by(10) {
+        println!("{minute:>6} {count:>8}");
+    }
+    let max_u3 = m
+        .priority_series("U3")
+        .iter()
+        .map(|(_, p)| *p)
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "\nU3 peak priority: {:.3} (paper bound: 0.5*(1+0.12) = 0.56)",
+        max_u3
+    );
+    let active_windows: Vec<String> = m
+        .active_balance_windows(aequus_bench::BALANCE_EPS)
+        .iter()
+        .filter(|(a, b)| b - a >= 600.0)
+        .map(|(a, b)| format!("[{:.0},{:.0}]min", a / 60.0, b / 60.0))
+        .collect();
+    println!(
+        "active-user balance windows (idle users excluded, paper's balance notion): {}",
+        if active_windows.is_empty() { "none".to_string() } else { active_windows.join(" ") }
+    );
+    println!("{}", report::render_summary("bursty", &result));
+}

@@ -1,0 +1,30 @@
+//! Figure 5 reproduction: probability density of U65 job arrival over the
+//! year (1-day bins), empirical histogram vs the Eq. (1) composite model,
+//! with the four phase boundaries.
+
+use aequus_bench::jobs_arg;
+use aequus_stats::{ContinuousDistribution, Histogram};
+use aequus_workload::models::{u65_composite_arrival, u65_phase_bounds};
+use aequus_workload::synthetic_year;
+use aequus_workload::users::YEAR_S;
+
+fn main() {
+    let jobs = jobs_arg(200_000);
+    let trace = synthetic_year(jobs, 2012);
+    let mut hist = Histogram::new(0.0, YEAR_S, 365);
+    for j in trace.jobs() {
+        if j.user == "U65" {
+            hist.add(j.submit_s);
+        }
+    }
+    let model = u65_composite_arrival();
+    println!("# Figure 5: U65 arrival density, empirical vs Eq.(1) composite");
+    println!("# phase boundaries (days): {:?}",
+        u65_phase_bounds().map(|(lo, _)| (lo / 86400.0) as u32));
+    println!("{:>5} {:>14} {:>14}", "day", "empirical_pdf", "model_pdf");
+    let density = hist.density();
+    for (d, dens) in density.iter().enumerate() {
+        let x = hist.bin_center(d);
+        println!("{:>5} {:>14.6e} {:>14.6e}", d, dens, model.pdf(x));
+    }
+}

@@ -1,0 +1,34 @@
+//! Figure 6 reproduction: cumulative probability of job arrival per user,
+//! empirical (thick) vs fitted model (thin).
+
+use aequus_bench::jobs_arg;
+use aequus_stats::{ContinuousDistribution, Ecdf};
+use aequus_workload::models::arrival_model;
+use aequus_workload::synthetic_year;
+use aequus_workload::users::{UserClass, YEAR_S};
+
+fn main() {
+    let jobs = jobs_arg(200_000);
+    let trace = synthetic_year(jobs, 2012);
+    println!("# Figure 6: arrival-time CDFs, empirical vs model (100 points over the year)");
+    print!("{:>5}", "day");
+    for u in UserClass::ALL {
+        print!(" {:>9}_e {:>9}_m", u.name(), u.name());
+    }
+    println!();
+    let ecdfs: Vec<Ecdf> = UserClass::ALL
+        .iter()
+        .map(|u| Ecdf::new(&trace.submits(Some(u.name()))))
+        .collect();
+    let models: Vec<_> = UserClass::ALL.iter().map(|&u| arrival_model(u)).collect();
+    for i in 0..=100 {
+        let x = YEAR_S * i as f64 / 100.0;
+        print!("{:>5.0}", x / 86400.0);
+        for (e, m) in ecdfs.iter().zip(&models) {
+            // Models are compared on the re-scaled (year-confined) range.
+            let m_cdf = (m.cdf(x) / m.cdf(YEAR_S).max(1e-300)).min(1.0);
+            print!(" {:>11.4} {:>11.4}", e.eval(x), m_cdf);
+        }
+        println!();
+    }
+}

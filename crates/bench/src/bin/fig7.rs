@@ -1,0 +1,39 @@
+//! Figure 7 reproduction: empirical CDF of job sizes (durations) per user.
+//! Shape target: U65/U3/Uoth focused in [0, 6e5]; U30 with a larger tail and
+//! generally larger job sizes (larger median).
+
+use aequus_bench::jobs_arg;
+use aequus_stats::Ecdf;
+use aequus_workload::synthetic_year;
+use aequus_workload::users::UserClass;
+
+fn main() {
+    let jobs = jobs_arg(200_000);
+    let trace = synthetic_year(jobs, 2012);
+    let ecdfs: Vec<Ecdf> = UserClass::ALL
+        .iter()
+        .map(|u| Ecdf::new(&trace.durations(Some(u.name()))))
+        .collect();
+    println!("# Figure 7: job-size CDFs (log-spaced durations, seconds)");
+    print!("{:>12}", "duration_s");
+    for u in UserClass::ALL {
+        print!(" {:>9}", u.name());
+    }
+    println!();
+    for i in 0..=60 {
+        let x = 10f64.powf(i as f64 / 10.0); // 1 s .. 1e6 s
+        print!("{:>12.1}", x);
+        for e in &ecdfs {
+            print!(" {:>9.4}", e.eval(x));
+        }
+        println!();
+    }
+    for (u, e) in UserClass::ALL.iter().zip(&ecdfs) {
+        eprintln!(
+            "{}: median {:.0}s, P(x <= 6e5) = {:.4}",
+            u.name(),
+            e.quantile(0.5).unwrap_or(0.0),
+            e.eval(6.0e5)
+        );
+    }
+}

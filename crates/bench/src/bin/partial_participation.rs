@@ -1,0 +1,63 @@
+//! §IV-A-4 reproduction: partial cluster participation. Site 1 reads global
+//! data but does not contribute; site 2 contributes but prioritizes on local
+//! data only. Shape targets: the read-only site's priorities stay well
+//! aligned with fully participating sites; the local-only site converges to
+//! the same levels but slower and with more fluctuation; no noticeable
+//! impact on the global prioritization.
+
+use aequus_bench::{jobs_arg, run_baseline, run_partial_participation, PAPER_JOBS};
+
+fn stats(series: &[f64]) -> (f64, f64) {
+    let n = series.len().max(1) as f64;
+    let mean = series.iter().sum::<f64>() / n;
+    let var = series.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+fn main() {
+    let jobs = jobs_arg(PAPER_JOBS);
+    let result = run_partial_participation(jobs, 42);
+    let reference = run_baseline(jobs, 42);
+
+    println!("# Partial participation: per-site priority alignment vs site 0 (full)");
+    println!("site roles: 0,3,4,5 = Full | 1 = ReadOnly | 2 = LocalOnly");
+    println!(
+        "{:<6} {:<10} {:>18} {:>18}",
+        "site", "role", "mean |Δprio| (U65)", "prio stddev (U65)"
+    );
+    let samples = result.metrics.samples();
+    for site in 0..6 {
+        let role = match site {
+            1 => "ReadOnly",
+            2 => "LocalOnly",
+            _ => "Full",
+        };
+        let mut diffs = Vec::new();
+        let mut series = Vec::new();
+        for s in samples {
+            if let (Some(p), Some(p0)) = (
+                s.per_site_priority.get(site).and_then(|m| m.get("U65")),
+                s.per_site_priority.first().and_then(|m| m.get("U65")),
+            ) {
+                diffs.push((p - p0).abs());
+                series.push(*p);
+            }
+        }
+        let (mean_diff, _) = stats(&diffs);
+        let (_, stddev) = stats(&series);
+        println!("{:<6} {:<10} {:>18.4} {:>18.4}", site, role, mean_diff, stddev);
+    }
+
+    // Global impact check: full sites' convergence vs an all-full reference.
+    let conv_partial = result
+        .metrics
+        .convergence_time(aequus_bench::BALANCE_EPS, aequus_bench::BALANCE_DWELL_S);
+    let conv_reference = reference
+        .metrics
+        .convergence_time(aequus_bench::BALANCE_EPS, aequus_bench::BALANCE_DWELL_S);
+    println!(
+        "\nglobal convergence: partial-participation run {:?} min vs all-full reference {:?} min",
+        conv_partial.map(|t| (t / 60.0).round()),
+        conv_reference.map(|t| (t / 60.0).round())
+    );
+}

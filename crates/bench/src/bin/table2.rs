@@ -1,0 +1,22 @@
+//! Table II reproduction: job-arrival medians, BIC-selected distributions,
+//! and KS goodness-of-fit values, re-derived from a synthetic year trace.
+
+use aequus_bench::jobs_arg;
+use aequus_workload::characterize::{render_rows, table2_arrival};
+use aequus_workload::synthetic_year;
+
+fn main() {
+    let jobs = jobs_arg(200_000);
+    eprintln!("generating {jobs}-job synthetic year trace + fitting (BIC over 18 families)...");
+    let trace = synthetic_year(jobs, 2012);
+    let rows = table2_arrival(&trace);
+    println!(
+        "{}",
+        render_rows(
+            "Table II: Job arrival — median inter-arrival (s), best fitted distribution, KS",
+            &rows
+        )
+    );
+    println!("paper (shape targets): GEV best for U65 phases/U3/Uoth, Burr for U30;");
+    println!("KS in the 0.02–0.15 band; composite Eq.(1) fit best of the U65 rows.");
+}

@@ -1,0 +1,34 @@
+//! # aequus-bench
+//!
+//! The experiment harness reproducing every table and figure of the paper's
+//! evaluation (§IV). Each artifact has a binary in `src/bin/` that prints
+//! the same rows/series the paper reports:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1` | Table I — projection property matrix |
+//! | `table2` | Table II — job-arrival fits (median, BIC-best family, KS) |
+//! | `table3` | Table III — job-duration fits |
+//! | `fig4` | Fig. 4 — daily job-arrival histogram (total vs U65) |
+//! | `fig5` | Fig. 5 — U65 arrival PDF with the four phases (Eq. 1) |
+//! | `fig6` | Fig. 6 — arrival CDFs, fitted vs empirical |
+//! | `fig7` | Fig. 7 — job-size CDFs per user |
+//! | `fig10_baseline` | baseline convergence run (referenced by §IV-A-2) |
+//! | `fig11_update_delay` | impact of update delay (10x time-scaled trace) |
+//! | `fig12_nonoptimal` | non-optimal policy test (70/20/8/2) |
+//! | `partial_participation` | §IV-A-4 partial cluster participation |
+//! | `fig13_bursty` | Fig. 13 — bursty usage test |
+//! | `throughput` | §IV-A throughput/utilization measurements |
+//! | `production` | §IV production-deployment statistics (HPC2N shape) |
+//! | `ablation_*` | design-choice ablations (k weight, decay, projection, dispatch, cache TTL) |
+//!
+//! Criterion micro-benchmarks of the underlying kernels live in `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod sweep;
+
+pub use experiments::*;
+pub use sweep::parallel_sweep;

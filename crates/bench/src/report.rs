@@ -1,0 +1,92 @@
+//! Plain-text rendering of figure series and result summaries.
+
+use aequus_sim::SimResult;
+
+/// Render a set of named time series as aligned columns (minutes + values),
+/// sampling every `step`th sample.
+pub fn render_series(
+    title: &str,
+    series: &[(&str, Vec<(f64, f64)>)],
+    step: usize,
+) -> String {
+    let mut out = format!("# {title}\n");
+    out.push_str(&format!("{:>8}", "t(min)"));
+    for (name, _) in series {
+        out.push_str(&format!(" {:>10}", name));
+    }
+    out.push('\n');
+    let len = series.iter().map(|(_, s)| s.len()).min().unwrap_or(0);
+    let step = step.max(1);
+    for i in (0..len).step_by(step) {
+        out.push_str(&format!("{:>8.1}", series[0].1[i].0 / 60.0));
+        for (_, s) in series {
+            out.push_str(&format!(" {:>10.4}", s[i].1));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the standard run summary block.
+pub fn render_summary(name: &str, result: &SimResult) -> String {
+    let conv = result
+        .metrics
+        .convergence_time(crate::BALANCE_EPS, crate::BALANCE_DWELL_S);
+    let windows: Vec<String> = result
+        .metrics
+        .balance_windows(crate::BALANCE_EPS)
+        .iter()
+        .filter(|(a, b)| b - a >= 600.0)
+        .map(|(a, b)| format!("[{:.0},{:.0}]min", a / 60.0, b / 60.0))
+        .collect();
+    format!(
+        "# {name}\n\
+         jobs completed      : {}/{}\n\
+         mean utilization    : {:.1}%\n\
+         steady utilization  : {:.1}%\n\
+         sustained rate      : {:.0} jobs/min\n\
+         peak rate           : {} jobs/min\n\
+         first balance window: {}\n\
+         balance windows     : {}\n\
+         final deviation     : {:.3}\n",
+        result.total_completed(),
+        result.total_submitted(),
+        100.0 * result.mean_utilization(),
+        100.0 * crate::steady_utilization(result, 0.1, 0.85),
+        result.metrics.sustained_submission_rate(),
+        result.metrics.peak_submission_rate(),
+        conv.map(|t| format!("{:.0} min", t / 60.0))
+            .unwrap_or_else(|| "none".to_string()),
+        if windows.is_empty() {
+            "none".to_string()
+        } else {
+            windows.join(" ")
+        },
+        result.metrics.final_deviation(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_render_shape() {
+        let s = render_series(
+            "test",
+            &[("a", vec![(0.0, 1.0), (60.0, 2.0)]), ("b", vec![(0.0, 3.0), (60.0, 4.0)])],
+            1,
+        );
+        assert!(s.contains("# test"));
+        assert!(s.lines().count() == 4, "{s}");
+        assert!(s.contains("1.0000"));
+    }
+
+    #[test]
+    fn summary_renders() {
+        let r = crate::run_baseline(2000, 1);
+        let s = render_summary("baseline", &r);
+        assert!(s.contains("jobs completed"));
+        assert!(s.contains("2000"));
+    }
+}

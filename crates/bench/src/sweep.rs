@@ -1,0 +1,69 @@
+//! Parallel parameter sweeps.
+//!
+//! A single simulation run is deliberately single-threaded (bit-exact
+//! determinism), but ablation sweeps run many *independent* simulations —
+//! those parallelize perfectly. Scoped threads (crossbeam) keep borrows of
+//! the shared trace/scenario without `'static` bounds; results come back in
+//! parameter order regardless of completion order.
+
+use parking_lot::Mutex;
+
+/// Run `f` over every parameter in parallel (one thread per parameter, which
+/// is the right shape for a handful of multi-second simulation runs) and
+/// return the results in input order.
+pub fn parallel_sweep<P, R, F>(params: &[P], f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..params.len()).map(|_| None).collect());
+    crossbeam::thread::scope(|scope| {
+        for (i, p) in params.iter().enumerate() {
+            let results = &results;
+            let f = &f;
+            scope.spawn(move |_| {
+                let r = f(p);
+                results.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_input_order() {
+        let params: Vec<u64> = (0..16).collect();
+        let out = parallel_sweep(&params, |&p| p * p);
+        assert_eq!(out, params.iter().map(|p| p * p).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn borrows_shared_context() {
+        let shared = vec![1.0f64; 1000];
+        let params = [2.0f64, 3.0, 4.0];
+        let out = parallel_sweep(&params, |&p| shared.iter().sum::<f64>() * p);
+        assert_eq!(out, vec![2000.0, 3000.0, 4000.0]);
+    }
+
+    #[test]
+    fn empty_params() {
+        let out: Vec<u32> = parallel_sweep::<u32, u32, _>(&[], |&p| p);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker panicked")]
+    fn worker_panic_propagates() {
+        parallel_sweep(&[1], |_| -> u32 { panic!("boom") });
+    }
+}

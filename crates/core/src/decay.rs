@@ -1,0 +1,129 @@
+//! Usage decay functions (§II-A: the fairshare algorithm "can be configured
+//! with, e.g., different usage decay functions to control how the impact of
+//! previous usage is decreased over time").
+
+use serde::{Deserialize, Serialize};
+
+/// How the weight of historical usage decreases with age.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DecayPolicy {
+    /// No decay: all history counts fully.
+    None,
+    /// Exponential decay with the given half-life in seconds: usage aged
+    /// exactly one half-life counts half.
+    Exponential {
+        /// Half-life in seconds; must be > 0.
+        half_life_s: f64,
+    },
+    /// Sliding window: usage younger than `window_s` counts fully, older
+    /// usage not at all.
+    Window {
+        /// Window length in seconds; must be > 0.
+        window_s: f64,
+    },
+    /// Linear ramp: weight decreases linearly from 1 (age 0) to 0 (age
+    /// `span_s`).
+    Linear {
+        /// Age at which the weight reaches zero; must be > 0.
+        span_s: f64,
+    },
+}
+
+impl DecayPolicy {
+    /// Weight of usage aged `age_s` seconds. Always in `[0, 1]`; `1` at age 0
+    /// (and for negative ages, which can transiently occur with clock skew).
+    pub fn weight(&self, age_s: f64) -> f64 {
+        let age = age_s.max(0.0);
+        match *self {
+            DecayPolicy::None => 1.0,
+            DecayPolicy::Exponential { half_life_s } => {
+                debug_assert!(half_life_s > 0.0);
+                (0.5f64).powf(age / half_life_s)
+            }
+            DecayPolicy::Window { window_s } => {
+                debug_assert!(window_s > 0.0);
+                if age < window_s {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            DecayPolicy::Linear { span_s } => {
+                debug_assert!(span_s > 0.0);
+                (1.0 - age / span_s).max(0.0)
+            }
+        }
+    }
+}
+
+impl Default for DecayPolicy {
+    /// The production default used in the evaluation: exponential decay with
+    /// a half-life of one week.
+    fn default() -> Self {
+        DecayPolicy::Exponential {
+            half_life_s: 7.0 * 24.0 * 3600.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_at_zero_age_is_one() {
+        for p in [
+            DecayPolicy::None,
+            DecayPolicy::Exponential { half_life_s: 10.0 },
+            DecayPolicy::Window { window_s: 10.0 },
+            DecayPolicy::Linear { span_s: 10.0 },
+        ] {
+            assert_eq!(p.weight(0.0), 1.0, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn exponential_half_life() {
+        let p = DecayPolicy::Exponential { half_life_s: 100.0 };
+        assert!((p.weight(100.0) - 0.5).abs() < 1e-12);
+        assert!((p.weight(200.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_cuts_off() {
+        let p = DecayPolicy::Window { window_s: 50.0 };
+        assert_eq!(p.weight(49.9), 1.0);
+        assert_eq!(p.weight(50.0), 0.0);
+    }
+
+    #[test]
+    fn linear_ramp() {
+        let p = DecayPolicy::Linear { span_s: 100.0 };
+        assert!((p.weight(50.0) - 0.5).abs() < 1e-12);
+        assert_eq!(p.weight(150.0), 0.0);
+    }
+
+    #[test]
+    fn monotone_non_increasing() {
+        for p in [
+            DecayPolicy::None,
+            DecayPolicy::Exponential { half_life_s: 30.0 },
+            DecayPolicy::Window { window_s: 30.0 },
+            DecayPolicy::Linear { span_s: 30.0 },
+        ] {
+            let mut prev = f64::INFINITY;
+            for i in 0..100 {
+                let w = p.weight(i as f64);
+                assert!(w <= prev + 1e-15, "{p:?} at {i}");
+                assert!((0.0..=1.0).contains(&w));
+                prev = w;
+            }
+        }
+    }
+
+    #[test]
+    fn negative_age_clamps_to_one() {
+        let p = DecayPolicy::Exponential { half_life_s: 10.0 };
+        assert_eq!(p.weight(-5.0), 1.0);
+    }
+}

@@ -1,0 +1,427 @@
+//! The fairshare calculation algorithm (§II-A constituent 3).
+//!
+//! Given a policy tree and grid-wide per-user usage, the algorithm computes
+//! a *fairshare tree*: for every node, the signed distance between its
+//! target share and its actual usage share **relative to its siblings**.
+//! Distances combine an absolute component (`policy − usage`) and a relative
+//! component (normalized ratio distance) under a configurable weight `k`
+//! (§IV-A-5: "the fairshare algorithm uses a configurable weight (k) between
+//! absolute and relative distance calculations", with k = 0.5 in all of the
+//! paper's tests).
+//!
+//! Per-user fairshare *vectors* (one element per level, root first) are then
+//! extracted as in Figure 3.
+
+use crate::decay::DecayPolicy;
+use crate::ids::{EntityPath, GridUser};
+use crate::policy::{PolicyNode, PolicyTree};
+use crate::vector::{FairshareVector, Resolution};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Configuration of the fairshare calculation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FairshareConfig {
+    /// Weight of the relative distance component; the absolute component
+    /// gets `1 − k`. The paper's tests use `k = 0.5`.
+    pub k_weight: f64,
+    /// Quantization resolution of vector elements.
+    pub resolution: Resolution,
+    /// How historical usage decays.
+    pub decay: DecayPolicy,
+}
+
+impl Default for FairshareConfig {
+    fn default() -> Self {
+        Self {
+            k_weight: 0.5,
+            resolution: Resolution::PAPER,
+            decay: DecayPolicy::default(),
+        }
+    }
+}
+
+impl FairshareConfig {
+    /// Combined signed distance for a node with normalized policy share `p`
+    /// and normalized usage share `u` (both within the sibling group).
+    ///
+    /// * relative component ∈ [−1, 1]: `(p − u) / max(p, u)` (0 when both 0);
+    /// * absolute component ∈ [−1, 1]: `p − u` (≤ `p` on the positive side,
+    ///   giving the paper's documented per-user bound
+    ///   `max priority = k·1 + (1−k)·share`, e.g. `0.5·(1 + 0.12) = 0.56`
+    ///   for a 12%-share user at k = 0.5).
+    pub fn distance(&self, p: f64, u: f64) -> f64 {
+        let rel = if p == u {
+            0.0
+        } else {
+            (p - u) / p.max(u).max(f64::MIN_POSITIVE)
+        };
+        let abs = p - u;
+        self.k_weight * rel + (1.0 - self.k_weight) * abs
+    }
+
+    /// Upper bound of a user's combined distance given its policy share:
+    /// reached when the user has zero usage.
+    pub fn max_priority(&self, share: f64) -> f64 {
+        self.k_weight + (1.0 - self.k_weight) * share
+    }
+}
+
+/// Fairshare state computed for one tree node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeShare {
+    /// Normalized policy share within the sibling group.
+    pub policy_share: f64,
+    /// Normalized usage share within the sibling group.
+    pub usage_share: f64,
+    /// Combined signed distance (the "priority" plotted in the paper's
+    /// figures for flat hierarchies).
+    pub distance: f64,
+    /// Quantized vector element for this level.
+    pub element: f64,
+}
+
+/// A computed fairshare tree: per-node shares plus extracted user vectors.
+#[derive(Debug, Clone)]
+pub struct FairshareTree {
+    nodes: BTreeMap<EntityPath, NodeShare>,
+    user_paths: BTreeMap<GridUser, EntityPath>,
+    depth: usize,
+    resolution: Resolution,
+    /// Time the tree was computed, seconds (for staleness checks).
+    pub computed_at_s: f64,
+}
+
+impl FairshareTree {
+    /// Compute the fairshare tree from a policy and per-user (already
+    /// decayed) usage totals.
+    pub fn compute(
+        policy: &PolicyTree,
+        usage_by_user: &BTreeMap<GridUser, f64>,
+        config: &FairshareConfig,
+        now_s: f64,
+    ) -> Self {
+        let mut nodes = BTreeMap::new();
+        // Total usage of each subtree, indexed by path.
+        let mut subtree_usage: BTreeMap<EntityPath, f64> = BTreeMap::new();
+        accumulate_usage(
+            policy.root(),
+            &EntityPath::root(),
+            usage_by_user,
+            &mut subtree_usage,
+        );
+        walk(
+            policy.root(),
+            &EntityPath::root(),
+            &subtree_usage,
+            config,
+            &mut nodes,
+        );
+        let user_paths = policy
+            .users()
+            .into_iter()
+            .map(|(p, u)| (u, p))
+            .collect();
+        Self {
+            nodes,
+            user_paths,
+            depth: policy.depth(),
+            resolution: config.resolution,
+            computed_at_s: now_s,
+        }
+    }
+
+    /// Per-node share state at `path`.
+    pub fn node(&self, path: &EntityPath) -> Option<&NodeShare> {
+        self.nodes.get(path)
+    }
+
+    /// Extract the fairshare vector for the entity at `path` (Figure 3):
+    /// one element per level from the root's child down to the entity,
+    /// padded with the balance point to the full tree depth.
+    pub fn vector_at(&self, path: &EntityPath) -> Option<FairshareVector> {
+        if path.is_root() {
+            return Some(
+                FairshareVector::from_elements(vec![], self.resolution).padded(self.depth),
+            );
+        }
+        let mut elements = Vec::with_capacity(self.depth);
+        let mut prefix = EntityPath::root();
+        for comp in path.components() {
+            prefix = prefix.child(comp);
+            elements.push(self.nodes.get(&prefix)?.element);
+        }
+        Some(FairshareVector::from_elements(elements, self.resolution).padded(self.depth))
+    }
+
+    /// The fairshare vector of a grid user (by leaf identity).
+    pub fn vector_for_user(&self, user: &GridUser) -> Option<FairshareVector> {
+        self.vector_at(self.user_paths.get(user)?)
+    }
+
+    /// The leaf distance ("priority") of a grid user.
+    pub fn user_priority(&self, user: &GridUser) -> Option<f64> {
+        let path = self.user_paths.get(user)?;
+        self.nodes.get(path).map(|n| n.distance)
+    }
+
+    /// All users known to the tree with their paths.
+    pub fn users(&self) -> impl Iterator<Item = (&GridUser, &EntityPath)> {
+        self.user_paths.iter()
+    }
+
+    /// Fairshare vectors for every user, in stable (user-sorted) order.
+    pub fn all_vectors(&self) -> Vec<(GridUser, FairshareVector)> {
+        self.user_paths
+            .iter()
+            .filter_map(|(u, p)| self.vector_at(p).map(|v| (u.clone(), v)))
+            .collect()
+    }
+
+    /// Maximum hierarchy depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+fn accumulate_usage(
+    node: &PolicyNode,
+    path: &EntityPath,
+    usage_by_user: &BTreeMap<GridUser, f64>,
+    out: &mut BTreeMap<EntityPath, f64>,
+) -> f64 {
+    let own = match &node.kind {
+        crate::policy::PolicyNodeKind::User(u) => {
+            usage_by_user.get(u).copied().unwrap_or(0.0)
+        }
+        _ => 0.0,
+    };
+    let children_sum: f64 = node
+        .children
+        .iter()
+        .map(|c| accumulate_usage(c, &path.child(&c.name), usage_by_user, out))
+        .sum();
+    let total = own + children_sum;
+    out.insert(path.clone(), total);
+    total
+}
+
+fn walk(
+    node: &PolicyNode,
+    path: &EntityPath,
+    subtree_usage: &BTreeMap<EntityPath, f64>,
+    config: &FairshareConfig,
+    out: &mut BTreeMap<EntityPath, NodeShare>,
+) {
+    let policy_total: f64 = node.children.iter().map(|c| c.share).sum();
+    let usage_total: f64 = node
+        .children
+        .iter()
+        .map(|c| subtree_usage[&path.child(&c.name)])
+        .sum();
+    for child in &node.children {
+        let child_path = path.child(&child.name);
+        let p = if policy_total > 0.0 {
+            child.share / policy_total
+        } else {
+            0.0
+        };
+        let u = if usage_total > 0.0 {
+            subtree_usage[&child_path] / usage_total
+        } else {
+            0.0
+        };
+        let d = config.distance(p, u);
+        out.insert(
+            child_path.clone(),
+            NodeShare {
+                policy_share: p,
+                usage_share: u,
+                distance: d,
+                element: config.resolution.scale(d),
+            },
+        );
+        walk(child, &child_path, subtree_usage, config, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{flat_policy, PolicyNode, PolicyTree};
+
+    fn usage(pairs: &[(&str, f64)]) -> BTreeMap<GridUser, f64> {
+        pairs
+            .iter()
+            .map(|(n, v)| (GridUser::new(*n), *v))
+            .collect()
+    }
+
+    fn paper_flat_policy() -> PolicyTree {
+        flat_policy(&[
+            ("U65", 0.6525),
+            ("U30", 0.3049),
+            ("U3", 0.0286),
+            ("Uoth", 0.0140),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn balanced_usage_gives_zero_distance() {
+        let policy = paper_flat_policy();
+        let cfg = FairshareConfig::default();
+        let total = 1000.0;
+        let u = usage(&[
+            ("U65", 0.6525 * total),
+            ("U30", 0.3049 * total),
+            ("U3", 0.0286 * total),
+            ("Uoth", 0.0140 * total),
+        ]);
+        let t = FairshareTree::compute(&policy, &u, &cfg, 0.0);
+        for user in ["U65", "U30", "U3", "Uoth"] {
+            let d = t.user_priority(&GridUser::new(user)).unwrap();
+            assert!(d.abs() < 1e-9, "{user}: {d}");
+            let v = t.vector_for_user(&GridUser::new(user)).unwrap();
+            assert!((v.elements()[0] - cfg.resolution.balance()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn paper_bursty_test_priority_bound() {
+        // §IV-A-5: a 12%-share user with zero usage peaks at 0.5·(1+0.12)=0.56.
+        let policy = flat_policy(&[("U65", 0.47), ("U30", 0.385), ("U3", 0.12), ("Uoth", 0.025)])
+            .unwrap();
+        let cfg = FairshareConfig::default();
+        let u = usage(&[("U65", 500.0), ("U30", 400.0), ("Uoth", 30.0)]); // U3 idle
+        let t = FairshareTree::compute(&policy, &u, &cfg, 0.0);
+        let d = t.user_priority(&GridUser::new("U3")).unwrap();
+        assert!((d - 0.56).abs() < 1e-9, "priority {d}");
+        assert!((cfg.max_priority(0.12) - 0.56).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overuse_gives_negative_distance() {
+        let policy = flat_policy(&[("a", 0.5), ("b", 0.5)]).unwrap();
+        let cfg = FairshareConfig::default();
+        let t = FairshareTree::compute(&policy, &usage(&[("a", 900.0), ("b", 100.0)]), &cfg, 0.0);
+        assert!(t.user_priority(&GridUser::new("a")).unwrap() < 0.0);
+        assert!(t.user_priority(&GridUser::new("b")).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn under_served_user_ranks_first() {
+        let policy = paper_flat_policy();
+        let cfg = FairshareConfig::default();
+        // U30 has consumed nothing; everyone else over-consumed.
+        let u = usage(&[("U65", 800.0), ("U3", 150.0), ("Uoth", 50.0)]);
+        let t = FairshareTree::compute(&policy, &u, &cfg, 0.0);
+        let v30 = t.vector_for_user(&GridUser::new("U30")).unwrap();
+        for other in ["U65", "U3", "Uoth"] {
+            let vo = t.vector_for_user(&GridUser::new(other)).unwrap();
+            assert_eq!(v30.compare(&vo), std::cmp::Ordering::Greater, "vs {other}");
+        }
+    }
+
+    #[test]
+    fn subgroup_isolation_in_tree() {
+        // Figure 3 shape: usage changes inside /HP must not move /LQ's element.
+        let policy = PolicyTree::new(PolicyNode::group(
+            "root",
+            1.0,
+            vec![
+                PolicyNode::group(
+                    "HP",
+                    0.7,
+                    vec![PolicyNode::user("u1", 0.5), PolicyNode::user("u2", 0.5)],
+                ),
+                PolicyNode::user("LQ", 0.3),
+            ],
+        ))
+        .unwrap();
+        let cfg = FairshareConfig::default();
+        let t1 = FairshareTree::compute(
+            &policy,
+            &usage(&[("u1", 700.0), ("u2", 0.0), ("LQ", 300.0)]),
+            &cfg,
+            0.0,
+        );
+        let t2 = FairshareTree::compute(
+            &policy,
+            &usage(&[("u1", 0.0), ("u2", 700.0), ("LQ", 300.0)]),
+            &cfg,
+            0.0,
+        );
+        // /HP's aggregate usage is the same, so /LQ's and /HP's first-level
+        // elements are unchanged; only the intra-HP level flips.
+        let lq = EntityPath::parse("/LQ");
+        let hp = EntityPath::parse("/HP");
+        assert_eq!(t1.node(&lq).unwrap().element, t2.node(&lq).unwrap().element);
+        assert_eq!(t1.node(&hp).unwrap().element, t2.node(&hp).unwrap().element);
+        let u1 = EntityPath::parse("/HP/u1");
+        assert!(t1.node(&u1).unwrap().distance < 0.0);
+        assert!(t2.node(&u1).unwrap().distance > 0.0);
+    }
+
+    #[test]
+    fn short_path_padded_with_balance() {
+        let policy = PolicyTree::new(PolicyNode::group(
+            "root",
+            1.0,
+            vec![
+                PolicyNode::group(
+                    "HP",
+                    0.7,
+                    vec![PolicyNode::user("u1", 1.0)],
+                ),
+                PolicyNode::user("LQ", 0.3),
+            ],
+        ))
+        .unwrap();
+        let cfg = FairshareConfig::default();
+        let t = FairshareTree::compute(&policy, &usage(&[("u1", 10.0)]), &cfg, 0.0);
+        let v = t.vector_for_user(&GridUser::new("LQ")).unwrap();
+        assert_eq!(v.depth(), 2);
+        assert_eq!(v.elements()[1], cfg.resolution.balance());
+    }
+
+    #[test]
+    fn zero_usage_distance_is_max_priority() {
+        let policy = flat_policy(&[("a", 0.25), ("b", 0.75)]).unwrap();
+        let cfg = FairshareConfig::default();
+        let t = FairshareTree::compute(&policy, &BTreeMap::new(), &cfg, 0.0);
+        // No usage anywhere: every user sits at its own maximum priority.
+        let da = t.user_priority(&GridUser::new("a")).unwrap();
+        assert!((da - cfg.max_priority(0.25)).abs() < 1e-12, "{da}");
+    }
+
+    #[test]
+    fn k_weight_extremes() {
+        // k = 1: purely relative; k = 0: purely absolute.
+        let rel_only = FairshareConfig {
+            k_weight: 1.0,
+            ..Default::default()
+        };
+        let abs_only = FairshareConfig {
+            k_weight: 0.0,
+            ..Default::default()
+        };
+        assert!((rel_only.distance(0.1, 0.0) - 1.0).abs() < 1e-12);
+        assert!((abs_only.distance(0.1, 0.0) - 0.1).abs() < 1e-12);
+        assert!((rel_only.distance(0.1, 0.2) + 0.5).abs() < 1e-12);
+        assert!((abs_only.distance(0.1, 0.2) + 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_user_has_no_priority() {
+        let policy = flat_policy(&[("a", 1.0)]).unwrap();
+        let t = FairshareTree::compute(
+            &policy,
+            &BTreeMap::new(),
+            &FairshareConfig::default(),
+            0.0,
+        );
+        assert!(t.user_priority(&GridUser::new("ghost")).is_none());
+        assert!(t.vector_for_user(&GridUser::new("ghost")).is_none());
+    }
+}

@@ -1,0 +1,44 @@
+//! # aequus-core
+//!
+//! The core of the Aequus reproduction: the paper's primary contribution —
+//! decentralized grid-wide fairshare prioritization — as a library.
+//!
+//! The three constituents of the fairshare calculation process (§II-A):
+//!
+//! 1. **Hierarchical usage policies** ([`policy`]): tree-based target shares
+//!    with recursively subdividable subgroups and dynamically *mountable*
+//!    sub-policies, so local administrations retain control of their
+//!    clusters while grids manage their own internal subdivision.
+//! 2. **Usage data** ([`usage`]): per-user resource consumption rolled into
+//!    per-interval histograms, exchanged between sites in compact summaries,
+//!    aged by configurable [`decay`] functions.
+//! 3. **The algorithm** ([`fairshare`]): per-node distances between policy
+//!    and usage shares (absolute + relative, weight `k`), extracted as
+//!    per-user fairshare [`vector`]s and projected to `[0, 1]` scalars by
+//!    three interchangeable [`projection`] algorithms (Table I).
+//!
+//! The paper's flagged future-work direction — lifting other priority
+//! factors (age, QoS, size) into the vector representation instead of
+//! projecting fairshare down — is implemented in [`combined`].
+
+#![warn(missing_docs)]
+
+pub mod combined;
+pub mod decay;
+pub mod fairshare;
+pub mod ids;
+pub mod policy;
+pub mod policy_file;
+pub mod projection;
+pub mod usage;
+pub mod vector;
+
+pub use combined::{CombinedVector, VectorWeights};
+pub use decay::DecayPolicy;
+pub use fairshare::{FairshareConfig, FairshareTree, NodeShare};
+pub use ids::{EntityPath, GridUser, JobId, SiteId, SystemUser};
+pub use policy::{flat_policy, PolicyError, PolicyNode, PolicyNodeKind, PolicyTree};
+pub use policy_file::{parse_policy, to_policy_file, PolicyFileError};
+pub use projection::{Projection, ProjectionKind};
+pub use usage::{UsageHistogram, UsageRecord, UsageSummary};
+pub use vector::{FairshareVector, Resolution};

@@ -1,0 +1,110 @@
+//! Dictionary-ordering projection (§III-C): vectors are sorted
+//! lexicographically (descending) and assigned evenly spaced values by rank —
+//! "three vectors would result in the numerical values 0.75, 0.50, and 0.25,
+//! according to sorting order". Retains depth, precision, and isolation but
+//! discards proportionality: only the *order* survives.
+
+use super::Projection;
+use crate::fairshare::FairshareTree;
+use crate::ids::GridUser;
+use std::collections::BTreeMap;
+
+/// Rank-based projection with evenly spaced values.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DictionaryOrdering;
+
+impl Projection for DictionaryOrdering {
+    fn name(&self) -> &'static str {
+        "dictionary"
+    }
+
+    fn project(&self, tree: &FairshareTree) -> BTreeMap<GridUser, f64> {
+        let mut entries = tree.all_vectors();
+        // Descending sort: highest vector (most under-served) first.
+        entries.sort_by(|a, b| b.1.compare(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let n = entries.len();
+        if n == 0 {
+            return BTreeMap::new();
+        }
+        // Rank r (0-based, 0 = best) gets (n − r) / (n + 1). Ties share the
+        // average value of their rank span, so equal vectors map to equal
+        // factors.
+        let mut out = BTreeMap::new();
+        let mut i = 0usize;
+        while i < n {
+            let mut j = i + 1;
+            while j < n && entries[j].1.compare(&entries[i].1).is_eq() {
+                j += 1;
+            }
+            let avg: f64 = (i..j)
+                .map(|r| (n - r) as f64 / (n as f64 + 1.0))
+                .sum::<f64>()
+                / (j - i) as f64;
+            for e in &entries[i..j] {
+                out.insert(e.0.clone(), avg);
+            }
+            i = j;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::projection::test_util::flat_tree;
+
+    #[test]
+    fn paper_example_three_vectors() {
+        // Distinct priorities → 0.75 / 0.50 / 0.25 by sorting order.
+        let tree = flat_tree(&[
+            ("high", 0.4, 0.0),
+            ("mid", 0.3, 300.0),
+            ("low", 0.3, 700.0),
+        ]);
+        let v = DictionaryOrdering.project(&tree);
+        assert!((v[&GridUser::new("high")] - 0.75).abs() < 1e-12);
+        assert!((v[&GridUser::new("mid")] - 0.50).abs() < 1e-12);
+        assert!((v[&GridUser::new("low")] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_share_average_value() {
+        // Two users with identical share and usage → identical vectors.
+        let tree = flat_tree(&[
+            ("a", 0.25, 100.0),
+            ("b", 0.25, 100.0),
+            ("c", 0.5, 800.0),
+        ]);
+        let v = DictionaryOrdering.project(&tree);
+        assert_eq!(v[&GridUser::new("a")], v[&GridUser::new("b")]);
+        assert!(v[&GridUser::new("a")] > v[&GridUser::new("c")]);
+    }
+
+    #[test]
+    fn not_proportional_by_construction() {
+        // Distances 0.9 vs 0.1 apart still produce evenly spaced outputs.
+        let tree = flat_tree(&[
+            ("far", 0.6, 0.0),
+            ("near1", 0.2, 210.0),
+            ("near2", 0.2, 190.0),
+        ]);
+        let v = DictionaryOrdering.project(&tree);
+        let gap1 = v[&GridUser::new("far")] - v[&GridUser::new("near2")];
+        let gap2 = v[&GridUser::new("near2")] - v[&GridUser::new("near1")];
+        assert!((gap1 - gap2).abs() < 1e-12, "rank spacing is uniform");
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = flat_tree(&[]);
+        assert!(DictionaryOrdering.project(&tree).is_empty());
+    }
+
+    #[test]
+    fn single_user_gets_half() {
+        let tree = flat_tree(&[("only", 1.0, 10.0)]);
+        let v = DictionaryOrdering.project(&tree);
+        assert!((v[&GridUser::new("only")] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,124 @@
+//! Percental projection (§III-C): a user's total target share is the product
+//! of normalized shares along its path ("a project share of 0.20 and a user
+//! share of 0.25 result in a share of 0.05"); total usage is the product of
+//! usage shares; the fairshare value is `target − usage` rescaled to
+//! `[0, 1]`. "A similar approach is used in SLURM prior to version 2.5."
+//!
+//! Trade-off: products across levels destroy subgroup isolation — usage
+//! shifts inside one subtree can reorder users in a sibling subtree (the
+//! ✗ of Table I). This is the algorithm used in the paper's production
+//! deployment and throughout §IV ("the percental projection approach is used
+//! during testing").
+
+use super::Projection;
+use crate::fairshare::FairshareTree;
+use crate::ids::{EntityPath, GridUser};
+use std::collections::BTreeMap;
+
+/// Product-of-shares difference projection.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Percental;
+
+impl Percental {
+    /// Total (absolute) target and usage shares of the entity at `path`:
+    /// products of the per-level normalized shares.
+    pub fn total_shares(tree: &FairshareTree, path: &EntityPath) -> Option<(f64, f64)> {
+        let mut target = 1.0;
+        let mut usage = 1.0;
+        let mut prefix = EntityPath::root();
+        for comp in path.components() {
+            prefix = prefix.child(comp);
+            let node = tree.node(&prefix)?;
+            target *= node.policy_share;
+            usage *= node.usage_share;
+        }
+        Some((target, usage))
+    }
+}
+
+impl Projection for Percental {
+    fn name(&self) -> &'static str {
+        "percental"
+    }
+
+    fn project(&self, tree: &FairshareTree) -> BTreeMap<GridUser, f64> {
+        tree.users()
+            .filter_map(|(user, path)| {
+                let (target, usage) = Self::total_shares(tree, path)?;
+                // target − usage ∈ [−1, 1]; rescale to [0, 1].
+                Some((user.clone(), ((target - usage) + 1.0) / 2.0))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::projection::test_util::{flat_tree, nested_tree};
+
+    #[test]
+    fn paper_share_product_example() {
+        // "A project share of 0.20 and a user share of 0.25 result in 0.05."
+        let (_, tree) = nested_tree(&[
+            ("proj", 0.20, &[("u", 0.25, 10.0), ("v", 0.75, 10.0)]),
+            ("rest", 0.80, &[("w", 1.0, 80.0)]),
+        ]);
+        let (target, _) =
+            Percental::total_shares(&tree, &EntityPath::parse("/proj/u")).unwrap();
+        assert!((target - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balance_maps_to_half() {
+        let tree = flat_tree(&[("a", 0.5, 500.0), ("b", 0.5, 500.0)]);
+        let v = Percental.project(&tree);
+        assert!((v[&GridUser::new("a")] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn under_served_above_half() {
+        let tree = flat_tree(&[("a", 0.5, 900.0), ("b", 0.5, 100.0)]);
+        let v = Percental.project(&tree);
+        assert!(v[&GridUser::new("b")] > 0.5);
+        assert!(v[&GridUser::new("a")] < 0.5);
+        // Proportional: symmetric displacements around 0.5.
+        let d = (v[&GridUser::new("b")] - 0.5) - (0.5 - v[&GridUser::new("a")]);
+        assert!(d.abs() < 1e-12);
+    }
+
+    type GroupSpec<'a> = &'a [(&'a str, f64, &'a [(&'a str, f64, f64)])];
+
+    #[test]
+    fn isolation_violated_across_subtrees() {
+        // Two users in group g2 with opposing target/usage differences; the
+        // usage level of sibling group g1 flips their *projected* order even
+        // though nothing inside g2 changed — the Table I ✗.
+        // u1: high target (0.8) and high usage (900); u2: low target, low
+        // usage. The sign of (target gap) − C·(usage gap) depends on C, the
+        // usage share of g2 at the root — controlled entirely by g1.
+        let base: GroupSpec = &[
+            ("g1", 0.5, &[("x", 1.0, 100.0)]),
+            ("g2", 0.5, &[("u1", 0.8, 900.0), ("u2", 0.2, 100.0)]),
+        ];
+        let heavy: GroupSpec = &[
+            ("g1", 0.5, &[("x", 1.0, 100_000.0)]),
+            ("g2", 0.5, &[("u1", 0.8, 900.0), ("u2", 0.2, 100.0)]),
+        ];
+        let (_, t1) = nested_tree(base);
+        let (_, t2) = nested_tree(heavy);
+        let v1 = Percental.project(&t1);
+        let v2 = Percental.project(&t2);
+        let order1 = v1[&GridUser::new("u1")] > v1[&GridUser::new("u2")];
+        let order2 = v2[&GridUser::new("u1")] > v2[&GridUser::new("u2")];
+        assert_ne!(order1, order2, "order must flip: {v1:?} vs {v2:?}");
+    }
+
+    #[test]
+    fn values_in_unit_range() {
+        let tree = flat_tree(&[("a", 1.0, 0.0), ("b", 0.0, 1000.0)]);
+        for v in Percental.project(&tree).values() {
+            assert!((0.0..=1.0).contains(v));
+        }
+    }
+}

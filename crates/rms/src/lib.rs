@@ -1,0 +1,34 @@
+//! # aequus-rms
+//!
+//! Local resource-manager substrate: the systems Aequus integrates *into*
+//! (§III). Two scheduler front ends share a common dispatch core:
+//!
+//! * [`slurm::SlurmScheduler`] — plugin-style integration with a periodic
+//!   priority-recalculation interval (SLURM's `PriorityCalcPeriod`);
+//! * [`maui::MauiScheduler`] — patched-callout integration recomputing
+//!   priorities every scheduling iteration.
+//!
+//! Both prioritize with a [`multifactor`] linear combination of `[0, 1]`
+//! factors (fairshare, age, QoS, size) and dispatch onto a virtual
+//! [`nodes::NodePool`] with EASY backfill. The fairshare factor itself comes
+//! through the [`plugin::FairshareSource`] seam — either the full Aequus
+//! stack (global fairshare) or the classic [`plugin::LocalFairshare`]
+//! baseline it replaces.
+
+#![warn(missing_docs)]
+
+pub mod job;
+pub mod maui;
+pub mod multifactor;
+pub mod nodes;
+pub mod plugin;
+pub mod scheduler;
+pub mod slurm;
+
+pub use job::{Job, JobState};
+pub use maui::{MauiConfig, MauiScheduler};
+pub use multifactor::{FactorConfig, PriorityWeights};
+pub use nodes::NodePool;
+pub use plugin::{FairshareSource, LocalFairshare};
+pub use scheduler::{ReprioritizePolicy, SchedulerCore, SchedulerStats};
+pub use slurm::{SlurmConfig, SlurmScheduler};

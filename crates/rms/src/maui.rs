@@ -1,0 +1,163 @@
+//! Maui-like scheduler front end (§III-A): "Maui has no inherent plug-in
+//! system, and therefore the integration is done by applying patches to the
+//! Maui source code. Similarly to SLURM, the local calculation of the
+//! fairshare priority factor is replaced with a call to the libaequus system
+//! library, and another call for supplying usage information to Aequus is
+//! injected into Maui for execution when jobs are completed."
+//!
+//! Behavioral difference from the SLURM front end: Maui recomputes job
+//! priorities on **every scheduling iteration**, so there is no stage-IV
+//! re-prioritization interval — only the libaequus cache bounds freshness.
+
+use crate::job::Job;
+use crate::multifactor::{FactorConfig, PriorityWeights};
+use crate::nodes::NodePool;
+use crate::plugin::FairshareSource;
+use crate::scheduler::{ReprioritizePolicy, SchedulerCore, SchedulerStats};
+use aequus_core::ids::SiteId;
+
+/// Configuration of a Maui-like scheduler instance.
+#[derive(Debug, Clone, Default)]
+pub struct MauiConfig {
+    /// Priority factor weights.
+    pub weights: PriorityWeights,
+    /// Factor shaping parameters.
+    pub factors: FactorConfig,
+}
+
+/// A Maui-like scheduler with the patched libaequus call-outs.
+#[derive(Debug)]
+pub struct MauiScheduler {
+    core: SchedulerCore,
+}
+
+impl MauiScheduler {
+    /// Create a Maui-like scheduler over the given node pool.
+    pub fn new(site: SiteId, nodes: NodePool, config: MauiConfig) -> Self {
+        Self {
+            core: SchedulerCore::new(
+                site,
+                nodes,
+                config.weights,
+                config.factors,
+                ReprioritizePolicy::EveryCycle,
+            ),
+        }
+    }
+
+    /// Submit a job.
+    pub fn submit(&mut self, job: Job, source: &mut dyn FairshareSource, now_s: f64) {
+        self.core.submit(job, source, now_s);
+    }
+
+    /// Run one scheduling iteration at `now_s` (priorities recomputed each
+    /// call through the patched libaequus call site).
+    pub fn advance(&mut self, source: &mut dyn FairshareSource, now_s: f64) {
+        self.core.advance(source, now_s);
+    }
+
+    /// Scheduler statistics.
+    pub fn stats(&self) -> &SchedulerStats {
+        &self.core.stats
+    }
+
+    /// The underlying core.
+    pub fn core(&self) -> &SchedulerCore {
+        &self.core
+    }
+
+    /// Mutable access to the core.
+    pub fn core_mut(&mut self) -> &mut SchedulerCore {
+        &mut self.core
+    }
+
+    /// Earliest pending completion, for event scheduling.
+    pub fn next_completion(&self) -> Option<f64> {
+        self.core.next_completion()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plugin::LocalFairshare;
+    use aequus_core::fairshare::FairshareConfig;
+    use aequus_core::policy::flat_policy;
+    use aequus_core::projection::ProjectionKind;
+    use aequus_core::usage::UsageRecord;
+    use aequus_core::{GridUser, JobId, SystemUser};
+
+    #[test]
+    fn maui_reprioritizes_every_cycle() {
+        let mut maui = MauiScheduler::new(
+            SiteId(0),
+            NodePool::new(1, 0), // zero capacity keeps jobs pending
+            MauiConfig::default(),
+        );
+        let mut src = LocalFairshare::new(
+            flat_policy(&[("a", 0.5), ("b", 0.5)]).unwrap(),
+            FairshareConfig::default(),
+            ProjectionKind::Percental,
+            60.0,
+        );
+        src.map_identity(SystemUser::new("sa"), GridUser::new("a"));
+        maui.submit(
+            Job::new(JobId(1), SystemUser::new("sa"), 1, 0.0, 10.0),
+            &mut src,
+            0.0,
+        );
+        maui.advance(&mut src, 0.0);
+        let p0 = maui.core().pending_jobs().next().unwrap().1;
+        // Fresh usage for a shows up on the *next* iteration, no interval.
+        src.report_usage(
+            UsageRecord {
+                job: JobId(5),
+                user: GridUser::new("a"),
+                site: SiteId(0),
+                cores: 1,
+                start_s: 0.0,
+                end_s: 400.0,
+            },
+            1.0,
+        );
+        maui.advance(&mut src, 2.0);
+        let p1 = maui.core().pending_jobs().next().unwrap().1;
+        assert!(p1 < p0, "Maui sees new usage immediately: {p1} !< {p0}");
+    }
+
+    #[test]
+    fn maui_and_slurm_share_dispatch_semantics() {
+        // Same workload, same source: identical completion counts.
+        type Stepper = Box<dyn FnMut(&mut LocalFairshare, f64) -> (u64, u64)>;
+        let run = |mut adv: Stepper| {
+            let mut src = LocalFairshare::new(
+                flat_policy(&[("a", 1.0)]).unwrap(),
+                FairshareConfig::default(),
+                ProjectionKind::Percental,
+                60.0,
+            );
+            src.map_identity(SystemUser::new("s"), GridUser::new("a"));
+            let mut last = (0, 0);
+            for step in 0..50 {
+                last = adv(&mut src, step as f64 * 20.0);
+            }
+            last
+        };
+        let mut maui = MauiScheduler::new(SiteId(0), NodePool::new(2, 1), MauiConfig::default());
+        let mut next_id = 0u64;
+        let maui_result = run(Box::new(move |src, t| {
+            if next_id < 10 {
+                maui.submit(
+                    Job::new(JobId(next_id), SystemUser::new("s"), 1, t, 30.0),
+                    src,
+                    t,
+                );
+                next_id += 1;
+            }
+            maui.advance(src, t);
+            (maui.stats().submitted, maui.stats().completed)
+        }));
+        assert_eq!(maui_result.0, 10);
+        assert_eq!(maui_result.1, 10);
+    }
+}

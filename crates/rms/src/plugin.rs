@@ -1,0 +1,185 @@
+//! The integration seam between a local resource manager and a fairshare
+//! provider (§III-A).
+//!
+//! In SLURM the seam is a *priority plugin* plus a *job completion plugin*;
+//! in Maui it is a pair of patched call sites. Both reduce to the same three
+//! calls into `libaequus`, captured by [`FairshareSource`]:
+//! fetch a fairshare factor, report completed usage, resolve identity.
+//!
+//! `AequusSite` implements the trait for the full per-site Aequus stack;
+//! [`LocalFairshare`] is the baseline it replaces — the classic site-local
+//! fairshare calculation that only sees local history.
+
+use aequus_core::fairshare::{FairshareConfig, FairshareTree};
+use aequus_core::policy::PolicyTree;
+use aequus_core::projection::{Projection, ProjectionKind};
+use aequus_core::usage::{UsageHistogram, UsageRecord};
+use aequus_core::{GridUser, SystemUser};
+use aequus_services::AequusSite;
+use std::collections::BTreeMap;
+
+/// What the RMS-side plugins need from a fairshare system.
+pub trait FairshareSource {
+    /// The fairshare priority factor (in `[0, 1]`) for a grid user.
+    /// Replaces "the normal fairshare priority calculation code".
+    fn fairshare_factor(&mut self, user: &GridUser, now_s: f64) -> f64;
+
+    /// Supply usage information for a completed job (the SLURM job
+    /// completion plugin / the Maui completion call site).
+    fn report_usage(&mut self, record: UsageRecord, now_s: f64);
+
+    /// Map a local system account to its grid identity.
+    fn resolve_identity(&mut self, system: &SystemUser, now_s: f64) -> Option<GridUser>;
+}
+
+impl FairshareSource for AequusSite {
+    fn fairshare_factor(&mut self, user: &GridUser, now_s: f64) -> f64 {
+        self.fairshare(user, now_s)
+    }
+
+    fn report_usage(&mut self, record: UsageRecord, now_s: f64) {
+        self.report_completion(record, now_s);
+    }
+
+    fn resolve_identity(&mut self, system: &SystemUser, now_s: f64) -> Option<GridUser> {
+        AequusSite::resolve_identity(self, system, now_s)
+    }
+}
+
+/// The pre-Aequus baseline: fairshare computed from local usage only, with
+/// the same algorithm and projection but no cross-site exchange and no
+/// service pipeline (values recomputed on demand).
+pub struct LocalFairshare {
+    policy: PolicyTree,
+    config: FairshareConfig,
+    projection: Box<dyn Projection>,
+    usage: UsageHistogram,
+    identity_map: BTreeMap<SystemUser, GridUser>,
+}
+
+impl std::fmt::Debug for LocalFairshare {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalFairshare")
+            .field("users", &self.policy.users().len())
+            .finish()
+    }
+}
+
+impl LocalFairshare {
+    /// Create a local-only fairshare calculator.
+    pub fn new(
+        policy: PolicyTree,
+        config: FairshareConfig,
+        projection: ProjectionKind,
+        usage_slot_s: f64,
+    ) -> Self {
+        Self {
+            policy,
+            config,
+            projection: projection.build(),
+            usage: UsageHistogram::new(usage_slot_s),
+            identity_map: BTreeMap::new(),
+        }
+    }
+
+    /// Register a system-user → grid-user mapping (local configuration).
+    pub fn map_identity(&mut self, system: SystemUser, grid: GridUser) {
+        self.identity_map.insert(system, grid);
+    }
+
+    /// Direct access to the accumulated local usage.
+    pub fn usage(&self) -> &UsageHistogram {
+        &self.usage
+    }
+}
+
+impl FairshareSource for LocalFairshare {
+    fn fairshare_factor(&mut self, user: &GridUser, now_s: f64) -> f64 {
+        let usage = self.usage.decayed_all(now_s, self.config.decay);
+        let tree = FairshareTree::compute(&self.policy, &usage, &self.config, now_s);
+        self.projection
+            .project(&tree)
+            .get(user)
+            .copied()
+            .unwrap_or(0.5)
+    }
+
+    fn report_usage(&mut self, record: UsageRecord, _now_s: f64) {
+        self.usage.record(&record);
+    }
+
+    fn resolve_identity(&mut self, system: &SystemUser, _now_s: f64) -> Option<GridUser> {
+        self.identity_map.get(system).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aequus_core::ids::{JobId, SiteId};
+    use aequus_core::policy::flat_policy;
+
+    fn record(user: &str, start: f64, end: f64) -> UsageRecord {
+        UsageRecord {
+            job: JobId(0),
+            user: GridUser::new(user),
+            site: SiteId(0),
+            cores: 1,
+            start_s: start,
+            end_s: end,
+        }
+    }
+
+    #[test]
+    fn local_fairshare_reacts_immediately() {
+        let mut lf = LocalFairshare::new(
+            flat_policy(&[("a", 0.5), ("b", 0.5)]).unwrap(),
+            FairshareConfig::default(),
+            ProjectionKind::Percental,
+            60.0,
+        );
+        let before = lf.fairshare_factor(&GridUser::new("a"), 0.0);
+        lf.report_usage(record("a", 0.0, 500.0), 500.0);
+        let after = lf.fairshare_factor(&GridUser::new("a"), 500.0);
+        assert!(after < before, "no pipeline delay locally");
+    }
+
+    #[test]
+    fn local_identity_mapping() {
+        let mut lf = LocalFairshare::new(
+            flat_policy(&[("a", 1.0)]).unwrap(),
+            FairshareConfig::default(),
+            ProjectionKind::Percental,
+            60.0,
+        );
+        lf.map_identity(SystemUser::new("sys1"), GridUser::new("a"));
+        assert_eq!(
+            lf.resolve_identity(&SystemUser::new("sys1"), 0.0),
+            Some(GridUser::new("a"))
+        );
+        assert_eq!(lf.resolve_identity(&SystemUser::new("sys2"), 0.0), None);
+    }
+
+    #[test]
+    fn local_sees_only_local_history() {
+        // Two independent LocalFairshare instances never influence each
+        // other — the problem Aequus solves.
+        let policy = flat_policy(&[("a", 0.5), ("b", 0.5)]).unwrap();
+        let mut site1 = LocalFairshare::new(
+            policy.clone(),
+            FairshareConfig::default(),
+            ProjectionKind::Percental,
+            60.0,
+        );
+        let mut site2 = LocalFairshare::new(
+            policy,
+            FairshareConfig::default(),
+            ProjectionKind::Percental,
+            60.0,
+        );
+        site1.report_usage(record("a", 0.0, 900.0), 900.0);
+        let f1 = site1.fairshare_factor(&GridUser::new("a"), 900.0);
+        let f2 = site2.fairshare_factor(&GridUser::new("a"), 900.0);
+        assert!(f1 < f2, "site2 is oblivious to a's usage on site1");
+    }
+}

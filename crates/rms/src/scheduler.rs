@@ -1,0 +1,474 @@
+//! Shared scheduling machinery: priority queue management, dispatch with
+//! EASY backfill, completion handling, and statistics. The SLURM-like and
+//! Maui-like front ends configure this core with their respective
+//! re-prioritization semantics and integration styles.
+
+use crate::job::{Job, JobState};
+use crate::multifactor::{combined_priority, FactorConfig, PriorityWeights};
+use crate::nodes::NodePool;
+use crate::plugin::FairshareSource;
+use aequus_core::ids::{JobId, SiteId};
+use aequus_core::usage::UsageRecord;
+use aequus_core::GridUser;
+use std::collections::BTreeMap;
+
+/// When pending-job priorities are recomputed — stage IV of the §IV-A-2
+/// delay chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReprioritizePolicy {
+    /// SLURM-style: a periodic recalculation interval.
+    Interval(f64),
+    /// Maui-style: every scheduling iteration.
+    EveryCycle,
+}
+
+/// Aggregated scheduler statistics.
+#[derive(Debug, Clone, Default)]
+pub struct SchedulerStats {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Jobs started.
+    pub started: u64,
+    /// Jobs completed.
+    pub completed: u64,
+    /// Jobs started via backfill (not at the head of the queue).
+    pub backfilled: u64,
+    /// Total queue wait time of started jobs, seconds.
+    pub total_wait_s: f64,
+    /// Per-grid-user completed wall-clock·cores usage.
+    pub usage_by_user: BTreeMap<GridUser, f64>,
+}
+
+impl SchedulerStats {
+    /// Mean queue wait of started jobs.
+    pub fn mean_wait_s(&self) -> f64 {
+        if self.started == 0 {
+            0.0
+        } else {
+            self.total_wait_s / self.started as f64
+        }
+    }
+}
+
+/// The common scheduler core.
+#[derive(Debug)]
+pub struct SchedulerCore {
+    site: SiteId,
+    /// The node pool jobs run on.
+    pub nodes: NodePool,
+    weights: PriorityWeights,
+    factors: FactorConfig,
+    reprio: ReprioritizePolicy,
+    pending: Vec<(Job, f64)>, // job, cached priority
+    running: Vec<Job>,
+    last_reprio_s: f64,
+    /// Statistics.
+    pub stats: SchedulerStats,
+}
+
+impl SchedulerCore {
+    /// Create a scheduler over the given node pool.
+    pub fn new(
+        site: SiteId,
+        nodes: NodePool,
+        weights: PriorityWeights,
+        factors: FactorConfig,
+        reprio: ReprioritizePolicy,
+    ) -> Self {
+        Self {
+            site,
+            nodes,
+            weights,
+            factors,
+            reprio,
+            pending: Vec::new(),
+            running: Vec::new(),
+            last_reprio_s: f64::NEG_INFINITY,
+            stats: SchedulerStats::default(),
+        }
+    }
+
+    /// The site this scheduler manages.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Jobs waiting in the queue.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Jobs currently executing.
+    pub fn running_count(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Accept a job into the queue, resolving its grid identity through the
+    /// fairshare source (the identity step of §III-B).
+    pub fn submit(&mut self, mut job: Job, source: &mut dyn FairshareSource, now_s: f64) {
+        if job.grid_user.is_none() {
+            job.grid_user = source.resolve_identity(&job.system_user, now_s);
+        }
+        self.stats.submitted += 1;
+        // New jobs get a priority immediately so they can dispatch this cycle.
+        let prio = self.priority_of(&job, source, now_s);
+        self.pending.push((job, prio));
+    }
+
+    fn priority_of(&self, job: &Job, source: &mut dyn FairshareSource, now_s: f64) -> f64 {
+        let fairshare = match &job.grid_user {
+            Some(u) => source.fairshare_factor(u, now_s),
+            None => 0.5, // unmapped users get the neutral factor
+        };
+        combined_priority(
+            &self.weights,
+            fairshare,
+            self.factors.age_factor(job, now_s),
+            self.factors.qos_factor(job),
+            self.factors.size_factor(job),
+        )
+    }
+
+    /// Whether a re-prioritization is due at `now_s`.
+    fn reprio_due(&self, now_s: f64) -> bool {
+        match self.reprio {
+            ReprioritizePolicy::EveryCycle => true,
+            ReprioritizePolicy::Interval(dt) => now_s - self.last_reprio_s >= dt,
+        }
+    }
+
+    /// Advance the scheduler to `now_s`: finish due jobs (reporting their
+    /// usage), re-prioritize if due, and dispatch with EASY backfill.
+    pub fn advance(&mut self, source: &mut dyn FairshareSource, now_s: f64) {
+        self.nodes.advance(now_s);
+        self.complete_due(source, now_s);
+        if self.reprio_due(now_s) {
+            for (job, prio) in &mut self.pending {
+                *prio = combined_priority(
+                    &self.weights,
+                    match &job.grid_user {
+                        Some(u) => source.fairshare_factor(u, now_s),
+                        None => 0.5,
+                    },
+                    self.factors.age_factor(job, now_s),
+                    self.factors.qos_factor(job),
+                    self.factors.size_factor(job),
+                );
+            }
+            self.last_reprio_s = now_s;
+        }
+        self.dispatch(now_s);
+    }
+
+    fn complete_due(&mut self, source: &mut dyn FairshareSource, now_s: f64) {
+        let mut i = 0;
+        while i < self.running.len() {
+            let end = self.running[i].expected_end().expect("running jobs have ends");
+            if end <= now_s {
+                let mut job = self.running.swap_remove(i);
+                let start_s = match job.state {
+                    JobState::Running { start_s } => start_s,
+                    _ => unreachable!("job in running list"),
+                };
+                job.state = JobState::Completed { start_s, end_s: end };
+                self.nodes.release(job.cores);
+                self.stats.completed += 1;
+                if let Some(user) = &job.grid_user {
+                    *self
+                        .stats
+                        .usage_by_user
+                        .entry(user.clone())
+                        .or_insert(0.0) += job.cores as f64 * job.duration_s;
+                    source.report_usage(
+                        UsageRecord {
+                            job: job.id,
+                            user: user.clone(),
+                            site: self.site,
+                            cores: job.cores,
+                            start_s,
+                            end_s: end,
+                        },
+                        now_s,
+                    );
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Dispatch pending jobs in priority order with EASY backfill: when the
+    /// head job does not fit, a reservation (shadow time) is computed from
+    /// running jobs' expected ends, and lower-priority jobs may start only
+    /// if they terminate before the shadow time or leave the reserved cores
+    /// untouched.
+    fn dispatch(&mut self, now_s: f64) {
+        // Highest priority first; FIFO (submit time, id) as tie-breakers.
+        self.pending.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap()
+                .then(a.0.submit_s.partial_cmp(&b.0.submit_s).unwrap())
+                .then(a.0.id.cmp(&b.0.id))
+        });
+
+        let mut shadow: Option<(f64, u32)> = None; // (shadow time, extra free cores at shadow)
+        let mut started: std::collections::BTreeSet<JobId> = std::collections::BTreeSet::new();
+        for (job, _prio) in &self.pending {
+            if shadow.is_none() {
+                if self.nodes.free_cores() >= job.cores {
+                    // Start at head position.
+                    started.insert(job.id);
+                    self.nodes.allocate(job.cores);
+                } else {
+                    // Reserve: find when enough cores free up.
+                    shadow = self.compute_shadow(job.cores, started.len());
+                }
+            } else if let Some((shadow_t, spare)) = shadow {
+                // Backfill candidate: must fit now, and either finish before
+                // the shadow time or fit within the spare (non-reserved)
+                // cores.
+                if self.nodes.free_cores() >= job.cores
+                    && (now_s + job.duration_s <= shadow_t || job.cores <= spare)
+                {
+                    started.insert(job.id);
+                    self.nodes.allocate(job.cores);
+                    if job.cores > 0 && now_s + job.duration_s > shadow_t {
+                        shadow = Some((shadow_t, spare - job.cores));
+                    }
+                }
+            }
+        }
+        if started.is_empty() {
+            return;
+        }
+        let backfill_from_head = {
+            // Jobs started after a reservation was placed count as backfilled.
+            let head_started: usize = self
+                .pending
+                .iter()
+                .take_while(|(j, _)| started.contains(&j.id))
+                .count();
+            head_started
+        };
+        let mut order = 0usize;
+        self.pending.retain_mut(|(job, _)| {
+            if started.contains(&job.id) {
+                job.state = JobState::Running { start_s: now_s };
+                self.stats.started += 1;
+                self.stats.total_wait_s += job.wait_time(now_s);
+                order += 1;
+                if order > backfill_from_head {
+                    self.stats.backfilled += 1;
+                }
+                self.running.push(job.clone());
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Earliest time at which `cores` become available, given running jobs,
+    /// plus the cores spare beyond the reservation at that time.
+    fn compute_shadow(&self, cores: u32, _already_started: usize) -> Option<(f64, u32)> {
+        let mut ends: Vec<(f64, u32)> = self
+            .running
+            .iter()
+            .filter_map(|j| j.expected_end().map(|e| (e, j.cores)))
+            .collect();
+        ends.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut free = self.nodes.free_cores();
+        for (end, c) in ends {
+            free += c;
+            if free >= cores {
+                return Some((end, free - cores));
+            }
+        }
+        None // job larger than the machine: never dispatchable
+    }
+
+    /// The earliest future time anything happens by itself: the next job
+    /// completion (re-prioritization ticks are driven by the caller).
+    pub fn next_completion(&self) -> Option<f64> {
+        self.running
+            .iter()
+            .filter_map(Job::expected_end)
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+
+    /// Pending jobs and their cached priorities (inspection/metrics).
+    pub fn pending_jobs(&self) -> impl Iterator<Item = (&Job, f64)> {
+        self.pending.iter().map(|(j, p)| (j, *p))
+    }
+
+    /// Running jobs (inspection/metrics).
+    pub fn running_jobs(&self) -> &[Job] {
+        &self.running
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plugin::LocalFairshare;
+    use aequus_core::fairshare::FairshareConfig;
+    use aequus_core::policy::flat_policy;
+    use aequus_core::projection::ProjectionKind;
+    use aequus_core::SystemUser;
+
+    fn source() -> LocalFairshare {
+        let mut lf = LocalFairshare::new(
+            flat_policy(&[("a", 0.5), ("b", 0.5)]).unwrap(),
+            FairshareConfig::default(),
+            ProjectionKind::Percental,
+            60.0,
+        );
+        lf.map_identity(SystemUser::new("sysa"), GridUser::new("a"));
+        lf.map_identity(SystemUser::new("sysb"), GridUser::new("b"));
+        lf
+    }
+
+    fn core(cores: u32) -> SchedulerCore {
+        SchedulerCore::new(
+            SiteId(0),
+            NodePool::new(1, cores),
+            PriorityWeights::fairshare_only(),
+            FactorConfig::default(),
+            ReprioritizePolicy::EveryCycle,
+        )
+    }
+
+    fn job(id: u64, sys: &str, cores: u32, submit: f64, dur: f64) -> Job {
+        Job::new(JobId(id), SystemUser::new(sys), cores, submit, dur)
+    }
+
+    #[test]
+    fn runs_and_completes_jobs() {
+        let mut sched = core(2);
+        let mut src = source();
+        sched.submit(job(1, "sysa", 1, 0.0, 100.0), &mut src, 0.0);
+        sched.advance(&mut src, 0.0);
+        assert_eq!(sched.running_count(), 1);
+        assert_eq!(sched.pending_count(), 0);
+        sched.advance(&mut src, 100.0);
+        assert_eq!(sched.running_count(), 0);
+        assert_eq!(sched.stats.completed, 1);
+        // Usage was reported to the fairshare source.
+        assert!((src.usage().total_recorded() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn priority_order_respected() {
+        let mut sched = core(1);
+        let mut src = source();
+        // a over-consumed: b's job must start first despite later submission.
+        src.report_usage(
+            UsageRecord {
+                job: JobId(99),
+                user: GridUser::new("a"),
+                site: SiteId(0),
+                cores: 1,
+                start_s: 0.0,
+                end_s: 1000.0,
+            },
+            1000.0,
+        );
+        sched.submit(job(1, "sysa", 1, 1000.0, 50.0), &mut src, 1000.0);
+        sched.submit(job(2, "sysb", 1, 1001.0, 50.0), &mut src, 1001.0);
+        sched.advance(&mut src, 1002.0);
+        assert_eq!(sched.running_count(), 1);
+        let running = &sched.running_jobs()[0];
+        assert_eq!(running.id, JobId(2), "b runs first");
+    }
+
+    #[test]
+    fn backfill_fills_gaps_without_delaying_head() {
+        let mut sched = core(4);
+        let mut src = source();
+        // Occupy 3 cores until t=100.
+        sched.submit(job(1, "sysa", 3, 0.0, 100.0), &mut src, 0.0);
+        sched.advance(&mut src, 0.0);
+        // Head job needs 4 cores → reserve at t=100. Short 1-core job can
+        // backfill (ends at 50 < 100); long 1-core job cannot (would end at
+        // 150 and eats a reserved core... 1 spare core? free at shadow =
+        // 4−4=0 spare, so long job must finish before 100).
+        sched.submit(job(2, "sysa", 4, 1.0, 100.0), &mut src, 1.0);
+        sched.submit(job(3, "sysb", 1, 2.0, 200.0), &mut src, 2.0); // too long
+        sched.submit(job(4, "sysb", 1, 3.0, 40.0), &mut src, 3.0); // fits
+        sched.advance(&mut src, 5.0);
+        let running_ids: Vec<JobId> = sched.running_jobs().iter().map(|j| j.id).collect();
+        assert!(running_ids.contains(&JobId(4)), "short job backfilled");
+        assert!(!running_ids.contains(&JobId(3)), "long job would delay head");
+        assert!(!running_ids.contains(&JobId(2)), "head still waiting");
+        assert_eq!(sched.stats.backfilled, 1);
+        // At t=100 jobs 1 and 4 are done. User b is now under-served, so job
+        // 3 outranks job 2, starts on 1 core, and job 2 (4 cores) is
+        // reserved behind it.
+        sched.advance(&mut src, 100.0);
+        let running_ids: Vec<JobId> = sched.running_jobs().iter().map(|j| j.id).collect();
+        assert!(running_ids.contains(&JobId(3)));
+        assert!(!running_ids.contains(&JobId(2)));
+        // Once job 3 finishes at t=300, job 2 finally gets the machine.
+        sched.advance(&mut src, 300.0);
+        let running_ids: Vec<JobId> = sched.running_jobs().iter().map(|j| j.id).collect();
+        assert!(running_ids.contains(&JobId(2)));
+    }
+
+    #[test]
+    fn interval_reprioritization_caches_priorities() {
+        let mut sched = SchedulerCore::new(
+            SiteId(0),
+            NodePool::new(1, 0), // no capacity: jobs stay pending
+            PriorityWeights::fairshare_only(),
+            FactorConfig::default(),
+            ReprioritizePolicy::Interval(60.0),
+        );
+        let mut src = source();
+        sched.submit(job(1, "sysa", 1, 0.0, 10.0), &mut src, 0.0);
+        sched.advance(&mut src, 0.0);
+        let p0 = sched.pending_jobs().next().unwrap().1;
+        // New usage for a arrives, but within the interval the cached
+        // priority persists.
+        src.report_usage(
+            UsageRecord {
+                job: JobId(9),
+                user: GridUser::new("a"),
+                site: SiteId(0),
+                cores: 1,
+                start_s: 0.0,
+                end_s: 500.0,
+            },
+            10.0,
+        );
+        sched.advance(&mut src, 30.0);
+        let p1 = sched.pending_jobs().next().unwrap().1;
+        assert_eq!(p0, p1, "stage-IV delay: stale priority inside interval");
+        sched.advance(&mut src, 60.0);
+        let p2 = sched.pending_jobs().next().unwrap().1;
+        assert!(p2 < p1, "re-prioritized after interval");
+    }
+
+    #[test]
+    fn unmapped_user_gets_neutral_priority() {
+        let mut sched = core(0);
+        let mut src = source();
+        sched.submit(job(1, "unknown-sys", 1, 0.0, 10.0), &mut src, 0.0);
+        sched.advance(&mut src, 0.0);
+        let (j, p) = sched.pending_jobs().next().unwrap();
+        assert!(j.grid_user.is_none());
+        assert_eq!(p, 0.5);
+    }
+
+    #[test]
+    fn mean_wait_accounting() {
+        let mut sched = core(1);
+        let mut src = source();
+        sched.submit(job(1, "sysa", 1, 0.0, 100.0), &mut src, 0.0);
+        sched.submit(job(2, "sysb", 1, 0.0, 10.0), &mut src, 0.0);
+        sched.advance(&mut src, 0.0); // job 1 (or 2) starts, other waits
+        sched.advance(&mut src, 100.0);
+        sched.advance(&mut src, 200.0);
+        assert_eq!(sched.stats.completed, 2);
+        assert!(sched.stats.mean_wait_s() > 0.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! SLURM-like scheduler front end (§III-A): "SLURM integration is done by
+//! implementing custom Aequus priority and job completion plugins for use in
+//! the SLURM plug-in system. The priority plug-in is based on the existing
+//! multifactor priority plugin, with the normal fairshare priority
+//! calculation code replaced with a call to libaequus."
+//!
+//! SLURM recalculates queue priorities on a periodic interval
+//! (`PriorityCalcPeriod`), which is stage IV of the §IV-A-2 delay chain.
+
+use crate::job::Job;
+use crate::multifactor::{FactorConfig, PriorityWeights};
+use crate::nodes::NodePool;
+use crate::plugin::FairshareSource;
+use crate::scheduler::{ReprioritizePolicy, SchedulerCore, SchedulerStats};
+use aequus_core::ids::SiteId;
+
+/// Configuration of a SLURM-like scheduler instance.
+#[derive(Debug, Clone)]
+pub struct SlurmConfig {
+    /// Priority factor weights (the multifactor plugin configuration).
+    pub weights: PriorityWeights,
+    /// Factor shaping parameters.
+    pub factors: FactorConfig,
+    /// Priority recalculation period, seconds (`PriorityCalcPeriod`).
+    pub priority_calc_period_s: f64,
+}
+
+impl Default for SlurmConfig {
+    fn default() -> Self {
+        Self {
+            weights: PriorityWeights::fairshare_only(),
+            factors: FactorConfig::default(),
+            priority_calc_period_s: 30.0,
+        }
+    }
+}
+
+/// A SLURM-like scheduler with the Aequus priority and completion plugins
+/// installed.
+#[derive(Debug)]
+pub struct SlurmScheduler {
+    core: SchedulerCore,
+}
+
+impl SlurmScheduler {
+    /// Create a SLURM-like scheduler over the given node pool.
+    pub fn new(site: SiteId, nodes: NodePool, config: SlurmConfig) -> Self {
+        Self {
+            core: SchedulerCore::new(
+                site,
+                nodes,
+                config.weights,
+                config.factors,
+                ReprioritizePolicy::Interval(config.priority_calc_period_s),
+            ),
+        }
+    }
+
+    /// Submit a job (sbatch). Identity resolution and the initial priority
+    /// come from the Aequus plugins via `source`.
+    pub fn submit(&mut self, job: Job, source: &mut dyn FairshareSource, now_s: f64) {
+        self.core.submit(job, source, now_s);
+    }
+
+    /// Advance to `now_s`: completions (job completion plugin fires per
+    /// finished job), periodic re-prioritization, dispatch with backfill.
+    pub fn advance(&mut self, source: &mut dyn FairshareSource, now_s: f64) {
+        self.core.advance(source, now_s);
+    }
+
+    /// Scheduler statistics.
+    pub fn stats(&self) -> &SchedulerStats {
+        &self.core.stats
+    }
+
+    /// The underlying core (queue/nodes inspection).
+    pub fn core(&self) -> &SchedulerCore {
+        &self.core
+    }
+
+    /// Mutable access to the core (used by the simulator for utilization
+    /// accounting).
+    pub fn core_mut(&mut self) -> &mut SchedulerCore {
+        &mut self.core
+    }
+
+    /// Earliest pending completion, for event scheduling.
+    pub fn next_completion(&self) -> Option<f64> {
+        self.core.next_completion()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plugin::LocalFairshare;
+    use aequus_core::fairshare::FairshareConfig;
+    use aequus_core::policy::flat_policy;
+    use aequus_core::projection::ProjectionKind;
+    use aequus_core::{GridUser, JobId, SystemUser};
+
+    #[test]
+    fn slurm_runs_workload_to_completion() {
+        let mut slurm = SlurmScheduler::new(
+            SiteId(0),
+            NodePool::new(4, 1),
+            SlurmConfig::default(),
+        );
+        let mut src = LocalFairshare::new(
+            flat_policy(&[("a", 1.0)]).unwrap(),
+            FairshareConfig::default(),
+            ProjectionKind::Percental,
+            60.0,
+        );
+        src.map_identity(SystemUser::new("s"), GridUser::new("a"));
+        for i in 0..10 {
+            slurm.submit(
+                Job::new(JobId(i), SystemUser::new("s"), 1, i as f64, 50.0),
+                &mut src,
+                i as f64,
+            );
+        }
+        let mut t = 0.0;
+        while slurm.stats().completed < 10 && t < 10_000.0 {
+            t += 10.0;
+            slurm.advance(&mut src, t);
+        }
+        assert_eq!(slurm.stats().completed, 10);
+        assert_eq!(slurm.stats().submitted, 10);
+    }
+}

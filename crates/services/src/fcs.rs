@@ -1,0 +1,204 @@
+//! Fairshare Calculation Service (FCS): "fetches usage trees from the UMS
+//! and policy trees from the PDS periodically, and pre-calculates fairshare
+//! trees with the current fairshare values for all users. This way, no
+//! real-time calculations need to take place when new jobs arrive" (§II-A).
+
+use crate::pds::Pds;
+use crate::ums::Ums;
+use aequus_core::fairshare::{FairshareConfig, FairshareTree};
+use aequus_core::projection::{Projection, ProjectionKind};
+use aequus_core::GridUser;
+use std::collections::BTreeMap;
+
+/// Per-site fairshare calculation service.
+pub struct Fcs {
+    config: FairshareConfig,
+    projection_kind: ProjectionKind,
+    projection: Box<dyn Projection>,
+    refresh_interval_s: f64,
+    tree: Option<FairshareTree>,
+    factors: BTreeMap<GridUser, f64>,
+    last_refresh_s: Option<f64>,
+    last_policy_version: u64,
+    refreshes: u64,
+}
+
+impl std::fmt::Debug for Fcs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fcs")
+            .field("projection", &self.projection_kind)
+            .field("refresh_interval_s", &self.refresh_interval_s)
+            .field("last_refresh_s", &self.last_refresh_s)
+            .field("refreshes", &self.refreshes)
+            .finish()
+    }
+}
+
+impl Fcs {
+    /// Create an FCS with the given algorithm configuration, projection
+    /// choice, and refresh (cache) interval.
+    pub fn new(
+        config: FairshareConfig,
+        projection: ProjectionKind,
+        refresh_interval_s: f64,
+    ) -> Self {
+        Self {
+            config,
+            projection_kind: projection,
+            projection: projection.build(),
+            refresh_interval_s,
+            tree: None,
+            factors: BTreeMap::new(),
+            last_refresh_s: None,
+            last_policy_version: 0,
+            refreshes: 0,
+        }
+    }
+
+    /// Switch the projection algorithm at run time ("the approach to use is
+    /// configurable and can be changed during run-time", §III-C). Takes
+    /// effect on the next refresh.
+    pub fn set_projection(&mut self, kind: ProjectionKind) {
+        self.projection_kind = kind;
+        self.projection = kind.build();
+        self.last_refresh_s = None; // force recompute
+    }
+
+    /// The active projection algorithm.
+    pub fn projection_kind(&self) -> ProjectionKind {
+        self.projection_kind
+    }
+
+    /// The algorithm configuration.
+    pub fn config(&self) -> &FairshareConfig {
+        &self.config
+    }
+
+    /// Whether the precomputed values are stale at `now_s` (interval elapsed
+    /// or the policy version moved).
+    pub fn is_stale(&self, pds: &Pds, now_s: f64) -> bool {
+        if pds.version() != self.last_policy_version {
+            return true;
+        }
+        match self.last_refresh_s {
+            None => true,
+            Some(t) => now_s - t >= self.refresh_interval_s,
+        }
+    }
+
+    /// Recompute the fairshare tree and projected factors if stale.
+    /// Returns whether a recomputation happened.
+    pub fn refresh(&mut self, pds: &Pds, ums: &Ums, now_s: f64) -> bool {
+        if !self.is_stale(pds, now_s) {
+            return false;
+        }
+        let tree = FairshareTree::compute(pds.policy(), ums.usage(), &self.config, now_s);
+        self.factors = self.projection.project(&tree);
+        self.tree = Some(tree);
+        self.last_refresh_s = Some(now_s);
+        self.last_policy_version = pds.version();
+        self.refreshes += 1;
+        true
+    }
+
+    /// Query the precomputed fairshare factor for a user — constant time,
+    /// no calculation ("pre-calculated values already exist and can be
+    /// assigned to the job based on the associated user identity").
+    pub fn query(&self, user: &GridUser) -> Option<f64> {
+        self.factors.get(user).copied()
+    }
+
+    /// The precomputed factors for all users.
+    pub fn factors(&self) -> &BTreeMap<GridUser, f64> {
+        &self.factors
+    }
+
+    /// The last computed fairshare tree (for metrics and vector extraction).
+    pub fn tree(&self) -> Option<&FairshareTree> {
+        self.tree.as_ref()
+    }
+
+    /// Number of precomputations performed.
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::participation::ParticipationMode;
+    use crate::uss::Uss;
+    use aequus_core::ids::{JobId, SiteId};
+    use aequus_core::policy::flat_policy;
+    use aequus_core::usage::UsageRecord;
+    use aequus_core::DecayPolicy;
+
+    fn setup() -> (Pds, Ums, Uss) {
+        let pds = Pds::new(flat_policy(&[("a", 0.5), ("b", 0.5)]).unwrap());
+        let mut uss = Uss::new(SiteId(0), ParticipationMode::Full, 60.0);
+        uss.ingest(&UsageRecord {
+            job: JobId(1),
+            user: GridUser::new("a"),
+            site: SiteId(0),
+            cores: 1,
+            start_s: 0.0,
+            end_s: 100.0,
+        });
+        let mut ums = Ums::new(0.0, DecayPolicy::None);
+        ums.refresh(&uss, 0.0);
+        (pds, ums, uss)
+    }
+
+    #[test]
+    fn precomputes_factors_for_all_users() {
+        let (pds, ums, _) = setup();
+        let mut fcs = Fcs::new(FairshareConfig::default(), ProjectionKind::Percental, 30.0);
+        assert!(fcs.query(&GridUser::new("a")).is_none(), "nothing before refresh");
+        assert!(fcs.refresh(&pds, &ums, 0.0));
+        let fa = fcs.query(&GridUser::new("a")).unwrap();
+        let fb = fcs.query(&GridUser::new("b")).unwrap();
+        assert!(fb > fa, "b has no usage → higher factor");
+    }
+
+    #[test]
+    fn query_is_cached_between_refreshes() {
+        let (pds, ums, _) = setup();
+        let mut fcs = Fcs::new(FairshareConfig::default(), ProjectionKind::Percental, 30.0);
+        fcs.refresh(&pds, &ums, 0.0);
+        assert!(!fcs.refresh(&pds, &ums, 10.0));
+        assert!(fcs.refresh(&pds, &ums, 31.0));
+        assert_eq!(fcs.refreshes(), 2);
+    }
+
+    #[test]
+    fn policy_change_invalidates_cache() {
+        let (mut pds, ums, _) = setup();
+        let mut fcs = Fcs::new(FairshareConfig::default(), ProjectionKind::Percental, 1e9);
+        fcs.refresh(&pds, &ums, 0.0);
+        pds.set_share(&aequus_core::EntityPath::parse("/a"), 0.9).unwrap();
+        assert!(fcs.refresh(&pds, &ums, 1.0), "version bump forces recompute");
+    }
+
+    #[test]
+    fn runtime_projection_switch() {
+        let (pds, ums, _) = setup();
+        let mut fcs = Fcs::new(FairshareConfig::default(), ProjectionKind::Percental, 1e9);
+        fcs.refresh(&pds, &ums, 0.0);
+        let percental_b = fcs.query(&GridUser::new("b")).unwrap();
+        fcs.set_projection(ProjectionKind::Dictionary);
+        fcs.refresh(&pds, &ums, 1.0);
+        let dict_b = fcs.query(&GridUser::new("b")).unwrap();
+        // Dictionary assigns rank-spaced values: 2 users → 2/3 and 1/3.
+        assert!((dict_b - 2.0 / 3.0).abs() < 1e-9, "{dict_b}");
+        assert_ne!(percental_b, dict_b);
+    }
+
+    #[test]
+    fn unknown_user_unprioritized() {
+        let (pds, ums, _) = setup();
+        let mut fcs = Fcs::new(FairshareConfig::default(), ProjectionKind::Percental, 30.0);
+        fcs.refresh(&pds, &ums, 0.0);
+        assert!(fcs.query(&GridUser::new("ghost")).is_none());
+    }
+}

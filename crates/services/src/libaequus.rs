@@ -1,0 +1,206 @@
+//! The `libaequus` unified system library (§III-A): the integration seam
+//! linked into local resource-management systems. It wraps the Aequus
+//! service clients behind three calls — fetch fairshare values, resolve
+//! identity mappings, store usage records — and caches resolved values "for
+//! a configurable amount of time, which considerably reduces the amount of
+//! network traffic and computations required when batches of jobs are
+//! submitted and processed at the same time".
+
+use crate::fcs::Fcs;
+use crate::irs::Irs;
+use aequus_core::{GridUser, SystemUser};
+use std::collections::BTreeMap;
+
+/// Cache statistics, for the throughput evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the client-side cache.
+    pub hits: u64,
+    /// Queries that had to call out to the service.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; 0 when no queries were made.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Client-side library state: TTL caches over the FCS and IRS services.
+#[derive(Debug)]
+pub struct LibAequus {
+    fairshare_ttl_s: f64,
+    identity_ttl_s: f64,
+    fairshare_cache: BTreeMap<GridUser, (f64, f64)>, // value, fetched_at
+    identity_cache: BTreeMap<SystemUser, (Option<GridUser>, f64)>,
+    /// Fairshare query cache statistics.
+    pub fairshare_stats: CacheStats,
+    /// Identity resolution cache statistics.
+    pub identity_stats: CacheStats,
+}
+
+impl LibAequus {
+    /// Create a library instance with the given cache TTLs (seconds).
+    pub fn new(fairshare_ttl_s: f64, identity_ttl_s: f64) -> Self {
+        Self {
+            fairshare_ttl_s,
+            identity_ttl_s,
+            fairshare_cache: BTreeMap::new(),
+            identity_cache: BTreeMap::new(),
+            fairshare_stats: CacheStats::default(),
+            identity_stats: CacheStats::default(),
+        }
+    }
+
+    /// Fetch the global fairshare factor for `user`, serving from the cache
+    /// when fresh. Users unknown to the policy get the neutral factor 0.5
+    /// (the balance point) so other priority factors still apply.
+    pub fn get_fairshare(&mut self, fcs: &Fcs, user: &GridUser, now_s: f64) -> f64 {
+        if let Some(&(value, at)) = self.fairshare_cache.get(user) {
+            if now_s - at < self.fairshare_ttl_s {
+                self.fairshare_stats.hits += 1;
+                return value;
+            }
+        }
+        self.fairshare_stats.misses += 1;
+        let value = fcs.query(user).unwrap_or(0.5);
+        self.fairshare_cache.insert(user.clone(), (value, now_s));
+        value
+    }
+
+    /// Resolve a system account to its grid identity via the IRS, with
+    /// client-side caching (negative results are cached too).
+    pub fn resolve_identity(
+        &mut self,
+        irs: &mut Irs,
+        system: &SystemUser,
+        now_s: f64,
+    ) -> Option<GridUser> {
+        if let Some((cached, at)) = self.identity_cache.get(system) {
+            if now_s - at < self.identity_ttl_s {
+                self.identity_stats.hits += 1;
+                return cached.clone();
+            }
+        }
+        self.identity_stats.misses += 1;
+        let resolved = irs.resolve(system);
+        self.identity_cache
+            .insert(system.clone(), (resolved.clone(), now_s));
+        resolved
+    }
+
+    /// Drop all cached entries (e.g. on reconfiguration).
+    pub fn flush(&mut self) {
+        self.fairshare_cache.clear();
+        self.identity_cache.clear();
+    }
+
+    /// Number of live fairshare cache entries.
+    pub fn fairshare_cache_len(&self) -> usize {
+        self.fairshare_cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::participation::ParticipationMode;
+    use crate::pds::Pds;
+    use crate::ums::Ums;
+    use crate::uss::Uss;
+    use aequus_core::fairshare::FairshareConfig;
+    use aequus_core::ids::{JobId, SiteId};
+    use aequus_core::policy::flat_policy;
+    use aequus_core::projection::ProjectionKind;
+    use aequus_core::usage::UsageRecord;
+    use aequus_core::DecayPolicy;
+
+    fn fcs_fixture() -> Fcs {
+        let pds = Pds::new(flat_policy(&[("a", 0.5), ("b", 0.5)]).unwrap());
+        let mut uss = Uss::new(SiteId(0), ParticipationMode::Full, 60.0);
+        uss.ingest(&UsageRecord {
+            job: JobId(1),
+            user: GridUser::new("a"),
+            site: SiteId(0),
+            cores: 1,
+            start_s: 0.0,
+            end_s: 50.0,
+        });
+        let mut ums = Ums::new(0.0, DecayPolicy::None);
+        ums.refresh(&uss, 0.0);
+        let mut fcs = Fcs::new(FairshareConfig::default(), ProjectionKind::Percental, 30.0);
+        fcs.refresh(&pds, &ums, 0.0);
+        fcs
+    }
+
+    #[test]
+    fn cache_hit_within_ttl() {
+        let fcs = fcs_fixture();
+        let mut lib = LibAequus::new(10.0, 60.0);
+        let v1 = lib.get_fairshare(&fcs, &GridUser::new("b"), 0.0);
+        let v2 = lib.get_fairshare(&fcs, &GridUser::new("b"), 5.0);
+        assert_eq!(v1, v2);
+        assert_eq!(lib.fairshare_stats.hits, 1);
+        assert_eq!(lib.fairshare_stats.misses, 1);
+        // TTL expiry forces a re-fetch.
+        lib.get_fairshare(&fcs, &GridUser::new("b"), 10.0);
+        assert_eq!(lib.fairshare_stats.misses, 2);
+    }
+
+    #[test]
+    fn batch_submission_mostly_hits_cache() {
+        // The paper's rationale: batches of jobs from the same user resolve
+        // against one cached value.
+        let fcs = fcs_fixture();
+        let mut lib = LibAequus::new(15.0, 60.0);
+        for i in 0..100 {
+            lib.get_fairshare(&fcs, &GridUser::new("a"), i as f64 * 0.1);
+        }
+        assert_eq!(lib.fairshare_stats.misses, 1);
+        assert_eq!(lib.fairshare_stats.hits, 99);
+        assert!(lib.fairshare_stats.hit_ratio() > 0.98);
+    }
+
+    #[test]
+    fn unknown_user_gets_neutral_factor() {
+        let fcs = fcs_fixture();
+        let mut lib = LibAequus::new(10.0, 60.0);
+        assert_eq!(lib.get_fairshare(&fcs, &GridUser::new("ghost"), 0.0), 0.5);
+    }
+
+    #[test]
+    fn identity_cached_including_negatives() {
+        let mut irs = Irs::new();
+        irs.store_mapping(SystemUser::new("grid1"), GridUser::new("CN=a"));
+        let mut lib = LibAequus::new(10.0, 100.0);
+        assert!(lib
+            .resolve_identity(&mut irs, &SystemUser::new("grid1"), 0.0)
+            .is_some());
+        assert!(lib
+            .resolve_identity(&mut irs, &SystemUser::new("nope"), 0.0)
+            .is_none());
+        // Both answers cached: IRS sees exactly 2 lookups total.
+        lib.resolve_identity(&mut irs, &SystemUser::new("grid1"), 1.0);
+        lib.resolve_identity(&mut irs, &SystemUser::new("nope"), 1.0);
+        assert_eq!(irs.lookups(), 2);
+        assert_eq!(lib.identity_stats.hits, 2);
+    }
+
+    #[test]
+    fn flush_clears_caches() {
+        let fcs = fcs_fixture();
+        let mut lib = LibAequus::new(1e9, 1e9);
+        lib.get_fairshare(&fcs, &GridUser::new("a"), 0.0);
+        assert_eq!(lib.fairshare_cache_len(), 1);
+        lib.flush();
+        assert_eq!(lib.fairshare_cache_len(), 0);
+        lib.get_fairshare(&fcs, &GridUser::new("a"), 1.0);
+        assert_eq!(lib.fairshare_stats.misses, 2);
+    }
+}

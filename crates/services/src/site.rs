@@ -1,0 +1,247 @@
+//! A full per-site Aequus installation: one instance of each service plus a
+//! `libaequus` client, wired together as in Figure 2 of the paper. "Each of
+//! the simulated clusters hosts its own Aequus installation, and they
+//! communicate only by exchanging data through the USS services."
+
+use crate::fcs::Fcs;
+use crate::irs::Irs;
+use crate::libaequus::LibAequus;
+use crate::participation::ParticipationMode;
+use crate::pds::Pds;
+use crate::timings::ServiceTimings;
+use crate::ums::Ums;
+use crate::uss::Uss;
+use aequus_core::fairshare::{FairshareConfig, FairshareTree};
+use aequus_core::policy::PolicyTree;
+use aequus_core::projection::ProjectionKind;
+use aequus_core::usage::{UsageRecord, UsageSummary};
+use aequus_core::{GridUser, SiteId, SystemUser};
+use std::collections::VecDeque;
+
+/// One site's complete Aequus stack.
+#[derive(Debug)]
+pub struct AequusSite {
+    id: SiteId,
+    timings: ServiceTimings,
+    /// Policy Distribution Service.
+    pub pds: Pds,
+    /// Usage Statistics Service.
+    pub uss: Uss,
+    /// Usage Monitoring Service.
+    pub ums: Ums,
+    /// Fairshare Calculation Service.
+    pub fcs: Fcs,
+    /// Identity Resolution Service.
+    pub irs: Irs,
+    /// The client library the local RMS links against.
+    pub lib: LibAequus,
+    /// Usage reports in flight from the RMS to the USS (reporting delay).
+    pending_reports: VecDeque<(f64, UsageRecord)>,
+    /// Summaries produced but not yet delivered to peers.
+    outbox: Vec<UsageSummary>,
+    last_publish_s: f64,
+}
+
+impl AequusSite {
+    /// Build a site installation.
+    pub fn new(
+        id: SiteId,
+        policy: PolicyTree,
+        config: FairshareConfig,
+        projection: ProjectionKind,
+        timings: ServiceTimings,
+        mode: ParticipationMode,
+        usage_slot_s: f64,
+    ) -> Self {
+        let decay = config.decay;
+        Self {
+            id,
+            pds: Pds::new(policy),
+            uss: Uss::new(id, mode, usage_slot_s),
+            ums: Ums::new(timings.ums_refresh_interval_s, decay),
+            fcs: Fcs::new(config, projection, timings.fcs_refresh_interval_s),
+            irs: Irs::new(),
+            lib: LibAequus::new(timings.lib_cache_ttl_s, timings.lib_identity_ttl_s),
+            pending_reports: VecDeque::new(),
+            outbox: Vec::new(),
+            last_publish_s: f64::NEG_INFINITY,
+            timings,
+        }
+    }
+
+    /// The site identity.
+    pub fn id(&self) -> SiteId {
+        self.id
+    }
+
+    /// The configured delay chain.
+    pub fn timings(&self) -> &ServiceTimings {
+        &self.timings
+    }
+
+    /// RMS-facing: query the fairshare factor of a grid user (libaequus
+    /// cache → FCS precomputed values).
+    pub fn fairshare(&mut self, user: &GridUser, now_s: f64) -> f64 {
+        self.lib.get_fairshare(&self.fcs, user, now_s)
+    }
+
+    /// RMS-facing: report a completed job's usage. The record reaches the
+    /// USS only after the configured reporting delay (stage I of §IV-A-2).
+    pub fn report_completion(&mut self, record: UsageRecord, now_s: f64) {
+        self.pending_reports
+            .push_back((now_s + self.timings.report_delay_s, record));
+    }
+
+    /// RMS-facing: resolve a system account to its grid identity.
+    pub fn resolve_identity(&mut self, system: &SystemUser, now_s: f64) -> Option<GridUser> {
+        self.lib.resolve_identity(&mut self.irs, system, now_s)
+    }
+
+    /// Deliver a usage summary from a peer site.
+    pub fn receive_summary(&mut self, summary: &UsageSummary) {
+        self.uss.receive(summary);
+    }
+
+    /// Drain summaries produced since the last call (the simulator delivers
+    /// these to peers with network latency).
+    pub fn take_outbox(&mut self) -> Vec<UsageSummary> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Advance the site to `now_s`: deliver due usage reports, publish
+    /// summaries on the publication interval, and refresh the UMS/FCS caches
+    /// on their intervals. Idempotent within a timestep.
+    pub fn tick(&mut self, now_s: f64) {
+        // Stage I: reporting delay.
+        while let Some((due, _)) = self.pending_reports.front() {
+            if *due > now_s {
+                break;
+            }
+            let (_, rec) = self.pending_reports.pop_front().expect("front checked");
+            self.uss.ingest(&rec);
+        }
+        // Stage II-a: USS publication.
+        if now_s - self.last_publish_s >= self.timings.uss_publish_interval_s {
+            if let Some(summary) = self.uss.publish(now_s) {
+                self.outbox.push(summary);
+            }
+            self.last_publish_s = now_s;
+        }
+        // Stage II-b and II-c: UMS and FCS cache refreshes.
+        self.ums.refresh(&self.uss, now_s);
+        self.fcs.refresh(&self.pds, &self.ums, now_s);
+    }
+
+    /// The current fairshare tree, if computed (metrics access).
+    pub fn fairshare_tree(&self) -> Option<&FairshareTree> {
+        self.fcs.tree()
+    }
+
+    /// Usage reports still in the delay pipeline.
+    pub fn pending_report_count(&self) -> usize {
+        self.pending_reports.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aequus_core::ids::JobId;
+    use aequus_core::policy::flat_policy;
+
+    fn site(id: u32, mode: ParticipationMode) -> AequusSite {
+        AequusSite::new(
+            SiteId(id),
+            flat_policy(&[("a", 0.5), ("b", 0.5)]).unwrap(),
+            FairshareConfig::default(),
+            ProjectionKind::Percental,
+            ServiceTimings {
+                report_delay_s: 5.0,
+                uss_publish_interval_s: 10.0,
+                ums_refresh_interval_s: 10.0,
+                fcs_refresh_interval_s: 10.0,
+                lib_cache_ttl_s: 5.0,
+                lib_identity_ttl_s: 60.0,
+                exchange_latency_s: 1.0,
+            },
+            mode,
+            60.0,
+        )
+    }
+
+    fn record(site_id: u32, user: &str, start: f64, end: f64) -> UsageRecord {
+        UsageRecord {
+            job: JobId(1),
+            user: GridUser::new(user),
+            site: SiteId(site_id),
+            cores: 1,
+            start_s: start,
+            end_s: end,
+        }
+    }
+
+    #[test]
+    fn reporting_delay_respected() {
+        let mut s = site(0, ParticipationMode::Full);
+        s.report_completion(record(0, "a", 0.0, 100.0), 100.0);
+        s.tick(102.0);
+        assert_eq!(s.pending_report_count(), 1, "still in flight");
+        assert_eq!(s.uss.records_ingested(), 0);
+        s.tick(105.0);
+        assert_eq!(s.pending_report_count(), 0);
+        assert_eq!(s.uss.records_ingested(), 1);
+    }
+
+    #[test]
+    fn full_pipeline_updates_fairshare() {
+        let mut s = site(0, ParticipationMode::Full);
+        s.tick(0.0);
+        let before = s.fairshare(&GridUser::new("a"), 0.0);
+        // a consumes heavily; after the delay chain its factor must drop.
+        s.report_completion(record(0, "a", 0.0, 500.0), 500.0);
+        for t in [505.0, 520.0, 540.0, 560.0] {
+            s.tick(t);
+        }
+        let after = s.fairshare(&GridUser::new("a"), 560.0);
+        assert!(after < before, "{after} !< {before}");
+    }
+
+    #[test]
+    fn cross_site_exchange_converges_views() {
+        let mut s0 = site(0, ParticipationMode::Full);
+        let mut s1 = site(1, ParticipationMode::Full);
+        s0.report_completion(record(0, "a", 0.0, 300.0), 300.0);
+        s0.tick(310.0);
+        s0.tick(400.0); // slot closed, publish
+        let out = s0.take_outbox();
+        assert!(!out.is_empty());
+        for summary in &out {
+            s1.receive_summary(summary);
+        }
+        s1.tick(420.0);
+        // Site 1 never ran the job but sees the usage.
+        let fa = s1.fairshare(&GridUser::new("a"), 430.0);
+        let fb = s1.fairshare(&GridUser::new("b"), 430.0);
+        assert!(fa < fb, "a's remote usage lowers its priority: {fa} vs {fb}");
+    }
+
+    #[test]
+    fn identity_resolution_through_site() {
+        let mut s = site(0, ParticipationMode::Full);
+        s.irs
+            .store_mapping(SystemUser::new("grid7"), GridUser::new("a"));
+        assert_eq!(
+            s.resolve_identity(&SystemUser::new("grid7"), 0.0),
+            Some(GridUser::new("a"))
+        );
+    }
+
+    #[test]
+    fn disjunct_site_produces_nothing() {
+        let mut s = site(0, ParticipationMode::Disjunct);
+        s.report_completion(record(0, "a", 0.0, 300.0), 300.0);
+        s.tick(310.0);
+        s.tick(500.0);
+        assert!(s.take_outbox().is_empty());
+    }
+}

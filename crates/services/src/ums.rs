@@ -1,0 +1,190 @@
+//! Usage Monitoring Service (UMS): "gathers usage histograms from one or
+//! more USSs and pre-computes usage trees based on the site-specific
+//! policies" (§II-A). The UMS refresh interval is one of the cache times in
+//! the §IV-A-2 delay chain.
+
+use crate::uss::Uss;
+use aequus_core::{DecayPolicy, GridUser};
+use std::collections::BTreeMap;
+
+/// Per-site usage monitoring service with a periodic refresh cache.
+#[derive(Debug, Clone)]
+pub struct Ums {
+    refresh_interval_s: f64,
+    decay: DecayPolicy,
+    cached: BTreeMap<GridUser, f64>,
+    last_refresh_s: Option<f64>,
+    refreshes: u64,
+}
+
+impl Ums {
+    /// Create a UMS that refreshes its usage tree every `refresh_interval_s`
+    /// and ages usage with `decay`.
+    pub fn new(refresh_interval_s: f64, decay: DecayPolicy) -> Self {
+        Self {
+            refresh_interval_s,
+            decay,
+            cached: BTreeMap::new(),
+            last_refresh_s: None,
+            refreshes: 0,
+        }
+    }
+
+    /// Whether the cache is stale at `now_s`.
+    pub fn is_stale(&self, now_s: f64) -> bool {
+        match self.last_refresh_s {
+            None => true,
+            Some(t) => now_s - t >= self.refresh_interval_s,
+        }
+    }
+
+    /// Refresh the pre-computed per-user usage from the USS if the cache is
+    /// stale. Returns whether a refresh happened.
+    pub fn refresh(&mut self, uss: &Uss, now_s: f64) -> bool {
+        self.refresh_many(&[uss], now_s)
+    }
+
+    /// Refresh from several USS instances at once — "the UMS of each site
+    /// gathers usage histograms from **one or more USSs**" (§II-A), e.g.
+    /// a site fronting multiple clusters, each with its own statistics
+    /// service. Per-user usage is summed across sources.
+    pub fn refresh_many(&mut self, usses: &[&Uss], now_s: f64) -> bool {
+        if !self.is_stale(now_s) {
+            return false;
+        }
+        let mut combined: BTreeMap<GridUser, f64> = BTreeMap::new();
+        for uss in usses {
+            for (user, value) in uss.decayed_usage(now_s, self.decay) {
+                *combined.entry(user).or_insert(0.0) += value;
+            }
+        }
+        self.cached = combined;
+        self.last_refresh_s = Some(now_s);
+        self.refreshes += 1;
+        true
+    }
+
+    /// Force an immediate refresh regardless of staleness.
+    pub fn force_refresh(&mut self, uss: &Uss, now_s: f64) {
+        self.last_refresh_s = None;
+        self.refresh(uss, now_s);
+    }
+
+    /// Force an immediate multi-source refresh.
+    pub fn force_refresh_many(&mut self, usses: &[&Uss], now_s: f64) {
+        self.last_refresh_s = None;
+        self.refresh_many(usses, now_s);
+    }
+
+    /// The pre-computed per-user usage totals (decayed as of last refresh).
+    pub fn usage(&self) -> &BTreeMap<GridUser, f64> {
+        &self.cached
+    }
+
+    /// When the cache was last rebuilt.
+    pub fn last_refresh(&self) -> Option<f64> {
+        self.last_refresh_s
+    }
+
+    /// Number of rebuilds performed.
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::participation::ParticipationMode;
+    use aequus_core::ids::{JobId, SiteId};
+    use aequus_core::usage::UsageRecord;
+
+    fn uss_with_usage() -> Uss {
+        let mut uss = Uss::new(SiteId(0), ParticipationMode::Full, 60.0);
+        uss.ingest(&UsageRecord {
+            job: JobId(1),
+            user: GridUser::new("a"),
+            site: SiteId(0),
+            cores: 2,
+            start_s: 0.0,
+            end_s: 30.0,
+        });
+        uss
+    }
+
+    #[test]
+    fn caches_until_interval_elapses() {
+        let uss = uss_with_usage();
+        let mut ums = Ums::new(30.0, DecayPolicy::None);
+        assert!(ums.refresh(&uss, 0.0));
+        assert!(!ums.refresh(&uss, 10.0), "within cache time");
+        assert!(!ums.refresh(&uss, 29.9));
+        assert!(ums.refresh(&uss, 30.0), "cache expired");
+        assert_eq!(ums.refreshes(), 2);
+    }
+
+    #[test]
+    fn usage_visible_after_refresh() {
+        let uss = uss_with_usage();
+        let mut ums = Ums::new(30.0, DecayPolicy::None);
+        assert!(ums.usage().is_empty());
+        ums.refresh(&uss, 0.0);
+        assert!((ums.usage()[&GridUser::new("a")] - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stale_cache_serves_old_data() {
+        // The cache-time delay of §IV-A-2: new usage is invisible until the
+        // next refresh tick.
+        let mut uss = uss_with_usage();
+        let mut ums = Ums::new(100.0, DecayPolicy::None);
+        ums.refresh(&uss, 0.0);
+        uss.ingest(&UsageRecord {
+            job: JobId(2),
+            user: GridUser::new("a"),
+            site: SiteId(0),
+            cores: 1,
+            start_s: 10.0,
+            end_s: 20.0,
+        });
+        ums.refresh(&uss, 50.0); // no-op: cache still valid
+        assert!((ums.usage()[&GridUser::new("a")] - 60.0).abs() < 1e-9);
+        ums.refresh(&uss, 100.0);
+        assert!((ums.usage()[&GridUser::new("a")] - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_uss_aggregation() {
+        // A site with two cluster-level USSs: the UMS sums per-user usage.
+        let mut uss1 = Uss::new(SiteId(0), ParticipationMode::Full, 60.0);
+        let mut uss2 = Uss::new(SiteId(0), ParticipationMode::Full, 60.0);
+        uss1.ingest(&UsageRecord {
+            job: JobId(1),
+            user: GridUser::new("a"),
+            site: SiteId(0),
+            cores: 1,
+            start_s: 0.0,
+            end_s: 40.0,
+        });
+        uss2.ingest(&UsageRecord {
+            job: JobId(2),
+            user: GridUser::new("a"),
+            site: SiteId(0),
+            cores: 2,
+            start_s: 0.0,
+            end_s: 10.0,
+        });
+        let mut ums = Ums::new(30.0, DecayPolicy::None);
+        assert!(ums.refresh_many(&[&uss1, &uss2], 0.0));
+        assert!((ums.usage()[&GridUser::new("a")] - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn force_refresh_bypasses_cache() {
+        let uss = uss_with_usage();
+        let mut ums = Ums::new(1e9, DecayPolicy::None);
+        ums.refresh(&uss, 0.0);
+        ums.force_refresh(&uss, 1.0);
+        assert_eq!(ums.refreshes(), 2);
+    }
+}

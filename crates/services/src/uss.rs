@@ -1,0 +1,248 @@
+//! Usage Statistics Service (USS): "gathers per-job usage results of the
+//! local site, and produces per-user histograms for configurable time
+//! intervals" (§II-A). USS instances of different sites exchange compact
+//! per-user summaries — this is the *only* cross-site communication channel
+//! in the system ("they communicate only by exchanging data through the USS
+//! services", §IV-A).
+
+use crate::participation::ParticipationMode;
+use aequus_core::ids::SiteId;
+use aequus_core::usage::{UsageHistogram, UsageRecord, UsageSummary};
+use aequus_core::GridUser;
+
+/// Per-site usage statistics service.
+#[derive(Debug, Clone)]
+pub struct Uss {
+    site: SiteId,
+    mode: ParticipationMode,
+    /// Usage executed on this site.
+    local: UsageHistogram,
+    /// Usage merged in from other sites' summaries.
+    remote: UsageHistogram,
+    /// Charge already published per (user, slot) — publications send the
+    /// *delta* against this mirror, so charge landing in old slots (a long
+    /// job completing spreads usage back over its whole runtime) is still
+    /// exchanged exactly once.
+    published: std::collections::BTreeMap<GridUser, std::collections::BTreeMap<u64, f64>>,
+    /// Count of records ingested (observability).
+    records_ingested: u64,
+    /// Count of summaries received from peers.
+    summaries_received: u64,
+}
+
+impl Uss {
+    /// Create a USS with the given histogram slot duration.
+    pub fn new(site: SiteId, mode: ParticipationMode, slot_s: f64) -> Self {
+        Self {
+            site,
+            mode,
+            local: UsageHistogram::new(slot_s),
+            remote: UsageHistogram::new(slot_s),
+            published: Default::default(),
+            records_ingested: 0,
+            summaries_received: 0,
+        }
+    }
+
+    /// The owning site.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Participation mode in the global exchange.
+    pub fn mode(&self) -> ParticipationMode {
+        self.mode
+    }
+
+    /// Ingest a locally completed job's usage record.
+    pub fn ingest(&mut self, rec: &UsageRecord) {
+        debug_assert_eq!(rec.site, self.site, "record routed to wrong site");
+        self.local.record(rec);
+        self.records_ingested += 1;
+    }
+
+    /// Produce the next incremental summary for exchange: the *delta*
+    /// between the local histogram and what was already published, over all
+    /// closed slots (the slot containing `now_s` stays open and is held back
+    /// until it closes). Returns `None` when this site does not contribute
+    /// usage data (read-only participation) or nothing new exists.
+    pub fn publish(&mut self, now_s: f64) -> Option<UsageSummary> {
+        if !self.mode.contributes() {
+            return None;
+        }
+        let current_slot = (now_s / self.local.slot_duration()).floor().max(0.0) as u64;
+        let full = self.local.summary(self.site, 0);
+        let mut per_user: std::collections::BTreeMap<
+            GridUser,
+            std::collections::BTreeMap<u64, f64>,
+        > = Default::default();
+        for (user, slots) in &full.per_user {
+            let sent = self.published.entry(user.clone()).or_default();
+            let mut deltas = std::collections::BTreeMap::new();
+            for (&slot, &value) in slots {
+                if slot >= current_slot {
+                    continue; // open slot: held back until closed
+                }
+                let already = sent.get(&slot).copied().unwrap_or(0.0);
+                let delta = value - already;
+                if delta > 1e-12 {
+                    deltas.insert(slot, delta);
+                    sent.insert(slot, value);
+                }
+            }
+            if !deltas.is_empty() {
+                per_user.insert(user.clone(), deltas);
+            }
+        }
+        if per_user.is_empty() {
+            return None;
+        }
+        Some(UsageSummary {
+            site: self.site,
+            slot_s: self.local.slot_duration(),
+            per_user,
+        })
+    }
+
+    /// Merge a summary received from a peer site. Ignored when this site does
+    /// not read global data (contribute-only / local-only participation).
+    pub fn receive(&mut self, summary: &UsageSummary) {
+        if !self.mode.reads_global() {
+            return;
+        }
+        if summary.site == self.site {
+            return; // never double-count our own data
+        }
+        self.remote.merge_summary(summary);
+        self.summaries_received += 1;
+    }
+
+    /// Per-user decayed usage as the UMS consumes it: local plus (when the
+    /// mode reads global data) remote.
+    pub fn decayed_usage(
+        &self,
+        now_s: f64,
+        decay: aequus_core::DecayPolicy,
+    ) -> std::collections::BTreeMap<GridUser, f64> {
+        let mut usage = self.local.decayed_all(now_s, decay);
+        if self.mode.reads_global() {
+            for (user, value) in self.remote.decayed_all(now_s, decay) {
+                *usage.entry(user).or_insert(0.0) += value;
+            }
+        }
+        usage
+    }
+
+    /// Total local usage recorded (conservation checks / metrics).
+    pub fn local_total(&self) -> f64 {
+        self.local.total_recorded()
+    }
+
+    /// Total remote usage merged in.
+    pub fn remote_total(&self) -> f64 {
+        self.remote.total_recorded()
+    }
+
+    /// Records ingested so far.
+    pub fn records_ingested(&self) -> u64 {
+        self.records_ingested
+    }
+
+    /// Summaries received so far.
+    pub fn summaries_received(&self) -> u64 {
+        self.summaries_received
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aequus_core::ids::JobId;
+    use aequus_core::DecayPolicy;
+
+    fn rec(site: u32, user: &str, start: f64, end: f64) -> UsageRecord {
+        UsageRecord {
+            job: JobId(0),
+            user: GridUser::new(user),
+            site: SiteId(site),
+            cores: 1,
+            start_s: start,
+            end_s: end,
+        }
+    }
+
+    #[test]
+    fn publish_excludes_open_slot() {
+        let mut uss = Uss::new(SiteId(0), ParticipationMode::Full, 100.0);
+        uss.ingest(&rec(0, "a", 0.0, 50.0)); // slot 0
+        uss.ingest(&rec(0, "a", 110.0, 120.0)); // slot 1 (open at t=150)
+        let s = uss.publish(150.0).unwrap();
+        assert!((s.total() - 50.0).abs() < 1e-9, "only slot 0 published");
+        // Slot 1 closes once now_s reaches slot 2.
+        let s2 = uss.publish(250.0).unwrap();
+        assert!((s2.total() - 10.0).abs() < 1e-9);
+        // Nothing further.
+        assert!(uss.publish(300.0).is_none());
+    }
+
+    #[test]
+    fn no_double_publish() {
+        let mut uss = Uss::new(SiteId(0), ParticipationMode::Full, 100.0);
+        uss.ingest(&rec(0, "a", 0.0, 80.0));
+        let s1 = uss.publish(200.0).unwrap();
+        assert!((s1.total() - 80.0).abs() < 1e-9);
+        assert!(uss.publish(200.0).is_none(), "cursor advanced");
+    }
+
+    #[test]
+    fn read_only_site_never_publishes() {
+        let mut uss = Uss::new(SiteId(0), ParticipationMode::ReadOnly, 100.0);
+        uss.ingest(&rec(0, "a", 0.0, 80.0));
+        assert!(uss.publish(500.0).is_none());
+        // But it merges incoming data.
+        let mut peer = Uss::new(SiteId(1), ParticipationMode::Full, 100.0);
+        peer.ingest(&rec(1, "b", 0.0, 40.0));
+        let s = peer.publish(500.0).unwrap();
+        uss.receive(&s);
+        assert_eq!(uss.summaries_received(), 1);
+        let usage = uss.decayed_usage(500.0, DecayPolicy::None);
+        assert!((usage[&GridUser::new("b")] - 40.0).abs() < 1e-9);
+        assert!((usage[&GridUser::new("a")] - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_only_site_ignores_incoming() {
+        let mut uss = Uss::new(SiteId(0), ParticipationMode::LocalOnly, 100.0);
+        uss.ingest(&rec(0, "a", 0.0, 80.0));
+        let mut peer = Uss::new(SiteId(1), ParticipationMode::Full, 100.0);
+        peer.ingest(&rec(1, "b", 0.0, 40.0));
+        let s = peer.publish(500.0).unwrap();
+        uss.receive(&s);
+        let usage = uss.decayed_usage(500.0, DecayPolicy::None);
+        assert!(!usage.contains_key(&GridUser::new("b")), "global data ignored");
+        // But it still contributes its own data outward.
+        assert!(uss.publish(500.0).is_some());
+    }
+
+    #[test]
+    fn own_summaries_never_double_counted() {
+        let mut uss = Uss::new(SiteId(0), ParticipationMode::Full, 100.0);
+        uss.ingest(&rec(0, "a", 0.0, 80.0));
+        let s = uss.publish(500.0).unwrap();
+        uss.receive(&s); // echoed back (e.g. broadcast bus)
+        let usage = uss.decayed_usage(500.0, DecayPolicy::None);
+        assert!((usage[&GridUser::new("a")] - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decay_applied_to_both_sources() {
+        let mut uss = Uss::new(SiteId(0), ParticipationMode::Full, 10.0);
+        uss.ingest(&rec(0, "a", 0.0, 10.0));
+        let mut peer = Uss::new(SiteId(1), ParticipationMode::Full, 10.0);
+        peer.ingest(&rec(1, "a", 0.0, 10.0));
+        uss.receive(&peer.publish(100.0).unwrap());
+        let fresh = uss.decayed_usage(10.0, DecayPolicy::Exponential { half_life_s: 20.0 });
+        let stale = uss.decayed_usage(1000.0, DecayPolicy::Exponential { half_life_s: 20.0 });
+        assert!(fresh[&GridUser::new("a")] > stale[&GridUser::new("a")]);
+    }
+}

@@ -1,0 +1,291 @@
+//! One simulated cluster: a local RMS (SLURM- or Maui-like) wired to its own
+//! Aequus installation, exactly the per-site stack of Figure 2.
+
+use crate::scenario::{ClusterSpec, GridScenario, RmsKind};
+use aequus_core::usage::UsageSummary;
+use aequus_core::{JobId, SiteId, SystemUser};
+use aequus_rms::{
+    FactorConfig, FairshareSource, Job, MauiConfig, MauiScheduler, NodePool, SchedulerStats,
+    SlurmConfig, SlurmScheduler,
+};
+use aequus_services::AequusSite;
+use aequus_workload::TraceJob;
+
+/// The RMS front end of a cluster.
+#[derive(Debug)]
+pub enum Rms {
+    /// SLURM-like scheduler.
+    Slurm(SlurmScheduler),
+    /// Maui-like scheduler.
+    Maui(MauiScheduler),
+}
+
+impl Rms {
+    fn submit(&mut self, job: Job, source: &mut dyn FairshareSource, now_s: f64) {
+        match self {
+            Rms::Slurm(s) => s.submit(job, source, now_s),
+            Rms::Maui(m) => m.submit(job, source, now_s),
+        }
+    }
+
+    fn advance(&mut self, source: &mut dyn FairshareSource, now_s: f64) {
+        match self {
+            Rms::Slurm(s) => s.advance(source, now_s),
+            Rms::Maui(m) => m.advance(source, now_s),
+        }
+    }
+
+    /// Scheduler statistics.
+    pub fn stats(&self) -> &SchedulerStats {
+        match self {
+            Rms::Slurm(s) => s.stats(),
+            Rms::Maui(m) => m.stats(),
+        }
+    }
+
+    /// Pending queue length.
+    pub fn pending(&self) -> usize {
+        match self {
+            Rms::Slurm(s) => s.core().pending_count(),
+            Rms::Maui(m) => m.core().pending_count(),
+        }
+    }
+
+    /// Running job count.
+    pub fn running(&self) -> usize {
+        match self {
+            Rms::Slurm(s) => s.core().running_count(),
+            Rms::Maui(m) => m.core().running_count(),
+        }
+    }
+
+    /// Mean utilization over `[0, now_s]`.
+    pub fn utilization(&mut self, now_s: f64) -> f64 {
+        match self {
+            Rms::Slurm(s) => s.core_mut().nodes.utilization(now_s),
+            Rms::Maui(m) => m.core_mut().nodes.utilization(now_s),
+        }
+    }
+}
+
+/// A cluster of the simulated grid: RMS + Aequus site.
+#[derive(Debug)]
+pub struct SimCluster {
+    /// The local resource manager.
+    pub rms: Rms,
+    /// The local Aequus installation.
+    pub site: AequusSite,
+    next_job: u64,
+}
+
+impl SimCluster {
+    /// Build a cluster from its spec within a scenario. Identity mappings
+    /// for every policy user are installed in the site's IRS (the unified
+    /// name-resolution service of the test bed).
+    pub fn new(index: usize, spec: &ClusterSpec, scenario: &GridScenario) -> Self {
+        let policy = spec
+            .policy_override
+            .clone()
+            .unwrap_or_else(|| scenario.policy.clone());
+        let mut site = AequusSite::new(
+            SiteId(index as u32),
+            policy.clone(),
+            scenario.fairshare,
+            scenario.projection,
+            scenario.timings,
+            spec.participation,
+            scenario.usage_slot_s,
+        );
+        // The test bed's unified name-resolution endpoint: system user
+        // "sys-<grid user>" maps back to the grid identity. Register both
+        // the grid-wide and any site-local identities.
+        for (_, user) in policy.users().into_iter().chain(scenario.policy.users()) {
+            site.irs.store_mapping(
+                SystemUser::new(format!("sys-{}", user.as_str())),
+                user,
+            );
+        }
+        let nodes = NodePool::new(spec.nodes, spec.cores_per_node);
+        let site_id = SiteId(index as u32);
+        let rms = match spec.rms {
+            RmsKind::Slurm => Rms::Slurm(SlurmScheduler::new(
+                site_id,
+                nodes,
+                SlurmConfig {
+                    weights: scenario.weights,
+                    factors: FactorConfig::default(),
+                    priority_calc_period_s: scenario.tick_interval_s.max(5.0),
+                },
+            )),
+            RmsKind::Maui => Rms::Maui(MauiScheduler::new(
+                site_id,
+                nodes,
+                MauiConfig {
+                    weights: scenario.weights,
+                    factors: FactorConfig::default(),
+                },
+            )),
+        };
+        Self {
+            rms,
+            site,
+            next_job: (index as u64) << 40, // disjoint id spaces per cluster
+        }
+    }
+
+    /// Submit a trace job to this cluster at `now_s`.
+    pub fn submit(&mut self, job: &TraceJob, now_s: f64) {
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+        let rms_job = Job::new(
+            id,
+            SystemUser::new(format!("sys-{}", job.user)),
+            job.cores,
+            now_s,
+            job.duration_s,
+        );
+        self.rms.submit(rms_job, &mut self.site, now_s);
+    }
+
+    /// Advance the cluster: Aequus services first (so freshly expired caches
+    /// recompute), then the RMS iteration.
+    pub fn step(&mut self, now_s: f64) {
+        self.site.tick(now_s);
+        self.rms.advance(&mut self.site, now_s);
+    }
+
+    /// Drain summaries the site produced for its peers.
+    pub fn take_outbox(&mut self) -> Vec<UsageSummary> {
+        self.site.take_outbox()
+    }
+
+    /// Deliver a peer summary.
+    pub fn deliver(&mut self, summary: &UsageSummary) {
+        self.site.receive_summary(summary);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aequus_services::ParticipationMode;
+    use aequus_core::GridUser;
+
+    fn scenario() -> GridScenario {
+        GridScenario::national_testbed(
+            &[("U65", 0.6525), ("U30", 0.3049), ("U3", 0.0286), ("Uoth", 0.0140)],
+            1,
+        )
+    }
+
+    #[test]
+    fn cluster_runs_a_job_end_to_end() {
+        let sc = scenario();
+        let spec = ClusterSpec {
+            nodes: 2,
+            cores_per_node: 1,
+            participation: ParticipationMode::Full,
+            rms: RmsKind::Slurm,
+            policy_override: None,
+        };
+        let mut c = SimCluster::new(0, &spec, &sc);
+        c.submit(
+            &TraceJob {
+                user: "U65".to_string(),
+                submit_s: 0.0,
+                duration_s: 30.0,
+                cores: 1,
+            },
+            0.0,
+        );
+        c.step(0.0);
+        assert_eq!(c.rms.running(), 1);
+        // Identity was resolved through the IRS.
+        c.step(30.0);
+        assert_eq!(c.rms.stats().completed, 1);
+        let usage = c.rms.stats().usage_by_user.clone();
+        assert!((usage[&GridUser::new("U65")] - 30.0).abs() < 1e-9);
+        // After reporting delay + publish interval, a summary goes out.
+        for t in [40.0, 80.0, 140.0, 200.0] {
+            c.step(t);
+        }
+        assert!(!c.take_outbox().is_empty(), "usage summary published");
+    }
+
+    #[test]
+    fn job_ids_disjoint_between_clusters() {
+        let sc = scenario();
+        let spec = &sc.clusters[0];
+        let mut a = SimCluster::new(0, spec, &sc);
+        let mut b = SimCluster::new(1, spec, &sc);
+        let job = TraceJob {
+            user: "U65".to_string(),
+            submit_s: 0.0,
+            duration_s: 10.0,
+            cores: 1,
+        };
+        a.submit(&job, 0.0);
+        b.submit(&job, 0.0);
+        a.step(0.0);
+        b.step(0.0);
+        let ida = a.rms.stats().submitted;
+        let idb = b.rms.stats().submitted;
+        assert_eq!((ida, idb), (1, 1));
+    }
+}
+
+#[cfg(test)]
+mod policy_override_tests {
+    use super::*;
+    use crate::scenario::GridScenario;
+    use aequus_core::policy::{PolicyNode, PolicyTree};
+    use aequus_core::EntityPath;
+
+    #[test]
+    fn site_policy_override_is_enforced_locally() {
+        // The grid default splits 50/50 between U65 and U30; one site's
+        // local administration instead reserves 80% for a local user and
+        // mounts the grid users under the remaining 20%.
+        let sc = GridScenario::national_testbed(&[("U65", 0.5), ("U30", 0.5)], 1);
+        let local_policy = PolicyTree::new(PolicyNode::group(
+            "root",
+            1.0,
+            vec![
+                PolicyNode::user("local-hpc", 0.8),
+                PolicyNode::group(
+                    "grid",
+                    0.2,
+                    vec![PolicyNode::user("U65", 0.5), PolicyNode::user("U30", 0.5)],
+                ),
+            ],
+        ))
+        .unwrap();
+        let mut spec = sc.clusters[0].clone();
+        spec.policy_override = Some(local_policy);
+        let c = SimCluster::new(0, &spec, &sc);
+        let site_policy = c.site.pds.policy();
+        assert!((site_policy
+            .absolute_share(&EntityPath::parse("/local-hpc"))
+            .unwrap()
+            - 0.8)
+            .abs()
+            < 1e-12);
+        assert!((site_policy
+            .absolute_share(&EntityPath::parse("/grid/U65"))
+            .unwrap()
+            - 0.1)
+            .abs()
+            < 1e-12);
+        // The default-policy site keeps the grid-wide 50/50.
+        let default_site = SimCluster::new(1, &sc.clusters[1], &sc);
+        assert!((default_site
+            .site
+            .pds
+            .policy()
+            .absolute_share(&EntityPath::parse("/U65"))
+            .unwrap()
+            - 0.5)
+            .abs()
+            < 1e-12);
+    }
+}

@@ -1,0 +1,150 @@
+//! The discrete-event core: a time-ordered event queue with deterministic
+//! tie-breaking (insertion sequence), so simulations are exactly
+//! reproducible given a seed.
+
+use aequus_core::usage::UsageSummary;
+use aequus_workload::TraceJob;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A simulation event.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A job arrives at the submission host.
+    JobArrival(TraceJob),
+    /// Periodic cluster advance (site tick + scheduler iteration).
+    ClusterTick,
+    /// A usage summary reaches a destination site after network latency.
+    GossipDeliver {
+        /// Destination cluster index.
+        to: usize,
+        /// The summary being delivered.
+        summary: UsageSummary,
+    },
+    /// Periodic metrics sample.
+    MetricsSample,
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    time_s: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_s == other.time_s && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so earliest time pops first;
+        // ties break by insertion order (earlier seq first).
+        other
+            .time_s
+            .partial_cmp(&self.time_s)
+            .expect("event times are finite")
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at absolute time `time_s`.
+    pub fn push(&mut self, time_s: f64, event: Event) {
+        assert!(time_s.is_finite(), "event time must be finite");
+        self.heap.push(Scheduled {
+            time_s,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Pop the earliest event, with its time.
+    pub fn pop(&mut self) -> Option<(f64, Event)> {
+        self.heap.pop().map(|s| (s.time_s, s.event))
+    }
+
+    /// Time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.time_s)
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(t: f64) -> Event {
+        Event::JobArrival(TraceJob {
+            user: "u".to_string(),
+            submit_s: t,
+            duration_s: 1.0,
+            cores: 1,
+        })
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(5.0, job(5.0));
+        q.push(1.0, job(1.0));
+        q.push(3.0, job(3.0));
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(times, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(2.0, Event::ClusterTick);
+        q.push(2.0, Event::MetricsSample);
+        assert!(matches!(q.pop().unwrap().1, Event::ClusterTick));
+        assert!(matches!(q.pop().unwrap().1, Event::MetricsSample));
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(7.0, Event::ClusterTick);
+        assert_eq!(q.peek_time(), Some(7.0));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_time() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, Event::ClusterTick);
+    }
+}

@@ -1,0 +1,107 @@
+//! Failure injection: dropped usage-summary exchanges and site network
+//! outages. The paper's partial-participation test (§IV-A-4) motivates these
+//! — real deployments lose messages and sites "due to misconfiguration,
+//! local policies, or legislation"; here we also inject transport faults.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A window during which one cluster is cut off from the exchange network
+/// (its RMS keeps scheduling on stale data).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Outage {
+    /// Cluster index.
+    pub cluster: usize,
+    /// Outage start, seconds.
+    pub from_s: f64,
+    /// Outage end, seconds.
+    pub to_s: f64,
+}
+
+/// Transport fault plan.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Probability of dropping any single summary delivery.
+    pub drop_probability: f64,
+    /// Site network outage windows.
+    pub outages: Vec<Outage>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn none() -> Self {
+        Self {
+            drop_probability: 0.0,
+            outages: Vec::new(),
+        }
+    }
+
+    /// Whether `cluster` is partitioned from the exchange at `now_s`.
+    pub fn is_partitioned(&self, cluster: usize, now_s: f64) -> bool {
+        self.outages
+            .iter()
+            .any(|o| o.cluster == cluster && now_s >= o.from_s && now_s < o.to_s)
+    }
+}
+
+/// Deterministic coin for message drops.
+#[derive(Debug)]
+pub struct FaultRng {
+    rng: StdRng,
+}
+
+impl FaultRng {
+    /// Seeded fault source.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Whether to drop a delivery under the plan.
+    pub fn should_drop(&mut self, plan: &FaultPlan) -> bool {
+        plan.drop_probability > 0.0 && self.rng.gen::<f64>() < plan.drop_probability
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_drops_or_partitions() {
+        let plan = FaultPlan::none();
+        let mut rng = FaultRng::new(1);
+        assert!(!(0..1000).any(|_| rng.should_drop(&plan)));
+        assert!(!plan.is_partitioned(0, 100.0));
+    }
+
+    #[test]
+    fn outage_window_boundaries() {
+        let plan = FaultPlan {
+            drop_probability: 0.0,
+            outages: vec![Outage {
+                cluster: 2,
+                from_s: 100.0,
+                to_s: 200.0,
+            }],
+        };
+        assert!(!plan.is_partitioned(2, 99.9));
+        assert!(plan.is_partitioned(2, 100.0));
+        assert!(plan.is_partitioned(2, 199.9));
+        assert!(!plan.is_partitioned(2, 200.0));
+        assert!(!plan.is_partitioned(1, 150.0));
+    }
+
+    #[test]
+    fn drop_rate_approximates_probability() {
+        let plan = FaultPlan {
+            drop_probability: 0.3,
+            outages: vec![],
+        };
+        let mut rng = FaultRng::new(7);
+        let drops = (0..10_000).filter(|_| rng.should_drop(&plan)).count();
+        let rate = drops as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "{rate}");
+    }
+}

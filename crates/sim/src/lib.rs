@@ -1,0 +1,34 @@
+//! # aequus-sim
+//!
+//! Discrete-event simulation of the fully integrated Aequus deployment —
+//! the in-silico counterpart of the paper's test bed (§IV-A): a submission
+//! host dispatching synthetic workloads (stochastically or round-robin)
+//! onto a fleet of simulated clusters, each running a SLURM- or Maui-like
+//! RMS wired to its own Aequus installation, with USS↔USS usage exchange as
+//! the only cross-site channel.
+//!
+//! * [`event`] — deterministic time-ordered event queue.
+//! * [`dispatch`] — stochastic / round-robin grid-level dispatch.
+//! * [`cluster`] — one cluster: RMS + per-site Aequus stack.
+//! * [`scenario`] — fleet/policy/delay configuration, including the paper's
+//!   six-cluster national test bed and the HPC2N production shape.
+//! * [`metrics`] — the figures' time series (per-user priority and usage
+//!   share), utilization, throughput, and convergence detection.
+//! * [`faults`] — message drops and site partitions.
+//! * [`engine`] — the event loop tying it together.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod dispatch;
+pub mod engine;
+pub mod event;
+pub mod faults;
+pub mod metrics;
+pub mod scenario;
+
+pub use dispatch::DispatchPolicy;
+pub use engine::{GridSimulation, SimResult};
+pub use faults::{FaultPlan, Outage};
+pub use metrics::{MetricsLog, Sample, UserSample};
+pub use scenario::{ClusterSpec, GridScenario, RmsKind};

@@ -1,0 +1,364 @@
+//! Time-series metrics: the quantities the paper's evaluation figures plot —
+//! per-user priority (fairshare distance) and combined usage share over
+//! time, system utilization, throughput, and convergence times.
+
+use std::collections::BTreeMap;
+
+/// Per-user state at one sample instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UserSample {
+    /// Fairshare distance ("priority" in Figures 10/12/13b).
+    pub priority: f64,
+    /// Usage share as seen by the fairshare system (Figures 10a/12/13a).
+    pub usage_share: f64,
+    /// Projected `[0, 1]` priority factor served to the RMS.
+    pub factor: f64,
+}
+
+/// One metrics sample.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Simulated time, seconds.
+    pub t_s: f64,
+    /// Per-user state at the reference site (site 0).
+    pub users: BTreeMap<String, UserSample>,
+    /// Per-site per-user priority (for partial-participation comparisons).
+    pub per_site_priority: Vec<BTreeMap<String, f64>>,
+    /// Instantaneous total utilization across all clusters.
+    pub utilization: f64,
+    /// Total pending jobs across clusters.
+    pub pending: usize,
+    /// Total running jobs across clusters.
+    pub running: usize,
+    /// Cumulative completed jobs.
+    pub completed: u64,
+}
+
+/// The full metrics log of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsLog {
+    samples: Vec<Sample>,
+    /// Target policy shares the run was configured with.
+    pub policy: BTreeMap<String, f64>,
+    /// Jobs submitted per minute (bucketed), for throughput reporting.
+    pub submissions_per_minute: Vec<u32>,
+}
+
+impl MetricsLog {
+    /// Create a log for a run with the given policy targets.
+    pub fn new(policy: BTreeMap<String, f64>) -> Self {
+        Self {
+            samples: Vec::new(),
+            policy,
+            submissions_per_minute: Vec::new(),
+        }
+    }
+
+    /// Append a sample.
+    pub fn record(&mut self, sample: Sample) {
+        self.samples.push(sample);
+    }
+
+    /// Count one submission at `t_s` into its minute bucket.
+    pub fn count_submission(&mut self, t_s: f64) {
+        let minute = (t_s / 60.0).floor().max(0.0) as usize;
+        if self.submissions_per_minute.len() <= minute {
+            self.submissions_per_minute.resize(minute + 1, 0);
+        }
+        self.submissions_per_minute[minute] += 1;
+    }
+
+    /// All samples in time order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Time series of one user's priority.
+    pub fn priority_series(&self, user: &str) -> Vec<(f64, f64)> {
+        self.samples
+            .iter()
+            .filter_map(|s| s.users.get(user).map(|u| (s.t_s, u.priority)))
+            .collect()
+    }
+
+    /// Time series of one user's usage share.
+    pub fn usage_share_series(&self, user: &str) -> Vec<(f64, f64)> {
+        self.samples
+            .iter()
+            .filter_map(|s| s.users.get(user).map(|u| (s.t_s, u.usage_share)))
+            .collect()
+    }
+
+    /// Maximum deviation of any user's usage share from its policy target
+    /// at sample index `i`.
+    fn deviation_at(&self, i: usize) -> f64 {
+        let s = &self.samples[i];
+        self.policy
+            .iter()
+            .map(|(user, target)| {
+                let share = s.users.get(user).map(|u| u.usage_share).unwrap_or(0.0);
+                (share - target).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Convergence time: the earliest sample time `t` such that the maximum
+    /// policy deviation stays below `eps` throughout `[t, t + dwell_s]`.
+    ///
+    /// The paper reports balance as *windows*, not a permanent state ("the
+    /// system converges towards a balanced state between minute 80 and
+    /// minute 130", §IV-A-5; "close to balance in the 120 to 180 minute
+    /// range", §IV-A-3) — workload non-stationarity moves the system out of
+    /// balance again when a user's jobs dry up.
+    pub fn convergence_time(&self, eps: f64, dwell_s: f64) -> Option<f64> {
+        self.balance_windows(eps)
+            .into_iter()
+            .find(|(from, to)| to - from >= dwell_s)
+            .map(|(from, _)| from)
+    }
+
+    /// All maximal time windows during which the maximum policy deviation
+    /// stays below `eps`.
+    pub fn balance_windows(&self, eps: f64) -> Vec<(f64, f64)> {
+        let mut windows = Vec::new();
+        let mut start: Option<f64> = None;
+        for i in 0..self.samples.len() {
+            let balanced = self.deviation_at(i) < eps;
+            match (balanced, start) {
+                (true, None) => start = Some(self.samples[i].t_s),
+                (false, Some(s)) => {
+                    windows.push((s, self.samples[i].t_s));
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let (Some(s), Some(last)) = (start, self.samples.last()) {
+            windows.push((s, last.t_s));
+        }
+        windows
+    }
+
+    /// Like `deviation_at`, but users that are currently *idle* (usage share
+    /// below `activity_eps`) are excluded and the remaining targets are
+    /// renormalized — the paper's balance notion for the bursty test, where
+    /// "the unused allocation of U3 is divided between the other users"
+    /// while U3 is not submitting.
+    fn renormalized_deviation_at(&self, i: usize, activity_eps: f64) -> f64 {
+        let s = &self.samples[i];
+        let active: Vec<(&String, f64)> = self
+            .policy
+            .iter()
+            .filter_map(|(user, &target)| {
+                let share = s.users.get(user).map(|u| u.usage_share).unwrap_or(0.0);
+                (share >= activity_eps).then_some((user, target))
+            })
+            .collect();
+        let target_total: f64 = active.iter().map(|(_, t)| t).sum();
+        let share_total: f64 = active
+            .iter()
+            .map(|(u, _)| s.users.get(*u).map(|x| x.usage_share).unwrap_or(0.0))
+            .sum();
+        if target_total <= 0.0 || share_total <= 0.0 {
+            return 1.0;
+        }
+        active
+            .iter()
+            .map(|(user, target)| {
+                let share = s.users.get(*user).map(|u| u.usage_share).unwrap_or(0.0);
+                (share / share_total - target / target_total).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Balance windows under the renormalized (idle-users-excluded)
+    /// deviation — the §IV-A-5 notion of balance.
+    pub fn active_balance_windows(&self, eps: f64) -> Vec<(f64, f64)> {
+        let mut windows = Vec::new();
+        let mut start: Option<f64> = None;
+        for i in 0..self.samples.len() {
+            let balanced = self.renormalized_deviation_at(i, 0.005) < eps;
+            match (balanced, start) {
+                (true, None) => start = Some(self.samples[i].t_s),
+                (false, Some(s)) => {
+                    windows.push((s, self.samples[i].t_s));
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let (Some(s), Some(last)) = (start, self.samples.last()) {
+            windows.push((s, last.t_s));
+        }
+        windows
+    }
+
+    /// Convergence time under the renormalized deviation.
+    pub fn active_convergence_time(&self, eps: f64, dwell_s: f64) -> Option<f64> {
+        self.active_balance_windows(eps)
+            .into_iter()
+            .find(|(from, to)| to - from >= dwell_s)
+            .map(|(from, _)| from)
+    }
+
+    /// Maximum policy deviation in the final sample.
+    pub fn final_deviation(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.deviation_at(self.samples.len() - 1)
+        }
+    }
+
+    /// Mean utilization over the sampled window.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.utilization).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Peak jobs-per-minute submission rate.
+    pub fn peak_submission_rate(&self) -> u32 {
+        self.submissions_per_minute.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Sustained (mean over non-empty minutes) submission rate.
+    pub fn sustained_submission_rate(&self) -> f64 {
+        let busy: Vec<u32> = self
+            .submissions_per_minute
+            .iter()
+            .copied()
+            .filter(|&c| c > 0)
+            .collect();
+        if busy.is_empty() {
+            0.0
+        } else {
+            busy.iter().map(|&c| c as f64).sum::<f64>() / busy.len() as f64
+        }
+    }
+
+    /// Completed jobs at the end of the run.
+    pub fn total_completed(&self) -> u64 {
+        self.samples.last().map(|s| s.completed).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: f64, share_a: f64) -> Sample {
+        let mut users = BTreeMap::new();
+        users.insert(
+            "a".to_string(),
+            UserSample {
+                priority: 0.0,
+                usage_share: share_a,
+                factor: 0.5,
+            },
+        );
+        Sample {
+            t_s: t,
+            users,
+            per_site_priority: vec![],
+            utilization: 0.95,
+            pending: 0,
+            running: 0,
+            completed: 10,
+        }
+    }
+
+    fn log_with_shares(shares: &[f64]) -> MetricsLog {
+        let mut log = MetricsLog::new([("a".to_string(), 0.5)].into_iter().collect());
+        for (i, &s) in shares.iter().enumerate() {
+            log.record(sample(i as f64 * 60.0, s));
+        }
+        log
+    }
+
+    #[test]
+    fn convergence_finds_first_long_enough_window() {
+        // Deviations: .3 .2 .04 .15 .03 .02 — windows: [120,180), [240,300].
+        let log = log_with_shares(&[0.8, 0.7, 0.54, 0.65, 0.53, 0.52]);
+        assert_eq!(log.convergence_time(0.05, 60.0), Some(120.0));
+        assert_eq!(log.convergence_time(0.05, 61.0), None);
+        assert_eq!(
+            log.balance_windows(0.05),
+            vec![(120.0, 180.0), (240.0, 300.0)]
+        );
+    }
+
+    #[test]
+    fn no_convergence_when_always_deviant() {
+        let log = log_with_shares(&[0.8, 0.7, 0.9]);
+        assert_eq!(log.convergence_time(0.05, 0.0), None);
+        assert!(log.balance_windows(0.05).is_empty());
+        assert!((log.final_deviation() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn immediate_convergence() {
+        let log = log_with_shares(&[0.5, 0.51, 0.49]);
+        assert_eq!(log.convergence_time(0.05, 100.0), Some(0.0));
+        assert_eq!(log.balance_windows(0.05), vec![(0.0, 120.0)]);
+    }
+
+    #[test]
+    fn submission_rate_buckets() {
+        let mut log = MetricsLog::new(BTreeMap::new());
+        for i in 0..130 {
+            log.count_submission(i as f64); // 60 in min 0, 60 in min 1, 10 in min 2
+        }
+        assert_eq!(log.peak_submission_rate(), 60);
+        assert!((log.sustained_submission_rate() - 130.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_extraction() {
+        let log = log_with_shares(&[0.6, 0.55]);
+        let s = log.usage_share_series("a");
+        assert_eq!(s, vec![(0.0, 0.6), (60.0, 0.55)]);
+        assert!(log.usage_share_series("ghost").is_empty());
+    }
+
+    #[test]
+    fn renormalized_deviation_excludes_idle_users() {
+        // Two users, targets 0.5/0.5; "b" idle (share 0), "a" takes all.
+        // Plain deviation = 0.5; renormalized over active users = 0.
+        let mut log = MetricsLog::new(
+            [("a".to_string(), 0.5), ("b".to_string(), 0.5)]
+                .into_iter()
+                .collect(),
+        );
+        let mut users = BTreeMap::new();
+        users.insert(
+            "a".to_string(),
+            UserSample { priority: 0.0, usage_share: 1.0, factor: 0.5 },
+        );
+        users.insert(
+            "b".to_string(),
+            UserSample { priority: 0.5, usage_share: 0.0, factor: 0.9 },
+        );
+        log.record(Sample {
+            t_s: 0.0,
+            users,
+            per_site_priority: vec![],
+            utilization: 1.0,
+            pending: 0,
+            running: 1,
+            completed: 0,
+        });
+        assert!(log.balance_windows(0.1).is_empty());
+        assert_eq!(log.active_balance_windows(0.1), vec![(0.0, 0.0)]);
+        assert_eq!(log.active_convergence_time(0.1, 0.0), Some(0.0));
+    }
+
+    #[test]
+    fn empty_log_safe() {
+        let log = MetricsLog::new(BTreeMap::new());
+        assert_eq!(log.convergence_time(0.1, 60.0), None);
+        assert_eq!(log.mean_utilization(), 0.0);
+        assert_eq!(log.total_completed(), 0);
+    }
+}

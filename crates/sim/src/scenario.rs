@@ -1,0 +1,183 @@
+//! Scenario definitions: cluster fleets, policies, and all tunables of a
+//! simulated grid deployment.
+
+use aequus_core::fairshare::FairshareConfig;
+use aequus_core::policy::{flat_policy, PolicyTree};
+use aequus_core::projection::ProjectionKind;
+use aequus_rms::PriorityWeights;
+use aequus_services::{ParticipationMode, ServiceTimings};
+
+use crate::dispatch::DispatchPolicy;
+use crate::faults::FaultPlan;
+
+/// Which RMS front end a cluster runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmsKind {
+    /// SLURM-like (plugin integration, periodic re-prioritization).
+    Slurm,
+    /// Maui-like (patched call-outs, per-iteration re-prioritization).
+    Maui,
+}
+
+/// One cluster of the simulated grid.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Virtual hosts.
+    pub nodes: u32,
+    /// Cores per host (the paper's virtual hosts run one job each).
+    pub cores_per_node: u32,
+    /// Participation in the global usage exchange.
+    pub participation: ParticipationMode,
+    /// RMS front end.
+    pub rms: RmsKind,
+    /// Site-local policy override — "local administrations retain control
+    /// over their clusters" (§II-A): a site may enforce its own tree (e.g.
+    /// local users plus a mounted grid share) instead of the grid-wide
+    /// default. Leaves absent from a site's policy get the neutral factor
+    /// there.
+    pub policy_override: Option<PolicyTree>,
+}
+
+impl ClusterSpec {
+    /// Total cores.
+    pub fn cores(&self) -> u32 {
+        self.nodes * self.cores_per_node
+    }
+}
+
+/// A complete grid scenario.
+#[derive(Debug, Clone)]
+pub struct GridScenario {
+    /// The clusters.
+    pub clusters: Vec<ClusterSpec>,
+    /// The share policy every site enforces. Usually flat (the paper's
+    /// evaluation uses the four model users directly under the root), but
+    /// arbitrary hierarchies — including mounted VO subtrees — are
+    /// supported end-to-end.
+    pub policy: PolicyTree,
+    /// Fairshare algorithm configuration (k weight, decay, resolution).
+    pub fairshare: FairshareConfig,
+    /// Vector→scalar projection ("the percental projection approach is used
+    /// during testing").
+    pub projection: ProjectionKind,
+    /// The §IV-A-2 delay chain.
+    pub timings: ServiceTimings,
+    /// RMS priority factor weights ("fairshare is the only scheduling
+    /// factor used during these tests").
+    pub weights: PriorityWeights,
+    /// Submission-host dispatch policy.
+    pub dispatch: DispatchPolicy,
+    /// Cluster advance interval, seconds of simulated time.
+    pub tick_interval_s: f64,
+    /// Metrics sampling interval, seconds.
+    pub sample_interval_s: f64,
+    /// USS histogram slot duration, seconds.
+    pub usage_slot_s: f64,
+    /// RNG seed (dispatch and faults).
+    pub seed: u64,
+    /// Failure injection.
+    pub faults: FaultPlan,
+}
+
+impl GridScenario {
+    /// The paper's national test bed: six clusters of 40 virtual hosts
+    /// ("for a total of 240 hosts, corresponding roughly to 10% of the
+    /// national grid capacity"), SLURM on every site, percental projection,
+    /// fairshare-only priority, k = 0.5.
+    pub fn national_testbed(policy_shares: &[(&str, f64)], seed: u64) -> Self {
+        Self {
+            clusters: (0..6)
+                .map(|_| ClusterSpec {
+                    nodes: 40,
+                    cores_per_node: 1,
+                    participation: ParticipationMode::Full,
+                    rms: RmsKind::Slurm,
+                    policy_override: None,
+                })
+                .collect(),
+            policy: flat_policy(policy_shares).expect("valid flat policy"),
+            fairshare: FairshareConfig {
+                // Decay tuned to the compressed 6-hour test horizon.
+                decay: aequus_core::DecayPolicy::Exponential {
+                    half_life_s: 1800.0,
+                },
+                ..FairshareConfig::default()
+            },
+            projection: ProjectionKind::Percental,
+            timings: ServiceTimings::default(),
+            weights: PriorityWeights::fairshare_only(),
+            dispatch: DispatchPolicy::Stochastic,
+            tick_interval_s: 5.0,
+            sample_interval_s: 60.0,
+            usage_slot_s: 60.0,
+            seed,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// A single production-like cluster (the HPC2N deployment: 544 cores,
+    /// SLURM 2.4.3, one Aequus installation).
+    pub fn production_cluster(policy_shares: &[(&str, f64)], seed: u64) -> Self {
+        let mut s = Self::national_testbed(policy_shares, seed);
+        s.clusters = vec![ClusterSpec {
+            nodes: 68,
+            cores_per_node: 8,
+            participation: ParticipationMode::Full,
+            rms: RmsKind::Slurm,
+            policy_override: None,
+        }];
+        s
+    }
+
+    /// Total cores across all clusters.
+    pub fn total_cores(&self) -> u32 {
+        self.clusters.iter().map(ClusterSpec::cores).sum()
+    }
+
+    /// Per-cluster core capacities (dispatch weights).
+    pub fn capacities(&self) -> Vec<u32> {
+        self.clusters.iter().map(ClusterSpec::cores).collect()
+    }
+
+    /// Replace the (flat) policy with an arbitrary hierarchy — e.g. a site
+    /// tree with a mounted grid sub-policy.
+    pub fn with_policy(mut self, policy: PolicyTree) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The users the metrics track: every policy leaf with its *absolute*
+    /// target share (product of normalized shares along the path).
+    pub fn tracked_users(&self) -> Vec<(String, f64)> {
+        self.policy
+            .users()
+            .into_iter()
+            .map(|(path, user)| {
+                let share = self.policy.absolute_share(&path).unwrap_or(0.0);
+                (user.as_str().to_string(), share)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn national_testbed_matches_paper() {
+        let s = GridScenario::national_testbed(&[("U65", 0.65)], 1);
+        assert_eq!(s.clusters.len(), 6);
+        assert_eq!(s.total_cores(), 240);
+        assert_eq!(s.projection, ProjectionKind::Percental);
+        assert_eq!(s.fairshare.k_weight, 0.5);
+        assert_eq!(s.weights, PriorityWeights::fairshare_only());
+        assert_eq!(s.dispatch, DispatchPolicy::Stochastic);
+    }
+
+    #[test]
+    fn production_cluster_is_hpc2n_sized() {
+        let s = GridScenario::production_cluster(&[("a", 1.0)], 1);
+        assert_eq!(s.total_cores(), 544);
+    }
+}

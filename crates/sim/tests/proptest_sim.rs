@@ -1,0 +1,141 @@
+//! Property-based tests of the simulation engine: event ordering,
+//! determinism, conservation, and gossip convergence under randomized
+//! workloads and fault plans.
+
+use aequus_core::GridUser;
+use aequus_sim::event::{Event, EventQueue};
+use aequus_sim::{FaultPlan, GridScenario, GridSimulation, Outage};
+use aequus_workload::{Trace, TraceJob};
+use proptest::prelude::*;
+
+fn mini_scenario(seed: u64) -> GridScenario {
+    let mut s = GridScenario::national_testbed(
+        &[("U65", 0.6), ("U30", 0.3), ("U3", 0.1)],
+        seed,
+    );
+    s.clusters.truncate(3);
+    for c in &mut s.clusters {
+        c.nodes = 6;
+    }
+    s
+}
+
+fn trace_strategy() -> impl Strategy<Value = Trace> {
+    proptest::collection::vec((0u8..3, 0.0..2000.0f64, 5.0..300.0f64), 1..80).prop_map(
+        |jobs| {
+            Trace::new(
+                jobs.into_iter()
+                    .map(|(u, t, d)| TraceJob {
+                        user: ["U65", "U30", "U3"][u as usize].to_string(),
+                        submit_s: t,
+                        duration_s: d,
+                        cores: 1,
+                    })
+                    .collect(),
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn event_queue_pops_monotonically(times in proptest::collection::vec(0.0..1e6f64, 1..200)) {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.push(t, Event::ClusterTick);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn every_submitted_job_is_accounted(trace in trace_strategy(), seed in 0u64..100) {
+        let result = GridSimulation::new(mini_scenario(seed)).run(&trace, 30_000.0);
+        prop_assert_eq!(result.total_submitted(), trace.len() as u64);
+        prop_assert_eq!(result.total_completed(), trace.len() as u64,
+            "with a long drain every job completes");
+        // Conservation of work.
+        let done: f64 = result.usage_by_user().values().sum();
+        prop_assert!((done - trace.total_work()).abs() < 1e-6 * trace.total_work().max(1.0));
+    }
+
+    #[test]
+    fn simulation_is_deterministic(trace in trace_strategy(), seed in 0u64..50) {
+        let r1 = GridSimulation::new(mini_scenario(seed)).run(&trace, 5000.0);
+        let r2 = GridSimulation::new(mini_scenario(seed)).run(&trace, 5000.0);
+        prop_assert_eq!(r1.events_processed, r2.events_processed);
+        prop_assert_eq!(r1.total_completed(), r2.total_completed());
+        for (a, b) in r1.metrics.samples().iter().zip(r2.metrics.samples()) {
+            prop_assert_eq!(a.utilization, b.utilization);
+            prop_assert_eq!(&a.users, &b.users);
+        }
+    }
+
+    #[test]
+    fn faults_never_break_accounting(
+        trace in trace_strategy(),
+        drop in 0.0..0.9f64,
+        outage_start in 0.0..2000.0f64,
+        outage_len in 100.0..3000.0f64,
+    ) {
+        let mut sc = mini_scenario(7);
+        sc.faults = FaultPlan {
+            drop_probability: drop,
+            outages: vec![Outage { cluster: 1, from_s: outage_start, to_s: outage_start + outage_len }],
+        };
+        let result = GridSimulation::new(sc).run(&trace, 30_000.0);
+        // Faults affect *information flow*, never the jobs themselves.
+        prop_assert_eq!(result.total_completed(), trace.len() as u64);
+        let done: f64 = result.usage_by_user().values().sum();
+        prop_assert!((done - trace.total_work()).abs() < 1e-6 * trace.total_work().max(1.0));
+    }
+
+    #[test]
+    fn gossip_converges_site_views(trace in trace_strategy()) {
+        // After the run quiesces (drain ≫ publish interval), every fully
+        // participating site's priorities agree, because all sites saw the
+        // same usage summaries.
+        let result = GridSimulation::new(mini_scenario(3)).run(&trace, 30_000.0);
+        let last = result.metrics.samples().last().unwrap();
+        let reference = &last.per_site_priority[0];
+        for (site, view) in last.per_site_priority.iter().enumerate().skip(1) {
+            for (user, p) in view {
+                let p0 = reference.get(user).copied().unwrap_or(f64::NAN);
+                prop_assert!(
+                    (p - p0).abs() < 0.05,
+                    "site {site} {user}: {p} vs site0 {p0}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn utilization_bounded(trace in trace_strategy(), seed in 0u64..20) {
+        let result = GridSimulation::new(mini_scenario(seed)).run(&trace, 10_000.0);
+        for s in result.metrics.samples() {
+            prop_assert!((0.0..=1.0).contains(&s.utilization));
+        }
+        prop_assert!((0.0..=1.0).contains(&result.mean_utilization()));
+    }
+
+    #[test]
+    fn priorities_respect_k_bound(trace in trace_strategy()) {
+        // No user's priority ever exceeds k + (1−k)·share.
+        let sc = mini_scenario(11);
+        let k = sc.fairshare.k_weight;
+        let shares = [("U65", 0.6), ("U30", 0.3), ("U3", 0.1)];
+        let result = GridSimulation::new(sc).run(&trace, 10_000.0);
+        for (user, share) in shares {
+            let bound = k + (1.0 - k) * share + 1e-9;
+            for (_, p) in result.metrics.priority_series(user) {
+                prop_assert!(p <= bound, "{user}: {p} > {bound}");
+            }
+        }
+        let _ = GridUser::new("unused");
+    }
+}

@@ -1,0 +1,174 @@
+//! Finite mixture distributions.
+//!
+//! Equation (1) of the paper defines the U65 job-arrival model as a
+//! usage-weighted mixture of four per-phase GEV fits:
+//! `PDF(x) = Σ_n (phase_usage_n / total_usage) · PDF_pn(x)`.
+//! [`Mixture`] implements exactly that construction for arbitrary
+//! components.
+
+use crate::distribution::{icdf_numeric, ContinuousDistribution, Support};
+use crate::dist::AnyDist;
+
+/// A finite mixture of component distributions with non-negative weights.
+///
+/// Weights are normalized to sum to 1 at construction time.
+#[derive(Debug, Clone)]
+pub struct Mixture {
+    components: Vec<(f64, AnyDist)>,
+}
+
+impl Mixture {
+    /// Build a mixture from `(weight, component)` pairs.
+    ///
+    /// Returns `None` if empty, any weight is negative/non-finite, or the
+    /// total weight is zero.
+    pub fn new(components: Vec<(f64, AnyDist)>) -> Option<Self> {
+        if components.is_empty() {
+            return None;
+        }
+        let total: f64 = components.iter().map(|(w, _)| *w).sum();
+        if !total.is_finite() || total <= 0.0 || components.iter().any(|(w, _)| *w < 0.0) {
+            return None;
+        }
+        Some(Self {
+            components: components
+                .into_iter()
+                .map(|(w, d)| (w / total, d))
+                .collect(),
+        })
+    }
+
+    /// The normalized `(weight, component)` pairs.
+    pub fn components(&self) -> &[(f64, AnyDist)] {
+        &self.components
+    }
+
+    /// Number of mixture components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the mixture has no components (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+}
+
+impl ContinuousDistribution for Mixture {
+    fn name(&self) -> &'static str {
+        "Mixture"
+    }
+    fn param_count(&self) -> usize {
+        // Component parameters plus (len − 1) free weights.
+        self.components
+            .iter()
+            .map(|(_, d)| d.param_count())
+            .sum::<usize>()
+            + self.components.len()
+            - 1
+    }
+    fn params(&self) -> Vec<(&'static str, f64)> {
+        let mut out = Vec::new();
+        for (w, d) in &self.components {
+            out.push(("weight", *w));
+            out.extend(d.params());
+        }
+        out
+    }
+    fn support(&self) -> Support {
+        let lo = self
+            .components
+            .iter()
+            .map(|(_, d)| d.support().lo)
+            .fold(f64::INFINITY, f64::min);
+        let hi = self
+            .components
+            .iter()
+            .map(|(_, d)| d.support().hi)
+            .fold(f64::NEG_INFINITY, f64::max);
+        Support { lo, hi }
+    }
+    fn pdf(&self, x: f64) -> f64 {
+        self.components.iter().map(|(w, d)| w * d.pdf(x)).sum()
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        self.components.iter().map(|(w, d)| w * d.cdf(x)).sum()
+    }
+    fn icdf(&self, p: f64) -> f64 {
+        icdf_numeric(self, p)
+    }
+    fn mean(&self) -> Option<f64> {
+        let mut acc = 0.0;
+        for (w, d) in &self.components {
+            acc += w * d.mean()?;
+        }
+        Some(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::normal::Normal;
+
+    fn two_normals() -> Mixture {
+        Mixture::new(vec![
+            (0.3, AnyDist::from(Normal::new(-2.0, 1.0).unwrap())),
+            (0.7, AnyDist::from(Normal::new(3.0, 0.5).unwrap())),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn weights_normalize() {
+        let m = Mixture::new(vec![
+            (2.0, AnyDist::from(Normal::new(0.0, 1.0).unwrap())),
+            (6.0, AnyDist::from(Normal::new(1.0, 1.0).unwrap())),
+        ])
+        .unwrap();
+        let ws: Vec<f64> = m.components().iter().map(|(w, _)| *w).collect();
+        assert!((ws[0] - 0.25).abs() < 1e-12);
+        assert!((ws[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_weighted_sum() {
+        let m = two_normals();
+        let n1 = Normal::new(-2.0, 1.0).unwrap();
+        let n2 = Normal::new(3.0, 0.5).unwrap();
+        for &x in &[-3.0, 0.0, 2.0, 4.0] {
+            let expected = 0.3 * n1.cdf(x) + 0.7 * n2.cdf(x);
+            assert!((m.cdf(x) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn icdf_roundtrip() {
+        let m = two_normals();
+        for &p in &[0.05, 0.3, 0.5, 0.9] {
+            let x = m.icdf(p);
+            assert!((m.cdf(x) - p).abs() < 1e-9, "p={p}");
+        }
+    }
+
+    #[test]
+    fn mean_is_weighted() {
+        let m = two_normals();
+        assert!((m.mean().unwrap() - (0.3 * -2.0 + 0.7 * 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert!(Mixture::new(vec![]).is_none());
+        assert!(Mixture::new(vec![(
+            -1.0,
+            AnyDist::from(Normal::new(0.0, 1.0).unwrap())
+        )])
+        .is_none());
+        assert!(Mixture::new(vec![(
+            0.0,
+            AnyDist::from(Normal::new(0.0, 1.0).unwrap())
+        )])
+        .is_none());
+    }
+}

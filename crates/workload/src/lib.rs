@@ -1,0 +1,36 @@
+//! # aequus-workload
+//!
+//! Workload modeling for the Aequus evaluation (§IV-1..3): the statistical
+//! models fitted to the 2012 Swedish national grid trace, and synthetic
+//! trace generation from those models.
+//!
+//! * [`trace`] — the trace representation with per-user analysis helpers
+//!   and the paper's time-scaling transformation.
+//! * [`users`] — the four user classes (U65/U30/U3/Uoth) and their
+//!   published job/usage shares.
+//! * [`models`] — the Table II/III fitted distributions (GEV phases, Burr,
+//!   Birnbaum–Saunders, Weibull), the Eq. (1) composite for U65, and
+//!   range-rescaled samplers.
+//! * [`generate`] — year traces and compressed 6-hour test traces with 95%
+//!   load targeting, plus the §IV-A-5 bursty variant.
+//! * [`clean`] — the admin/zero-duration filtering step and noise injection
+//!   to exercise it.
+//! * [`characterize`] — re-derivation of Tables II and III (median, BIC
+//!   model selection over 18 families, KS) and the autocorrelation
+//!   periodicity scan.
+//! * [`swf`] — Standard Workload Format import/export, so Parallel
+//!   Workloads Archive traces can drive the simulator directly.
+
+#![warn(missing_docs)]
+
+pub mod characterize;
+pub mod clean;
+pub mod generate;
+pub mod models;
+pub mod swf;
+pub mod trace;
+pub mod users;
+
+pub use generate::{synthetic_year, test_trace, TestTraceConfig};
+pub use trace::{Trace, TraceJob};
+pub use users::UserClass;

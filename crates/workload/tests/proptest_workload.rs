@@ -1,0 +1,153 @@
+//! Property-based tests of workload generation: share targeting, time
+//! scaling, cleaning, and statistical sanity of the generated traces.
+
+use aequus_workload::clean::{clean, with_noise};
+use aequus_workload::generate::{synthetic_year, test_trace, TestTraceConfig};
+use aequus_workload::trace::{Trace, TraceJob};
+use aequus_workload::users::{UserClass, YEAR_S};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn test_trace_hits_load_target(
+        jobs in 500usize..4000,
+        load in 0.3..1.2f64,
+        cores in 50u32..500,
+        seed in 0u64..1000,
+    ) {
+        let cfg = TestTraceConfig {
+            total_jobs: jobs,
+            load_target: load,
+            capacity_cores: cores,
+            seed,
+            ..Default::default()
+        };
+        let t = test_trace(&cfg);
+        let target = load * cores as f64 * cfg.test_len_s;
+        prop_assert!((t.total_work() / target - 1.0).abs() < 1e-9);
+        prop_assert!((t.len() as i64 - jobs as i64).abs() <= 4, "{} vs {jobs}", t.len());
+        for j in t.jobs() {
+            prop_assert!(j.submit_s >= 0.0 && j.submit_s <= cfg.test_len_s);
+            prop_assert!(j.duration_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn usage_share_targeting_is_exact(seed in 0u64..500) {
+        let t = test_trace(&TestTraceConfig {
+            total_jobs: 4000,
+            seed,
+            ..Default::default()
+        });
+        for (user, share) in t.usage_share_by_user() {
+            let expected = UserClass::parse(&user).unwrap().usage_share();
+            prop_assert!(
+                (share - expected).abs() < 5e-3,
+                "{user}: {share} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn time_scaling_preserves_relations(factor in 0.1..20.0f64, seed in 0u64..100) {
+        let t = test_trace(&TestTraceConfig {
+            total_jobs: 500,
+            seed,
+            ..Default::default()
+        });
+        let s = t.time_scaled(factor);
+        prop_assert_eq!(s.len(), t.len());
+        prop_assert!((s.total_work() - factor * t.total_work()).abs()
+            < 1e-6 * t.total_work());
+        // Pairwise submit-gap ratios preserved.
+        for (a, b) in t.jobs().iter().zip(s.jobs()) {
+            prop_assert!((b.submit_s - a.submit_s * factor).abs() < 1e-6 * (1.0 + a.submit_s));
+            prop_assert!((b.duration_s - a.duration_s * factor).abs() < 1e-6 * (1.0 + a.duration_s));
+        }
+    }
+
+    #[test]
+    fn clean_removes_exactly_the_noise(
+        n in 100usize..1000,
+        admin_frac in 0.01..0.2f64,
+        zero_frac in 0.01..0.2f64,
+        seed in 0u64..100,
+    ) {
+        let base = Trace::new(
+            (0..n)
+                .map(|i| TraceJob {
+                    user: "U65".to_string(),
+                    submit_s: i as f64,
+                    duration_s: 100.0,
+                    cores: 1,
+                })
+                .collect(),
+        );
+        let noisy = with_noise(&base, admin_frac, zero_frac, seed);
+        let (cleaned, stats) = clean(&noisy);
+        prop_assert_eq!(cleaned.len(), n, "exactly the original jobs survive");
+        prop_assert!(stats.job_fraction_removed > 0.0);
+        prop_assert!(stats.usage_fraction_removed >= 0.0);
+        prop_assert!(stats.usage_fraction_removed < admin_frac + zero_frac,
+            "noise carries less usage than its job share");
+        // Cleaning is idempotent.
+        let (again, s2) = clean(&cleaned);
+        prop_assert_eq!(again.len(), cleaned.len());
+        prop_assert_eq!(s2.job_fraction_removed, 0.0);
+    }
+
+    #[test]
+    fn year_trace_statistics_sane(jobs in 2000usize..10_000, seed in 0u64..100) {
+        let t = synthetic_year(jobs, seed);
+        // All arrivals inside the year; all durations positive.
+        for j in t.jobs() {
+            prop_assert!((0.0..=YEAR_S).contains(&j.submit_s));
+            prop_assert!(j.duration_s > 0.0);
+            prop_assert_eq!(j.cores, 1, "bag-of-task: single processor");
+        }
+        // Job mix near the historical shares.
+        for (user, share) in t.job_share_by_user() {
+            let expected = UserClass::parse(&user).unwrap().job_share();
+            prop_assert!((share - expected).abs() < 0.03, "{user}: {share}");
+        }
+        // U65 dominates jobs; U30's median duration above U65's.
+        let med = |u: &str| {
+            let mut d = t.durations(Some(u));
+            d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            d[d.len() / 2]
+        };
+        prop_assert!(med("U30") > med("U65"));
+        prop_assert!(med("U3") < med("U65"));
+    }
+
+    #[test]
+    fn merged_traces_sorted_and_complete(
+        n1 in 1usize..100,
+        n2 in 1usize..100,
+        seed in 0u64..50,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mk = |n: usize, rng: &mut rand::rngs::StdRng| {
+            Trace::new(
+                (0..n)
+                    .map(|_| TraceJob {
+                        user: "U65".to_string(),
+                        submit_s: rng.gen::<f64>() * 1000.0,
+                        duration_s: 1.0,
+                        cores: 1,
+                    })
+                    .collect(),
+            )
+        };
+        let a = mk(n1, &mut rng);
+        let b = mk(n2, &mut rng);
+        let m = a.merged(&b);
+        prop_assert_eq!(m.len(), n1 + n2);
+        for w in m.jobs().windows(2) {
+            prop_assert!(w[0].submit_s <= w[1].submit_s);
+        }
+    }
+}

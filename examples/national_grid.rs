@@ -1,0 +1,57 @@
+//! The paper's national test bed at full fidelity: six clusters × 40 virtual
+//! hosts (10% of the Swedish national grid), 43,200 jobs over six hours at
+//! 95% load, policy = historical usage shares.
+//!
+//! ```sh
+//! cargo run --release --example national_grid
+//! ```
+
+use aequus::sim::{GridScenario, GridSimulation};
+use aequus::workload::users::baseline_policy_shares;
+use aequus::workload::{test_trace, TestTraceConfig};
+
+fn main() {
+    let scenario = GridScenario::national_testbed(&baseline_policy_shares(), 42);
+    let trace = test_trace(&TestTraceConfig::default()); // 43,200 jobs / 6 h / 95%
+    eprintln!(
+        "simulating {} jobs on {} cores across {} clusters...",
+        trace.len(),
+        scenario.total_cores(),
+        scenario.clusters.len()
+    );
+    let result = GridSimulation::new(scenario).run(&trace, 1800.0);
+
+    println!("# National grid baseline");
+    println!(
+        "completed {}/{} jobs; mean utilization {:.1}%",
+        result.total_completed(),
+        result.total_submitted(),
+        100.0 * result.mean_utilization()
+    );
+    println!(
+        "sustained submission rate {:.0} jobs/min, peak {} jobs/min",
+        result.metrics.sustained_submission_rate(),
+        result.metrics.peak_submission_rate()
+    );
+    println!("\nusage shares over time (targets: .6525 .3049 .0286 .0140):");
+    println!("{:>7} {:>8} {:>8} {:>8} {:>8}", "t(min)", "U65", "U30", "U3", "Uoth");
+    for s in result.metrics.samples().iter().step_by(15) {
+        let sh = |u: &str| s.users.get(u).map(|x| x.usage_share).unwrap_or(0.0);
+        println!(
+            "{:>7.0} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            s.t_s / 60.0,
+            sh("U65"),
+            sh("U30"),
+            sh("U3"),
+            sh("Uoth")
+        );
+    }
+    let windows: Vec<String> = result
+        .metrics
+        .balance_windows(0.10)
+        .iter()
+        .filter(|(a, b)| b - a >= 600.0)
+        .map(|(a, b)| format!("[{:.0},{:.0}] min", a / 60.0, b / 60.0))
+        .collect();
+    println!("\nbalance windows (max deviation < 0.10): {}", windows.join(", "));
+}

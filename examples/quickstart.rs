@@ -1,0 +1,53 @@
+//! Quickstart: run a small grid with global fairshare and watch priorities
+//! converge.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use aequus::sim::{GridSimulation, GridScenario};
+use aequus::workload::{test_trace, TestTraceConfig};
+use aequus::workload::users::baseline_policy_shares;
+
+fn main() {
+    // The paper's baseline: six clusters × 40 virtual hosts, percental
+    // projection, fairshare-only priority, policy = historical shares.
+    let policy = baseline_policy_shares();
+    let scenario = GridScenario::national_testbed(&policy, 42);
+
+    // A compressed test trace: 6 hours, 43,200 jobs, 95% load — the paper's
+    // exact test shape (runs in a couple of seconds).
+    let trace = test_trace(&TestTraceConfig::default());
+    println!(
+        "trace: {} jobs, {:.0} core-hours of work",
+        trace.len(),
+        trace.total_work() / 3600.0
+    );
+
+    let result = GridSimulation::new(scenario).run(&trace, 1800.0);
+
+    println!(
+        "completed {}/{} jobs, mean utilization {:.1}%",
+        result.total_completed(),
+        result.total_submitted(),
+        100.0 * result.mean_utilization()
+    );
+    println!("\n t(min)   U65-share  U30-share  U3-share  Uoth-share  | U65-prio");
+    for s in result.metrics.samples().iter().step_by(5) {
+        let share = |u: &str| s.users.get(u).map(|x| x.usage_share).unwrap_or(0.0);
+        let prio = |u: &str| s.users.get(u).map(|x| x.priority).unwrap_or(0.0);
+        println!(
+            "{:7.1}   {:9.3}  {:9.3}  {:8.3}  {:10.3}  | {:8.3}",
+            s.t_s / 60.0,
+            share("U65"),
+            share("U30"),
+            share("U3"),
+            share("Uoth"),
+            prio("U65"),
+        );
+    }
+    match result.metrics.convergence_time(0.12, 1800.0) {
+        Some(t) => println!("\nbalance (deviation < 0.12, 30 min dwell) reached at {:.0} min", t / 60.0),
+        None => println!("\nfinal deviation: {:.3}", result.metrics.final_deviation()),
+    }
+}

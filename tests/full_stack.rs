@@ -1,0 +1,167 @@
+//! Full-stack integration tests: trace generation → grid simulation →
+//! fairshare behavior, spanning every crate in the workspace.
+
+use aequus::core::{DecayPolicy, GridUser};
+use aequus::sim::{DispatchPolicy, FaultPlan, GridScenario, GridSimulation, Outage};
+use aequus::workload::users::baseline_policy_shares;
+use aequus::workload::{test_trace, TestTraceConfig, Trace, TraceJob};
+
+fn small_scenario(seed: u64) -> GridScenario {
+    GridScenario::national_testbed(&baseline_policy_shares(), seed)
+}
+
+fn small_trace(jobs: usize, seed: u64) -> Trace {
+    test_trace(&TestTraceConfig {
+        total_jobs: jobs,
+        seed,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn grid_completes_paper_scale_workload() {
+    let result = GridSimulation::new(small_scenario(1)).run(&small_trace(10_000, 1), 2400.0);
+    let completed = result.total_completed();
+    assert!(
+        completed as f64 > 0.98 * 10_000.0,
+        "only {completed}/10000 completed"
+    );
+}
+
+#[test]
+fn completed_usage_mix_matches_submitted_mix() {
+    let trace = small_trace(10_000, 2);
+    let result = GridSimulation::new(small_scenario(2)).run(&trace, 3600.0);
+    let usage = result.usage_by_user();
+    let total: f64 = usage.values().sum();
+    for (user, submitted_share) in trace.usage_share_by_user() {
+        let completed_share = usage
+            .get(&GridUser::new(user.clone()))
+            .copied()
+            .unwrap_or(0.0)
+            / total;
+        assert!(
+            (completed_share - submitted_share).abs() < 0.03,
+            "{user}: completed {completed_share:.3} vs submitted {submitted_share:.3}"
+        );
+    }
+}
+
+#[test]
+fn fairshare_throttles_overconsumer_end_to_end() {
+    // Two users, equal policy shares, but user "hog" submits 4x the work of
+    // "meek" early on; once both compete for the machine, meek's jobs must
+    // observe shorter queue waits on average.
+    let policy = [("hog", 0.5), ("meek", 0.5)];
+    let mut scenario = GridScenario::national_testbed(&policy, 3);
+    scenario.clusters.truncate(2);
+    for c in &mut scenario.clusters {
+        c.nodes = 8;
+    }
+    let mut jobs = Vec::new();
+    for i in 0..400 {
+        jobs.push(TraceJob {
+            user: "hog".to_string(),
+            submit_s: i as f64 * 10.0,
+            duration_s: 200.0,
+            cores: 1,
+        });
+    }
+    for i in 0..100 {
+        jobs.push(TraceJob {
+            user: "meek".to_string(),
+            submit_s: 1000.0 + i as f64 * 40.0,
+            duration_s: 200.0,
+            cores: 1,
+        });
+    }
+    let trace = Trace::new(jobs);
+    let result = GridSimulation::new(scenario).run(&trace, 20_000.0);
+    // The priority series must show hog below balance and meek above once
+    // the imbalance is visible.
+    let hog = result.metrics.priority_series("hog");
+    let meek = result.metrics.priority_series("meek");
+    let mid = hog.len() / 2;
+    assert!(hog[mid].1 < 0.0, "hog over-consumed: {}", hog[mid].1);
+    assert!(meek[mid].1 > 0.0, "meek under-served: {}", meek[mid].1);
+}
+
+#[test]
+fn round_robin_and_stochastic_agree_within_noise() {
+    // The paper's finding: "without any noticeable difference".
+    let trace = small_trace(6000, 4);
+    let run = |policy| {
+        let mut sc = small_scenario(4);
+        sc.dispatch = policy;
+        GridSimulation::new(sc).run(&trace, 2400.0)
+    };
+    let a = run(DispatchPolicy::Stochastic);
+    let b = run(DispatchPolicy::RoundRobin);
+    let ca = a.total_completed() as f64;
+    let cb = b.total_completed() as f64;
+    assert!((ca - cb).abs() / ca < 0.02, "{ca} vs {cb}");
+    assert!((a.mean_utilization() - b.mean_utilization()).abs() < 0.05);
+}
+
+#[test]
+fn gossip_drops_degrade_gracefully() {
+    let trace = small_trace(6000, 5);
+    let clean = GridSimulation::new(small_scenario(5)).run(&trace, 2400.0);
+    let mut faulty_sc = small_scenario(5);
+    faulty_sc.faults = FaultPlan {
+        drop_probability: 0.5,
+        outages: vec![],
+    };
+    let faulty = GridSimulation::new(faulty_sc).run(&trace, 2400.0);
+    // Work still completes despite losing half the exchange traffic.
+    assert!(faulty.total_completed() as f64 > 0.97 * clean.total_completed() as f64);
+}
+
+#[test]
+fn site_outage_does_not_stall_grid() {
+    let trace = small_trace(6000, 6);
+    let mut sc = small_scenario(6);
+    sc.faults = FaultPlan {
+        drop_probability: 0.0,
+        outages: vec![Outage {
+            cluster: 0,
+            from_s: 1800.0,
+            to_s: 10_800.0,
+        }],
+    };
+    let result = GridSimulation::new(sc).run(&trace, 3600.0);
+    assert!(result.total_completed() as f64 > 0.97 * 6000.0);
+}
+
+#[test]
+fn decay_policy_changes_measured_shares_not_completions() {
+    let trace = small_trace(6000, 7);
+    let run = |decay| {
+        let mut sc = small_scenario(7);
+        sc.fairshare.decay = decay;
+        GridSimulation::new(sc).run(&trace, 2400.0)
+    };
+    let exp = run(DecayPolicy::Exponential { half_life_s: 1800.0 });
+    let none = run(DecayPolicy::None);
+    assert_eq!(exp.total_completed(), none.total_completed());
+    // Undecayed shares integrate all history → smoother (lower variance).
+    let var = |r: &aequus::sim::SimResult| {
+        let s = r.metrics.usage_share_series("U65");
+        let tail = &s[s.len() / 2..];
+        let mean = tail.iter().map(|(_, v)| v).sum::<f64>() / tail.len() as f64;
+        tail.iter().map(|(_, v)| (v - mean).powi(2)).sum::<f64>() / tail.len() as f64
+    };
+    assert!(var(&none) <= var(&exp) + 1e-9, "{} vs {}", var(&none), var(&exp));
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let trace = small_trace(4000, 8);
+    let r1 = GridSimulation::new(small_scenario(8)).run(&trace, 2400.0);
+    let r2 = GridSimulation::new(small_scenario(8)).run(&trace, 2400.0);
+    assert_eq!(r1.total_completed(), r2.total_completed());
+    assert_eq!(r1.events_processed, r2.events_processed);
+    let s1 = r1.metrics.usage_share_series("U65");
+    let s2 = r2.metrics.usage_share_series("U65");
+    assert_eq!(s1, s2);
+}

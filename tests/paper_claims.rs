@@ -1,0 +1,218 @@
+//! The paper's headline claims, as executable assertions against the full
+//! stack. Each test names the claim it checks (section in parentheses).
+
+use aequus::core::policy::{PolicyNode, PolicyTree};
+use aequus::core::projection::ProjectionKind;
+use aequus::core::{parse_policy, EntityPath, GridUser};
+use aequus::services::ParticipationMode;
+use aequus::sim::{GridScenario, GridSimulation};
+use aequus::workload::users::{baseline_policy_shares, bursty_usage_shares};
+use aequus::workload::{test_trace, TestTraceConfig};
+
+const QUICK_JOBS: usize = 15_000;
+
+/// (§IV-A-5) "For U3 in this test, this indicates a maximum priority value
+/// of 0.5 × (1 + 0.12) = 0.56, which is consistent with the data shown in
+/// Figure 13b."
+#[test]
+fn claim_bursty_u3_priority_bound() {
+    let policy: Vec<(&str, f64)> = bursty_usage_shares()
+        .iter()
+        .map(|(u, s)| (u.name(), *s))
+        .collect();
+    let scenario = GridScenario::national_testbed(&policy, 42);
+    let trace = test_trace(&TestTraceConfig {
+        total_jobs: QUICK_JOBS,
+        ..TestTraceConfig::bursty(42)
+    });
+    let result = GridSimulation::new(scenario).run(&trace, 1800.0);
+    let max_u3 = result
+        .metrics
+        .priority_series("U3")
+        .iter()
+        .map(|(_, p)| *p)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(max_u3 <= 0.56 + 1e-9, "bound violated: {max_u3}");
+    assert!(
+        (max_u3 - 0.56).abs() < 0.02,
+        "idle U3 should reach its bound: {max_u3}"
+    );
+}
+
+/// (§IV-A) "The system is shown to behave consistently despite great
+/// variations in job arrival patterns": baseline reaches a sustained balance
+/// window.
+#[test]
+fn claim_baseline_reaches_balance() {
+    let scenario = GridScenario::national_testbed(&baseline_policy_shares(), 42);
+    let trace = test_trace(&TestTraceConfig {
+        total_jobs: QUICK_JOBS,
+        ..Default::default()
+    });
+    let result = GridSimulation::new(scenario).run(&trace, 1800.0);
+    let conv = result.metrics.convergence_time(0.12, 1800.0);
+    assert!(conv.is_some(), "no balance window found");
+}
+
+/// (§IV-A-4) "The priority on the site reading global data remains well
+/// aligned with the priority of fully participating sites... The data from
+/// this site acts as noise for the other sites, but this noise does not
+/// have a noticeable impact."
+#[test]
+fn claim_partial_participation_alignment() {
+    let mut scenario = GridScenario::national_testbed(&baseline_policy_shares(), 42);
+    scenario.clusters[1].participation = ParticipationMode::ReadOnly;
+    scenario.clusters[2].participation = ParticipationMode::LocalOnly;
+    let trace = test_trace(&TestTraceConfig {
+        total_jobs: QUICK_JOBS,
+        ..Default::default()
+    });
+    let result = GridSimulation::new(scenario).run(&trace, 1800.0);
+
+    let mean_abs_diff = |site: usize| {
+        let samples = result.metrics.samples();
+        let diffs: Vec<f64> = samples
+            .iter()
+            .filter_map(|s| {
+                let p = s.per_site_priority.get(site)?.get("U65")?;
+                let p0 = s.per_site_priority.first()?.get("U65")?;
+                Some((p - p0).abs())
+            })
+            .collect();
+        diffs.iter().sum::<f64>() / diffs.len().max(1) as f64
+    };
+    let read_only = mean_abs_diff(1);
+    let local_only = mean_abs_diff(2);
+    let full_band = (3..6).map(mean_abs_diff).fold(0.0f64, f64::max);
+    assert!(
+        read_only <= full_band * 1.5,
+        "read-only site must track the full sites: {read_only} vs band {full_band}"
+    );
+    assert!(
+        local_only > read_only,
+        "local-only site deviates more: {local_only} vs {read_only}"
+    );
+}
+
+/// (§IV-A) "Both stochastic and round-robin scheduling ... have been
+/// evaluated without any noticeable difference."
+#[test]
+fn claim_dispatch_equivalence() {
+    use aequus::sim::DispatchPolicy;
+    let trace = test_trace(&TestTraceConfig {
+        total_jobs: 8000,
+        ..Default::default()
+    });
+    let run = |policy| {
+        let mut sc = GridScenario::national_testbed(&baseline_policy_shares(), 42);
+        sc.dispatch = policy;
+        GridSimulation::new(sc).run(&trace, 2400.0)
+    };
+    let a = run(DispatchPolicy::Stochastic);
+    let b = run(DispatchPolicy::RoundRobin);
+    let rel = (a.total_completed() as f64 - b.total_completed() as f64).abs()
+        / a.total_completed() as f64;
+    assert!(rel < 0.02, "completion difference {rel}");
+    assert!((a.mean_utilization() - b.mean_utilization()).abs() < 0.05);
+}
+
+/// (§II-A) "Globally managed sub-policies can be dynamically mounted into a
+/// locally administered root node ... local administrators assign parts of
+/// the resources to one or more grids while retaining full control."
+#[test]
+fn claim_mounting_end_to_end() {
+    // The grid's PDS exports its internal subdivision; a site policy file
+    // reserves 30% for it; the mounted tree drives a real simulation.
+    let site_policy_text = "\
+/local   70
+/swegrid 30   mount=national
+";
+    let mut site_policy = parse_policy(site_policy_text).unwrap();
+    let grid_subdivision = PolicyTree::new(PolicyNode::group(
+        "swegrid",
+        1.0,
+        baseline_policy_shares()
+            .iter()
+            .map(|(n, s)| PolicyNode::user(*n, *s))
+            .collect(),
+    ))
+    .unwrap();
+    site_policy
+        .mount(&EntityPath::parse("/swegrid"), &grid_subdivision)
+        .unwrap();
+    // Absolute shares: local 0.7; U65 = 0.3 × 0.6525.
+    assert!(
+        (site_policy
+            .absolute_share(&EntityPath::parse("/swegrid/U65"))
+            .unwrap()
+            - 0.3 * 0.6525)
+            .abs()
+            < 1e-9
+    );
+
+    let mut scenario =
+        GridScenario::national_testbed(&baseline_policy_shares(), 42).with_policy(site_policy);
+    scenario.clusters.truncate(2);
+    let trace = test_trace(&TestTraceConfig {
+        total_jobs: 4000,
+        capacity_cores: 80,
+        ..Default::default()
+    });
+    let result = GridSimulation::new(scenario).run(&trace, 6000.0);
+    // Grid users run under the mounted subtree; their priorities exist and
+    // respect the k-bound for their mounted absolute shares.
+    let u65 = result.metrics.priority_series("U65");
+    assert!(!u65.is_empty(), "mounted user tracked through the stack");
+    for (_, p) in &u65 {
+        assert!(*p <= 0.5 * (1.0 + 0.6525) + 1e-9);
+    }
+}
+
+/// (§III-A) "Previously resolved fairshare values and identities are cached
+/// within the library, which considerably reduces the amount of network
+/// traffic and computations required when batches of jobs are submitted."
+#[test]
+fn claim_libaequus_cache_absorbs_batches() {
+    use aequus::core::fairshare::FairshareConfig;
+    use aequus::core::policy::flat_policy;
+    use aequus::core::SiteId;
+    use aequus::services::{AequusSite, ServiceTimings};
+
+    let mut site = AequusSite::new(
+        SiteId(0),
+        flat_policy(&[("a", 0.5), ("b", 0.5)]).unwrap(),
+        FairshareConfig::default(),
+        ProjectionKind::Percental,
+        ServiceTimings::default(),
+        ParticipationMode::Full,
+        60.0,
+    );
+    site.tick(0.0);
+    // A batch of 500 queries inside one TTL window.
+    for i in 0..500 {
+        site.fairshare(&GridUser::new("a"), i as f64 * 0.01);
+    }
+    assert!(site.lib.fairshare_stats.hit_ratio() > 0.99);
+}
+
+/// (§IV) Production stability: HPC2N-shaped cluster at ~40,000 jobs/month —
+/// queues stay bounded and the run completes.
+#[test]
+fn claim_production_stability() {
+    let mut scenario = GridScenario::production_cluster(&baseline_policy_shares(), 42);
+    scenario.tick_interval_s = 60.0;
+    scenario.sample_interval_s = 3600.0;
+    scenario.usage_slot_s = 3600.0;
+    let month_s = 30.0 * 86400.0;
+    let trace = test_trace(&TestTraceConfig {
+        total_jobs: 40_000,
+        test_len_s: month_s,
+        load_target: 0.8,
+        capacity_cores: scenario.total_cores(),
+        ..Default::default()
+    });
+    let result = GridSimulation::new(scenario).run(&trace, 86400.0);
+    assert!(result.total_completed() as f64 >= 0.99 * 40_000.0);
+    let final_pending = result.metrics.samples().last().unwrap().pending;
+    assert!(final_pending < 500, "queue must drain: {final_pending}");
+}
