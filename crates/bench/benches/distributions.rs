@@ -2,9 +2,9 @@
 //! workload-model families, KS evaluation, and a small BIC model-selection
 //! pass (the Table II/III machinery).
 
+use aequus_bench::harness::Criterion;
 use aequus_stats::dist::{BirnbaumSaunders, Burr, Gev, Weibull};
 use aequus_stats::{sample_n, select_best, ContinuousDistribution};
-use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -55,5 +55,9 @@ fn bench_model_selection(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sampling, bench_ks, bench_model_selection);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_sampling(&mut c);
+    bench_ks(&mut c);
+    bench_model_selection(&mut c);
+}

@@ -2,11 +2,12 @@
 //! vector extraction, and the three projection algorithms — the work the
 //! FCS performs on every periodic refresh.
 
+use aequus_bench::harness::{BenchmarkId, Criterion};
+use aequus_core::arena::DirtySet;
 use aequus_core::fairshare::{FairshareConfig, FairshareTree};
 use aequus_core::policy::{PolicyNode, PolicyTree};
 use aequus_core::projection::ProjectionKind;
 use aequus_core::GridUser;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::BTreeMap;
 use std::hint::black_box;
 
@@ -69,6 +70,37 @@ fn bench_projections(c: &mut Criterion) {
     group.finish();
 }
 
+/// Full recompute vs dirty-subtree recompute on a deep 1024-user tree with
+/// 1% of the users churning between refreshes — the steady-state workload of
+/// the incremental FCS refresh path.
+fn bench_full_vs_incremental(c: &mut Criterion) {
+    let cfg = FairshareConfig::default();
+    let (groups, users) = (32, 32);
+    let p = policy(groups, users);
+    let mut u = usage(groups, users);
+    // 1% churn: every 100th user's usage moves, and only those are dirty.
+    let churned: Vec<GridUser> = (0..groups * users)
+        .step_by(100)
+        .map(|i| GridUser::new(format!("g{}u{}", i / users, i % users)))
+        .collect();
+    let mut dirty = DirtySet::new();
+    for user in &churned {
+        *u.get_mut(user).unwrap() += 5.0;
+        dirty.mark_user(user.clone());
+    }
+
+    let mut group = c.benchmark_group("refresh_1024users_1pct_churn");
+    group.bench_function("full_compute", |b| {
+        b.iter(|| FairshareTree::compute(black_box(&p), black_box(&u), &cfg, 0.0))
+    });
+    let tree = FairshareTree::compute(&p, &u, &cfg, 0.0);
+    group.bench_function("incremental_recompute", |b| {
+        let mut t = tree.clone();
+        b.iter(|| black_box(&mut t).recompute_dirty(&p, &u, black_box(&dirty), 0.0))
+    });
+    group.finish();
+}
+
 fn bench_vector_extraction(c: &mut Criterion) {
     let cfg = FairshareConfig::default();
     let p = policy(32, 32);
@@ -79,10 +111,10 @@ fn bench_vector_extraction(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_tree_compute,
-    bench_projections,
-    bench_vector_extraction
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_tree_compute(&mut c);
+    bench_full_vs_incremental(&mut c);
+    bench_projections(&mut c);
+    bench_vector_extraction(&mut c);
+}

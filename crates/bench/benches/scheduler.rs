@@ -2,16 +2,15 @@
 //! EASY backfill over large pending queues (the state the 95%-load tests
 //! put the schedulers in).
 
+use aequus_bench::harness::{BatchSize, BenchmarkId, Criterion};
 use aequus_core::fairshare::FairshareConfig;
+use aequus_core::ids::{JobId, SiteId};
 use aequus_core::policy::flat_policy;
 use aequus_core::projection::ProjectionKind;
-use aequus_core::ids::{JobId, SiteId};
 use aequus_core::{GridUser, SystemUser};
 use aequus_rms::{
-    FactorConfig, Job, LocalFairshare, NodePool, PriorityWeights, ReprioritizePolicy,
-    SchedulerCore,
+    FactorConfig, Job, LocalFairshare, NodePool, PriorityWeights, ReprioritizePolicy, SchedulerCore,
 };
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn source() -> LocalFairshare {
@@ -60,7 +59,7 @@ fn bench_advance(c: &mut Criterion) {
                         sched.advance(black_box(&mut src), 1.0);
                         sched
                     },
-                    criterion::BatchSize::LargeInput,
+                    BatchSize::LargeInput,
                 )
             },
         );
@@ -68,5 +67,7 @@ fn bench_advance(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_advance);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_advance(&mut c);
+}

@@ -2,6 +2,7 @@
 //! production, FCS refresh, and libaequus query latency (cache hit vs miss)
 //! — the per-job costs the throughput test (§IV-A) exercises.
 
+use aequus_bench::harness::Criterion;
 use aequus_core::fairshare::FairshareConfig;
 use aequus_core::ids::{JobId, SiteId};
 use aequus_core::policy::flat_policy;
@@ -9,7 +10,6 @@ use aequus_core::projection::ProjectionKind;
 use aequus_core::usage::UsageRecord;
 use aequus_core::{DecayPolicy, GridUser};
 use aequus_services::{Fcs, LibAequus, ParticipationMode, Pds, Ums, Uss};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn record(i: u64) -> UsageRecord {
@@ -50,25 +50,25 @@ fn setup_fcs() -> (Pds, Ums, Uss, Fcs) {
         uss.ingest(&record(i));
     }
     let mut ums = Ums::new(0.0, DecayPolicy::default());
-    ums.refresh(&uss, 6000.0);
+    ums.refresh(&mut uss, 6000.0);
     let fcs = Fcs::new(FairshareConfig::default(), ProjectionKind::Percental, 30.0);
     (pds, ums, uss, fcs)
 }
 
 fn bench_fcs_refresh(c: &mut Criterion) {
-    let (pds, ums, _uss, mut fcs) = setup_fcs();
+    let (mut pds, mut ums, _uss, mut fcs) = setup_fcs();
     c.bench_function("fcs_refresh_50users", |b| {
         let mut t = 0.0;
         b.iter(|| {
             t += 100.0; // always stale
-            fcs.refresh(black_box(&pds), black_box(&ums), t)
+            fcs.refresh(black_box(&mut pds), black_box(&mut ums), t)
         })
     });
 }
 
 fn bench_libaequus(c: &mut Criterion) {
-    let (pds, ums, _uss, mut fcs) = setup_fcs();
-    fcs.refresh(&pds, &ums, 0.0);
+    let (mut pds, mut ums, _uss, mut fcs) = setup_fcs();
+    fcs.refresh(&mut pds, &mut ums, 0.0);
     c.bench_function("libaequus_query_cache_hit", |b| {
         let mut lib = LibAequus::new(1e12, 1e12);
         let user = GridUser::new("u7");
@@ -82,5 +82,9 @@ fn bench_libaequus(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_uss, bench_fcs_refresh, bench_libaequus);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_uss(&mut c);
+    bench_fcs_refresh(&mut c);
+    bench_libaequus(&mut c);
+}

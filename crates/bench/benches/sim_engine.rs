@@ -1,10 +1,10 @@
 //! End-to-end simulation benchmarks: events per second of the full
 //! integrated stack on miniature versions of the paper's scenarios.
 
+use aequus_bench::harness::Criterion;
 use aequus_bench::{baseline_trace, run_baseline, run_bursty};
 use aequus_sim::{GridScenario, GridSimulation};
 use aequus_workload::users::baseline_policy_shares;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_baseline_mini(c: &mut Criterion) {
@@ -36,5 +36,8 @@ fn bench_event_rate(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_baseline_mini, bench_event_rate);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_baseline_mini(&mut c);
+    bench_event_rate(&mut c);
+}

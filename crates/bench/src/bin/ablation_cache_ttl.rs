@@ -9,7 +9,10 @@ fn main() {
     let jobs = jobs_arg(15_000);
     let trace = baseline_trace(jobs, 42);
     println!("# Ablation: delay-chain scale (all cache times + TTLs x factor)");
-    println!("{:<8} {:>18} {:>14} {:>16}", "factor", "pipeline delay(s)", "converge(min)", "final deviation");
+    println!(
+        "{:<8} {:>18} {:>14} {:>16}",
+        "factor", "pipeline delay(s)", "converge(min)", "final deviation"
+    );
     let factors = [0.2, 0.5, 1.0, 2.0, 5.0, 10.0];
     let results = aequus_bench::parallel_sweep(&factors, |&factor| {
         let mut scenario = GridScenario::national_testbed(&baseline_policy_shares(), 42);
@@ -18,12 +21,15 @@ fn main() {
         (scenario.timings.worst_case_pipeline_s(), result)
     });
     for (factor, (pipeline, result)) in factors.iter().zip(&results) {
-        let conv = result.metrics.convergence_time(BALANCE_EPS, BALANCE_DWELL_S);
+        let conv = result
+            .metrics
+            .convergence_time(BALANCE_EPS, BALANCE_DWELL_S);
         println!(
             "{:<8.1} {:>18.0} {:>14} {:>16.3}",
             factor,
             pipeline,
-            conv.map(|t| format!("{:.0}", t / 60.0)).unwrap_or("—".to_string()),
+            conv.map(|t| format!("{:.0}", t / 60.0))
+                .unwrap_or("—".to_string()),
             result.metrics.final_deviation()
         );
     }

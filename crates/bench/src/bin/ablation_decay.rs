@@ -12,24 +12,46 @@ fn main() {
     let trace = baseline_trace(jobs, 42);
     let cases: Vec<(String, DecayPolicy)> = vec![
         ("none".into(), DecayPolicy::None),
-        ("exp half-life 10min".into(), DecayPolicy::Exponential { half_life_s: 600.0 }),
-        ("exp half-life 30min".into(), DecayPolicy::Exponential { half_life_s: 1800.0 }),
-        ("exp half-life 2h".into(), DecayPolicy::Exponential { half_life_s: 7200.0 }),
-        ("window 30min".into(), DecayPolicy::Window { window_s: 1800.0 }),
+        (
+            "exp half-life 10min".into(),
+            DecayPolicy::Exponential { half_life_s: 600.0 },
+        ),
+        (
+            "exp half-life 30min".into(),
+            DecayPolicy::Exponential {
+                half_life_s: 1800.0,
+            },
+        ),
+        (
+            "exp half-life 2h".into(),
+            DecayPolicy::Exponential {
+                half_life_s: 7200.0,
+            },
+        ),
+        (
+            "window 30min".into(),
+            DecayPolicy::Window { window_s: 1800.0 },
+        ),
         ("window 2h".into(), DecayPolicy::Window { window_s: 7200.0 }),
         ("linear 1h".into(), DecayPolicy::Linear { span_s: 3600.0 }),
     ];
     println!("# Ablation: decay function (measurement + prioritization window)");
-    println!("{:<22} {:>14} {:>16}", "decay", "converge(min)", "final deviation");
+    println!(
+        "{:<22} {:>14} {:>16}",
+        "decay", "converge(min)", "final deviation"
+    );
     for (name, decay) in cases {
         let mut scenario = GridScenario::national_testbed(&baseline_policy_shares(), 42);
         scenario.fairshare.decay = decay;
         let result = GridSimulation::new(scenario).run(&trace, 1800.0);
-        let conv = result.metrics.convergence_time(BALANCE_EPS, BALANCE_DWELL_S);
+        let conv = result
+            .metrics
+            .convergence_time(BALANCE_EPS, BALANCE_DWELL_S);
         println!(
             "{:<22} {:>14} {:>16.3}",
             name,
-            conv.map(|t| format!("{:.0}", t / 60.0)).unwrap_or("—".to_string()),
+            conv.map(|t| format!("{:.0}", t / 60.0))
+                .unwrap_or("—".to_string()),
             result.metrics.final_deviation()
         );
     }

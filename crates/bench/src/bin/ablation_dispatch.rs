@@ -9,16 +9,22 @@ fn main() {
     let jobs = jobs_arg(15_000);
     let trace = baseline_trace(jobs, 42);
     println!("# Ablation: dispatch policy");
-    println!("{:<12} {:>14} {:>16} {:>12}", "dispatch", "converge(min)", "final deviation", "util(%)");
+    println!(
+        "{:<12} {:>14} {:>16} {:>12}",
+        "dispatch", "converge(min)", "final deviation", "util(%)"
+    );
     for policy in [DispatchPolicy::Stochastic, DispatchPolicy::RoundRobin] {
         let mut scenario = GridScenario::national_testbed(&baseline_policy_shares(), 42);
         scenario.dispatch = policy;
         let result = GridSimulation::new(scenario).run(&trace, 1800.0);
-        let conv = result.metrics.convergence_time(BALANCE_EPS, BALANCE_DWELL_S);
+        let conv = result
+            .metrics
+            .convergence_time(BALANCE_EPS, BALANCE_DWELL_S);
         println!(
             "{:<12} {:>14} {:>16.3} {:>12.1}",
             format!("{policy:?}"),
-            conv.map(|t| format!("{:.0}", t / 60.0)).unwrap_or("—".to_string()),
+            conv.map(|t| format!("{:.0}", t / 60.0))
+                .unwrap_or("—".to_string()),
             result.metrics.final_deviation(),
             100.0 * result.mean_utilization()
         );

@@ -21,7 +21,9 @@ fn main() {
         GridSimulation::new(scenario).run(&trace, 1800.0)
     });
     for (k, result) in ks.iter().zip(&results) {
-        let conv = result.metrics.convergence_time(BALANCE_EPS, BALANCE_DWELL_S);
+        let conv = result
+            .metrics
+            .convergence_time(BALANCE_EPS, BALANCE_DWELL_S);
         let max_u3 = result
             .metrics
             .priority_series("U3")
@@ -31,7 +33,8 @@ fn main() {
         println!(
             "{:>5.2} {:>14} {:>16.3} {:>16.3}",
             k,
-            conv.map(|t| format!("{:.0}", t / 60.0)).unwrap_or("—".to_string()),
+            conv.map(|t| format!("{:.0}", t / 60.0))
+                .unwrap_or("—".to_string()),
             max_u3,
             result.metrics.final_deviation()
         );

@@ -12,16 +12,22 @@ fn main() {
     let jobs = jobs_arg(15_000);
     let trace = baseline_trace(jobs, 42);
     println!("# Ablation: projection algorithm, end-to-end");
-    println!("{:<12} {:>14} {:>16} {:>14}", "projection", "converge(min)", "final deviation", "completed");
+    println!(
+        "{:<12} {:>14} {:>16} {:>14}",
+        "projection", "converge(min)", "final deviation", "completed"
+    );
     for kind in ProjectionKind::ALL {
         let mut scenario = GridScenario::national_testbed(&baseline_policy_shares(), 42);
         scenario.projection = kind;
         let result = GridSimulation::new(scenario).run(&trace, 1800.0);
-        let conv = result.metrics.convergence_time(BALANCE_EPS, BALANCE_DWELL_S);
+        let conv = result
+            .metrics
+            .convergence_time(BALANCE_EPS, BALANCE_DWELL_S);
         println!(
             "{:<12} {:>14} {:>16.3} {:>14}",
             format!("{kind:?}"),
-            conv.map(|t| format!("{:.0}", t / 60.0)).unwrap_or("—".to_string()),
+            conv.map(|t| format!("{:.0}", t / 60.0))
+                .unwrap_or("—".to_string()),
             result.metrics.final_deviation(),
             result.total_completed()
         );

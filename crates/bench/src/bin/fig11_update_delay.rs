@@ -15,7 +15,10 @@ fn main() {
     );
     let outcomes = parallel_sweep(&seeds, |&seed| run_update_delay(jobs, 10.0, seed));
     println!("# Figure 11: relative convergence time (fraction of test length)");
-    println!("{:>6} {:>10} {:>10} {:>13}", "seed", "baseline", "scaled", "improvement");
+    println!(
+        "{:>6} {:>10} {:>10} {:>13}",
+        "seed", "baseline", "scaled", "improvement"
+    );
     let mut improvements = Vec::new();
     for (seed, o) in seeds.iter().zip(&outcomes) {
         println!(

@@ -59,7 +59,11 @@ fn main() {
         .collect();
     println!(
         "active-user balance windows (idle users excluded, paper's balance notion): {}",
-        if active_windows.is_empty() { "none".to_string() } else { active_windows.join(" ") }
+        if active_windows.is_empty() {
+            "none".to_string()
+        } else {
+            active_windows.join(" ")
+        }
     );
     println!("{}", report::render_summary("bursty", &result));
 }

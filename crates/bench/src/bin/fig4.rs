@@ -20,12 +20,7 @@ fn main() {
     println!("# Figure 4: jobs per day (total vs U65), bin = 1 day");
     println!("{:>5} {:>9} {:>9}", "day", "total", "U65");
     for d in 0..365 {
-        println!(
-            "{:>5} {:>9} {:>9}",
-            d,
-            total.counts()[d],
-            u65.counts()[d]
-        );
+        println!("{:>5} {:>9} {:>9}", d, total.counts()[d], u65.counts()[d]);
     }
     // Shape summary: U65 dominance.
     let u65_frac = u65.total() as f64 / total.total() as f64;

@@ -19,8 +19,10 @@ fn main() {
     }
     let model = u65_composite_arrival();
     println!("# Figure 5: U65 arrival density, empirical vs Eq.(1) composite");
-    println!("# phase boundaries (days): {:?}",
-        u65_phase_bounds().map(|(lo, _)| (lo / 86400.0) as u32));
+    println!(
+        "# phase boundaries (days): {:?}",
+        u65_phase_bounds().map(|(lo, _)| (lo / 86400.0) as u32)
+    );
     println!("{:>5} {:>14} {:>14}", "day", "empirical_pdf", "model_pdf");
     let density = hist.density();
     for (d, dens) in density.iter().enumerate() {

@@ -50,10 +50,18 @@ fn trace(jobs: usize, seed: u64) -> Trace {
     let mut out = Vec::new();
     for i in 0..jobs {
         let (user, t) = if i % 2 == 0 {
-            let u = if rng.gen_bool(0.9) { "bio-seq" } else { "bio-fold" };
+            let u = if rng.gen_bool(0.9) {
+                "bio-seq"
+            } else {
+                "bio-fold"
+            };
             (u, rng.gen::<f64>() * len)
         } else {
-            let u = if rng.gen_bool(0.8) { "hep-sim" } else { "hep-ana" };
+            let u = if rng.gen_bool(0.8) {
+                "hep-sim"
+            } else {
+                "hep-ana"
+            };
             // Storm: second half only.
             (u, len * (0.5 + 0.5 * rng.gen::<f64>()))
         };
@@ -69,10 +77,12 @@ fn trace(jobs: usize, seed: u64) -> Trace {
 
 fn main() {
     let jobs = jobs_arg(20_000);
-    println!("# Hierarchical policy end-to-end: /hep (60%: sim 70/ana 30), /bio (40%: seq 80/fold 20)");
+    println!(
+        "# Hierarchical policy end-to-end: /hep (60%: sim 70/ana 30), /bio (40%: seq 80/fold 20)"
+    );
     for projection in ProjectionKind::ALL {
-        let scenario = GridScenario::national_testbed(&[("placeholder", 1.0)], 42)
-            .with_policy(hierarchy());
+        let scenario =
+            GridScenario::national_testbed(&[("placeholder", 1.0)], 42).with_policy(hierarchy());
         let mut scenario = scenario;
         scenario.projection = projection;
         let result = GridSimulation::new(scenario).run(&trace(jobs, 42), 1800.0);
@@ -85,8 +95,7 @@ fn main() {
             if s.t_s < 3.0 * 3600.0 {
                 continue;
             }
-            let (Some(seq), Some(fold)) = (s.users.get("bio-seq"), s.users.get("bio-fold"))
-            else {
+            let (Some(seq), Some(fold)) = (s.users.get("bio-seq"), s.users.get("bio-fold")) else {
                 continue;
             };
             if (seq.priority - fold.priority).abs() < 1e-6 {

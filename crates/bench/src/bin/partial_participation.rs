@@ -45,7 +45,10 @@ fn main() {
         }
         let (mean_diff, _) = stats(&diffs);
         let (_, stddev) = stats(&series);
-        println!("{:<6} {:<10} {:>18.4} {:>18.4}", site, role, mean_diff, stddev);
+        println!(
+            "{:<6} {:<10} {:>18.4} {:>18.4}",
+            site, role, mean_diff, stddev
+        );
     }
 
     // Global impact check: full sites' convergence vs an all-full reference.

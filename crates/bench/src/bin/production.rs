@@ -38,14 +38,20 @@ fn main() {
     );
     let result = GridSimulation::new(scenario).run(&trace, 86400.0);
     println!("# Production statistics (HPC2N shape)");
-    println!("jobs/month: {:.0} (paper: ~40,000)", result.total_completed() as f64 / months as f64);
+    println!(
+        "jobs/month: {:.0} (paper: ~40,000)",
+        result.total_completed() as f64 / months as f64
+    );
     println!(
         "completed {}/{} ({:.2}%)",
         result.total_completed(),
         result.total_submitted(),
         100.0 * result.total_completed() as f64 / result.total_submitted().max(1) as f64
     );
-    println!("mean utilization: {:.1}%", 100.0 * result.mean_utilization());
+    println!(
+        "mean utilization: {:.1}%",
+        100.0 * result.mean_utilization()
+    );
     let max_pending = result
         .metrics
         .samples()
@@ -53,7 +59,12 @@ fn main() {
         .map(|s| s.pending)
         .max()
         .unwrap_or(0);
-    let final_pending = result.metrics.samples().last().map(|s| s.pending).unwrap_or(0);
+    let final_pending = result
+        .metrics
+        .samples()
+        .last()
+        .map(|s| s.pending)
+        .unwrap_or(0);
     println!("peak queue: {max_pending} jobs; final queue: {final_pending} (stability: bounded)");
     println!(
         "mean wait: {:.1} min",

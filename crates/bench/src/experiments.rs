@@ -1,8 +1,8 @@
 //! Shared experiment runners: standard scenarios, traces, and derived
 //! measurements used by the per-figure binaries and the integration tests.
 
-use aequus_sim::{FaultPlan, GridScenario, GridSimulation, Outage, SimResult};
 use aequus_services::ParticipationMode;
+use aequus_sim::{FaultPlan, GridScenario, GridSimulation, Outage, SimResult};
 use aequus_workload::users::{baseline_policy_shares, nonoptimal_policy_shares};
 use aequus_workload::{test_trace, TestTraceConfig, Trace};
 
@@ -74,9 +74,7 @@ pub fn run_update_delay(jobs: usize, factor: f64, seed: u64) -> UpdateDelayOutco
     // Decay must scale with the workload so the *measured* share window
     // covers the same relative span; the service delays stay absolute.
     let mut scaled_scenario = scenario;
-    if let aequus_core::DecayPolicy::Exponential { half_life_s } =
-        scaled_scenario.fairshare.decay
-    {
+    if let aequus_core::DecayPolicy::Exponential { half_life_s } = scaled_scenario.fairshare.decay {
         scaled_scenario.fairshare.decay = aequus_core::DecayPolicy::Exponential {
             half_life_s: half_life_s * factor,
         };
@@ -202,7 +200,10 @@ mod tests {
             .map(|(_, p)| *p)
             .fold(f64::NEG_INFINITY, f64::max);
         assert!(max_u3 <= 0.56 + 1e-9, "{max_u3}");
-        assert!(max_u3 > 0.40, "U3 idles pre-burst, priority must rise: {max_u3}");
+        assert!(
+            max_u3 > 0.40,
+            "U3 idles pre-burst, priority must rise: {max_u3}"
+        );
     }
 
     #[test]

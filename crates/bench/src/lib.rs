@@ -22,11 +22,13 @@
 //! | `production` | §IV production-deployment statistics (HPC2N shape) |
 //! | `ablation_*` | design-choice ablations (k weight, decay, projection, dispatch, cache TTL) |
 //!
-//! Criterion micro-benchmarks of the underlying kernels live in `benches/`.
+//! Micro-benchmarks of the underlying kernels live in `benches/`, driven by
+//! the in-repo [`harness`] (an offline criterion-shaped shim).
 
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
 pub mod report;
 pub mod sweep;
 

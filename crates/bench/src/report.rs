@@ -4,11 +4,7 @@ use aequus_sim::SimResult;
 
 /// Render a set of named time series as aligned columns (minutes + values),
 /// sampling every `step`th sample.
-pub fn render_series(
-    title: &str,
-    series: &[(&str, Vec<(f64, f64)>)],
-    step: usize,
-) -> String {
+pub fn render_series(title: &str, series: &[(&str, Vec<(f64, f64)>)], step: usize) -> String {
     let mut out = format!("# {title}\n");
     out.push_str(&format!("{:>8}", "t(min)"));
     for (name, _) in series {
@@ -74,7 +70,10 @@ mod tests {
     fn series_render_shape() {
         let s = render_series(
             "test",
-            &[("a", vec![(0.0, 1.0), (60.0, 2.0)]), ("b", vec![(0.0, 3.0), (60.0, 4.0)])],
+            &[
+                ("a", vec![(0.0, 1.0), (60.0, 2.0)]),
+                ("b", vec![(0.0, 3.0), (60.0, 4.0)]),
+            ],
             1,
         );
         assert!(s.contains("# test"));

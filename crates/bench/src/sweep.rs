@@ -2,11 +2,11 @@
 //!
 //! A single simulation run is deliberately single-threaded (bit-exact
 //! determinism), but ablation sweeps run many *independent* simulations —
-//! those parallelize perfectly. Scoped threads (crossbeam) keep borrows of
-//! the shared trace/scenario without `'static` bounds; results come back in
-//! parameter order regardless of completion order.
+//! those parallelize perfectly. Scoped threads (`std::thread::scope`) keep
+//! borrows of the shared trace/scenario without `'static` bounds; results
+//! come back in parameter order regardless of completion order.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Run `f` over every parameter in parallel (one thread per parameter, which
 /// is the right shape for a handful of multi-second simulation runs) and
@@ -18,19 +18,25 @@ where
     F: Fn(&P) -> R + Sync,
 {
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..params.len()).map(|_| None).collect());
-    crossbeam::thread::scope(|scope| {
-        for (i, p) in params.iter().enumerate() {
-            let results = &results;
-            let f = &f;
-            scope.spawn(move |_| {
-                let r = f(p);
-                results.lock()[i] = Some(r);
-            });
-        }
-    })
-    .expect("sweep worker panicked");
+    let panicked = std::thread::scope(|scope| {
+        let handles: Vec<_> = params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let results = &results;
+                let f = &f;
+                scope.spawn(move || {
+                    let r = f(p);
+                    results.lock().expect("sweep mutex poisoned")[i] = Some(r);
+                })
+            })
+            .collect();
+        handles.into_iter().any(|h| h.join().is_err())
+    });
+    assert!(!panicked, "sweep worker panicked");
     results
         .into_inner()
+        .expect("sweep mutex poisoned")
         .into_iter()
         .map(|r| r.expect("every slot filled"))
         .collect()

@@ -88,8 +88,7 @@ impl CombinedVector {
         let total = weights.total().max(f64::MIN_POSITIVE);
         let lift = |x: f64| x.clamp(0.0, 1.0) * resolution.max_value;
         let uniform =
-            (weights.age * lift(age) + weights.qos * lift(qos) + weights.size * lift(size))
-                / total;
+            (weights.age * lift(age) + weights.qos * lift(qos) + weights.size * lift(size)) / total;
         let scale = weights.fairshare / total;
         let elements = fairshare
             .elements()

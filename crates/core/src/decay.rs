@@ -30,6 +30,36 @@ pub enum DecayPolicy {
 }
 
 impl DecayPolicy {
+    /// Whether this decay is *multiplicatively separable*: `weight(t − s) =
+    /// f(t) · g(s)`, so advancing time rescales every user's decayed usage by
+    /// the same factor. Separable decays let the UMS cache usage as weights
+    /// relative to a fixed reference epoch — values then change only when new
+    /// usage arrives, and unchanged subtrees of the fairshare tree need no
+    /// touch (the lazily-applied decay of the incremental engine). The
+    /// uniform factor cancels in the sibling-group normalization, so
+    /// fairshare results are unaffected.
+    pub fn separable(&self) -> bool {
+        matches!(self, DecayPolicy::None | DecayPolicy::Exponential { .. })
+    }
+
+    /// Weight of usage aged `age_s` seconds *relative to a reference epoch*,
+    /// for separable decays. Unlike [`weight`](Self::weight) this is **not**
+    /// clamped for negative ages: usage newer than the epoch weighs more than
+    /// 1, preserving `epoch_weight(a − b) = epoch_weight(a) / 2^(b/half)` —
+    /// the identity the epoch cache depends on. Non-separable decays fall
+    /// back to the clamped weight (callers must not use the epoch cache for
+    /// them; see [`separable`](Self::separable)).
+    pub fn epoch_weight(&self, age_s: f64) -> f64 {
+        match *self {
+            DecayPolicy::None => 1.0,
+            DecayPolicy::Exponential { half_life_s } => {
+                debug_assert!(half_life_s > 0.0);
+                (0.5f64).powf(age_s / half_life_s)
+            }
+            _ => self.weight(age_s),
+        }
+    }
+
     /// Weight of usage aged `age_s` seconds. Always in `[0, 1]`; `1` at age 0
     /// (and for negative ages, which can transiently occur with clock skew).
     pub fn weight(&self, age_s: f64) -> f64 {
@@ -125,5 +155,27 @@ mod tests {
     fn negative_age_clamps_to_one() {
         let p = DecayPolicy::Exponential { half_life_s: 10.0 };
         assert_eq!(p.weight(-5.0), 1.0);
+    }
+
+    #[test]
+    fn separability_classification() {
+        assert!(DecayPolicy::None.separable());
+        assert!(DecayPolicy::Exponential { half_life_s: 10.0 }.separable());
+        assert!(!DecayPolicy::Window { window_s: 10.0 }.separable());
+        assert!(!DecayPolicy::Linear { span_s: 10.0 }.separable());
+    }
+
+    #[test]
+    fn epoch_weight_unclamped_and_consistent() {
+        let p = DecayPolicy::Exponential { half_life_s: 10.0 };
+        // Usage newer than the epoch weighs more than 1.
+        assert!((p.epoch_weight(-10.0) - 2.0).abs() < 1e-12);
+        // Positive ages agree with the clamped weight.
+        assert_eq!(p.epoch_weight(20.0), p.weight(20.0));
+        // The separability identity: shifting the epoch rescales uniformly.
+        let a = p.epoch_weight(35.0) / p.epoch_weight(5.0);
+        let b = p.epoch_weight(42.0) / p.epoch_weight(12.0);
+        assert!((a - b).abs() < 1e-12);
+        assert_eq!(DecayPolicy::None.epoch_weight(-100.0), 1.0);
     }
 }

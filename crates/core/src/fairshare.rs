@@ -11,13 +11,26 @@
 //!
 //! Per-user fairshare *vectors* (one element per level, root first) are then
 //! extracted as in Figure 3.
+//!
+//! ## Incremental engine
+//!
+//! The tree is stored as an arena of [`NodeId`]-indexed nodes (plus a
+//! [`PathInterner`] for the path-based API) rather than path-keyed maps, so
+//! [`FairshareTree::recompute_dirty`] can re-derive state for *only the
+//! subtrees named by a [`DirtySet`]*: a usage change for one user re-
+//! aggregates exactly that user's root→leaf path and refreshes the sibling
+//! groups along it. After any mutation sequence, the incremental state is
+//! bit-identical to a from-scratch [`FairshareTree::compute`] on the same
+//! inputs — enforced by a debug-build assertion inside `recompute_dirty`
+//! and by property tests.
 
+use crate::arena::{DirtySet, NodeId, PathInterner, RecomputeStats};
 use crate::decay::DecayPolicy;
 use crate::ids::{EntityPath, GridUser};
-use crate::policy::{PolicyNode, PolicyTree};
+use crate::policy::{PolicyNode, PolicyNodeKind, PolicyTree};
 use crate::vector::{FairshareVector, Resolution};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Configuration of the fairshare calculation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -81,13 +94,58 @@ pub struct NodeShare {
     pub element: f64,
 }
 
-/// A computed fairshare tree: per-node shares plus extracted user vectors.
+impl NodeShare {
+    fn neutral() -> Self {
+        NodeShare {
+            policy_share: 1.0,
+            usage_share: 1.0,
+            distance: 0.0,
+            element: 0.0,
+        }
+    }
+
+    fn bits_eq(&self, other: &NodeShare) -> bool {
+        self.policy_share.to_bits() == other.policy_share.to_bits()
+            && self.usage_share.to_bits() == other.usage_share.to_bits()
+            && self.distance.to_bits() == other.distance.to_bits()
+            && self.element.to_bits() == other.element.to_bits()
+    }
+}
+
+/// One arena slot of the computed fairshare tree.
+#[derive(Debug, Clone)]
+struct ArenaNode {
+    /// Node name (unique among siblings; mirrors the policy node).
+    name: String,
+    /// Parent slot; `None` for the root.
+    parent: Option<NodeId>,
+    /// Child slots in policy order.
+    children: Vec<NodeId>,
+    /// Hierarchy level (root = 0).
+    level: u32,
+    /// Grid identity for user leaves.
+    user: Option<GridUser>,
+    /// Raw (un-normalized) policy share.
+    share: f64,
+    /// Usage attributed directly to this node (non-zero only for users).
+    own_usage: f64,
+    /// Aggregated usage of this node's subtree.
+    subtree_usage: f64,
+    /// Derived shares/distance/element within the parent's sibling group.
+    state: NodeShare,
+}
+
+/// A computed fairshare tree: arena-indexed per-node shares plus extracted
+/// user vectors, supporting both full computation and dirty-subtree
+/// incremental recomputation.
 #[derive(Debug, Clone)]
 pub struct FairshareTree {
-    nodes: BTreeMap<EntityPath, NodeShare>,
+    arena: Vec<ArenaNode>,
+    interner: PathInterner,
+    user_leaf: BTreeMap<GridUser, NodeId>,
     user_paths: BTreeMap<GridUser, EntityPath>,
     depth: usize,
-    resolution: Resolution,
+    config: FairshareConfig,
     /// Time the tree was computed, seconds (for staleness checks).
     pub computed_at_s: f64,
 }
@@ -101,39 +159,337 @@ impl FairshareTree {
         config: &FairshareConfig,
         now_s: f64,
     ) -> Self {
-        let mut nodes = BTreeMap::new();
-        // Total usage of each subtree, indexed by path.
-        let mut subtree_usage: BTreeMap<EntityPath, f64> = BTreeMap::new();
-        accumulate_usage(
-            policy.root(),
-            &EntityPath::root(),
-            usage_by_user,
-            &mut subtree_usage,
-        );
-        walk(
-            policy.root(),
-            &EntityPath::root(),
-            &subtree_usage,
-            config,
-            &mut nodes,
-        );
-        let user_paths = policy
-            .users()
-            .into_iter()
-            .map(|(p, u)| (u, p))
-            .collect();
-        Self {
-            nodes,
-            user_paths,
+        let mut tree = Self {
+            arena: Vec::with_capacity(policy.node_count()),
+            interner: PathInterner::new(),
+            user_leaf: BTreeMap::new(),
+            user_paths: BTreeMap::new(),
             depth: policy.depth(),
-            resolution: config.resolution,
+            config: *config,
             computed_at_s: now_s,
+        };
+        tree.add_policy_node(policy.root(), None, &EntityPath::root(), 0);
+        tree.aggregate_usage(NodeId(0), usage_by_user);
+        tree.derive_group(NodeId(0), true);
+        tree
+    }
+
+    /// Recursively append `node` (and its subtree) to the arena.
+    fn add_policy_node(
+        &mut self,
+        node: &PolicyNode,
+        parent: Option<NodeId>,
+        path: &EntityPath,
+        level: u32,
+    ) -> NodeId {
+        let id = NodeId(self.arena.len() as u32);
+        let user = match &node.kind {
+            PolicyNodeKind::User(u) => Some(u.clone()),
+            _ => None,
+        };
+        self.arena.push(ArenaNode {
+            name: node.name.clone(),
+            parent,
+            children: Vec::with_capacity(node.children.len()),
+            level,
+            user: user.clone(),
+            share: node.share,
+            own_usage: 0.0,
+            subtree_usage: 0.0,
+            state: NodeShare::neutral(),
+        });
+        self.interner.insert(path.clone(), id);
+        if let Some(u) = user {
+            self.user_leaf.insert(u.clone(), id);
+            self.user_paths.insert(u, path.clone());
+        }
+        for child in &node.children {
+            let child_path = path.child(&child.name);
+            let cid = self.add_policy_node(child, Some(id), &child_path, level + 1);
+            self.arena[id.index()].children.push(cid);
+        }
+        id
+    }
+
+    /// Bottom-up usage aggregation: `subtree = own + Σ children` with the
+    /// exact summation order of the from-scratch algorithm.
+    fn aggregate_usage(&mut self, id: NodeId, usage_by_user: &BTreeMap<GridUser, f64>) -> f64 {
+        let own = self.arena[id.index()]
+            .user
+            .as_ref()
+            .and_then(|u| usage_by_user.get(u))
+            .copied()
+            .unwrap_or(0.0);
+        let children = self.arena[id.index()].children.clone();
+        let children_sum: f64 = children
+            .into_iter()
+            .map(|c| self.aggregate_usage(c, usage_by_user))
+            .sum();
+        let total = own + children_sum;
+        let node = &mut self.arena[id.index()];
+        node.own_usage = own;
+        node.subtree_usage = total;
+        total
+    }
+
+    /// Refresh the derived state of `id`'s children (one sibling group),
+    /// optionally recursing over the whole subtree. Returns the children
+    /// whose derived state changed in any component (shares, distance, or
+    /// element) — the roots of the subtrees whose users need re-projection.
+    fn derive_group(&mut self, id: NodeId, recurse: bool) -> Vec<NodeId> {
+        let children = self.arena[id.index()].children.clone();
+        let policy_total: f64 = children.iter().map(|&c| self.arena[c.index()].share).sum();
+        let usage_total: f64 = children
+            .iter()
+            .map(|&c| self.arena[c.index()].subtree_usage)
+            .sum();
+        let mut changed = Vec::new();
+        for &cid in &children {
+            let child = &self.arena[cid.index()];
+            let p = if policy_total > 0.0 {
+                child.share / policy_total
+            } else {
+                0.0
+            };
+            let u = if usage_total > 0.0 {
+                child.subtree_usage / usage_total
+            } else {
+                0.0
+            };
+            let d = self.config.distance(p, u);
+            let state = NodeShare {
+                policy_share: p,
+                usage_share: u,
+                distance: d,
+                element: self.config.resolution.scale(d),
+            };
+            let node = &mut self.arena[cid.index()];
+            if !node.state.bits_eq(&state) {
+                changed.push(cid);
+            }
+            node.state = state;
+            if recurse {
+                self.derive_group(cid, true);
+            }
+        }
+        changed
+    }
+
+    /// Incrementally re-derive fairshare state for the subtrees whose usage
+    /// or policy changed, per `dirty`.
+    ///
+    /// `usage_by_user` is the complete usage snapshot the tree should
+    /// reflect (only entries for dirty users are read); `policy` is
+    /// consulted for edited shares and as the fallback for a full rebuild
+    /// when the dirty set demands one (`mark_all`, or a structural mismatch
+    /// between the dirty set and the arena).
+    ///
+    /// **Equivalence invariant:** afterwards, the tree state is bit-identical
+    /// to `FairshareTree::compute(policy, usage_by_user, config, now_s)` —
+    /// asserted here in debug builds.
+    pub fn recompute_dirty(
+        &mut self,
+        policy: &PolicyTree,
+        usage_by_user: &BTreeMap<GridUser, f64>,
+        dirty: &DirtySet,
+        now_s: f64,
+    ) -> RecomputeStats {
+        let stats = self.recompute_dirty_inner(policy, usage_by_user, dirty, now_s);
+        #[cfg(debug_assertions)]
+        {
+            let fresh = Self::compute(policy, usage_by_user, &self.config, now_s);
+            debug_assert!(
+                self.state_equals(&fresh),
+                "incremental fairshare state diverged from full recompute"
+            );
+        }
+        stats
+    }
+
+    fn recompute_dirty_inner(
+        &mut self,
+        policy: &PolicyTree,
+        usage_by_user: &BTreeMap<GridUser, f64>,
+        dirty: &DirtySet,
+        now_s: f64,
+    ) -> RecomputeStats {
+        if dirty.is_empty() {
+            self.computed_at_s = now_s;
+            return RecomputeStats::default();
+        }
+        if dirty.is_all() {
+            return self.rebuild_full(policy, usage_by_user, now_s);
+        }
+
+        // Nodes whose subtree aggregate must be re-summed (dirty leaves plus
+        // their ancestors) and sibling groups needing a derived refresh.
+        let mut agg: BTreeSet<NodeId> = BTreeSet::new();
+        let mut groups: BTreeSet<NodeId> = BTreeSet::new();
+        for user in dirty.users() {
+            match self.user_leaf.get(user).copied() {
+                Some(leaf) => {
+                    let value = usage_by_user.get(user).copied().unwrap_or(0.0);
+                    self.arena[leaf.index()].own_usage = value;
+                    let mut cur = leaf;
+                    agg.insert(cur);
+                    while let Some(parent) = self.arena[cur.index()].parent {
+                        agg.insert(parent);
+                        groups.insert(parent);
+                        cur = parent;
+                    }
+                }
+                None => {
+                    // Usage from users outside the policy is ignored by the
+                    // full algorithm too; but a user the *policy* knows and
+                    // the arena doesn't means the structure changed under us.
+                    if policy.path_of_user(user).is_some() {
+                        return self.rebuild_full(policy, usage_by_user, now_s);
+                    }
+                }
+            }
+        }
+        for path in dirty.paths() {
+            let resolved = self
+                .interner
+                .get(path)
+                .and_then(|id| policy.node_at(path).map(|n| (id, n.share)));
+            match resolved {
+                Some((id, share)) => {
+                    self.arena[id.index()].share = share;
+                    match self.arena[id.index()].parent {
+                        Some(parent) => {
+                            groups.insert(parent);
+                        }
+                        None => {
+                            // Root share participates in no sibling group.
+                        }
+                    }
+                }
+                None => return self.rebuild_full(policy, usage_by_user, now_s),
+            }
+        }
+
+        // Re-aggregate bottom-up (deepest first) so each parent re-sums
+        // already-updated children, in the same order as a full pass.
+        let mut by_depth: Vec<NodeId> = agg.iter().copied().collect();
+        by_depth.sort_by_key(|id| std::cmp::Reverse(self.arena[id.index()].level));
+        for id in &by_depth {
+            let node = &self.arena[id.index()];
+            let own = node.own_usage;
+            let children = node.children.clone();
+            let children_sum: f64 = children
+                .into_iter()
+                .map(|c| self.arena[c.index()].subtree_usage)
+                .sum();
+            self.arena[id.index()].subtree_usage = own + children_sum;
+        }
+
+        // Refresh derived shares of every affected sibling group.
+        let mut shares_refreshed = 0u64;
+        let mut changed_elements = Vec::new();
+        for g in &groups {
+            shares_refreshed += self.arena[g.index()].children.len() as u64;
+            changed_elements.extend(self.derive_group(*g, false));
+        }
+        self.computed_at_s = now_s;
+        RecomputeStats {
+            full: false,
+            nodes_recomputed: by_depth.len() as u64,
+            shares_refreshed,
+            changed_elements,
         }
     }
 
-    /// Per-node share state at `path`.
+    fn rebuild_full(
+        &mut self,
+        policy: &PolicyTree,
+        usage_by_user: &BTreeMap<GridUser, f64>,
+        now_s: f64,
+    ) -> RecomputeStats {
+        *self = Self::compute(policy, usage_by_user, &self.config, now_s);
+        RecomputeStats {
+            full: true,
+            nodes_recomputed: self.arena.len() as u64,
+            shares_refreshed: self.arena.len() as u64,
+            changed_elements: (0..self.arena.len() as u32).map(NodeId).collect(),
+        }
+    }
+
+    /// Bit-exact state comparison against another tree (same policy shape,
+    /// aggregates, and derived shares). The equivalence oracle for the
+    /// incremental engine.
+    pub fn state_equals(&self, other: &FairshareTree) -> bool {
+        self.arena.len() == other.arena.len()
+            && self.depth == other.depth
+            && self.user_paths == other.user_paths
+            && self.arena.iter().zip(&other.arena).all(|(a, b)| {
+                a.name == b.name
+                    && a.parent == b.parent
+                    && a.children == b.children
+                    && a.user == b.user
+                    && a.share.to_bits() == b.share.to_bits()
+                    && a.own_usage.to_bits() == b.own_usage.to_bits()
+                    && a.subtree_usage.to_bits() == b.subtree_usage.to_bits()
+                    && a.state.bits_eq(&b.state)
+            })
+    }
+
+    /// Per-node share state at `path` (the root has no sibling group and
+    /// reports `None`, as in the original path-keyed representation).
     pub fn node(&self, path: &EntityPath) -> Option<&NodeShare> {
-        self.nodes.get(path)
+        if path.is_root() {
+            return None;
+        }
+        self.interner
+            .get(path)
+            .map(|id| &self.arena[id.index()].state)
+    }
+
+    /// Resolve a path to its arena id (including the root).
+    pub fn node_id(&self, path: &EntityPath) -> Option<NodeId> {
+        self.interner.get(path)
+    }
+
+    /// Resolve a grid user to its leaf arena id.
+    pub fn user_node(&self, user: &GridUser) -> Option<NodeId> {
+        self.user_leaf.get(user).copied()
+    }
+
+    /// Derived share state of an arena node.
+    pub fn share_of(&self, id: NodeId) -> &NodeShare {
+        &self.arena[id.index()].state
+    }
+
+    /// Leaf distance ("priority") of an arena node.
+    pub fn priority_of_id(&self, id: NodeId) -> f64 {
+        self.arena[id.index()].state.distance
+    }
+
+    /// Fairshare vector of the entity at an arena id, padded to tree depth.
+    pub fn vector_of_id(&self, id: NodeId) -> FairshareVector {
+        let mut elements = Vec::with_capacity(self.depth);
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let node = &self.arena[c.index()];
+            if node.parent.is_some() {
+                elements.push(node.state.element);
+            }
+            cur = node.parent;
+        }
+        elements.reverse();
+        FairshareVector::from_elements(elements, self.config.resolution).padded(self.depth)
+    }
+
+    /// Grid users accounted under the subtree rooted at `id` (dirty-subtree
+    /// re-projection support).
+    pub fn users_under(&self, id: NodeId, out: &mut BTreeSet<GridUser>) {
+        let node = &self.arena[id.index()];
+        if let Some(u) = &node.user {
+            out.insert(u.clone());
+        }
+        for &c in &node.children {
+            self.users_under(c, out);
+        }
     }
 
     /// Extract the fairshare vector for the entity at `path` (Figure 3):
@@ -142,27 +498,22 @@ impl FairshareTree {
     pub fn vector_at(&self, path: &EntityPath) -> Option<FairshareVector> {
         if path.is_root() {
             return Some(
-                FairshareVector::from_elements(vec![], self.resolution).padded(self.depth),
+                FairshareVector::from_elements(vec![], self.config.resolution).padded(self.depth),
             );
         }
-        let mut elements = Vec::with_capacity(self.depth);
-        let mut prefix = EntityPath::root();
-        for comp in path.components() {
-            prefix = prefix.child(comp);
-            elements.push(self.nodes.get(&prefix)?.element);
-        }
-        Some(FairshareVector::from_elements(elements, self.resolution).padded(self.depth))
+        self.interner.get(path).map(|id| self.vector_of_id(id))
     }
 
     /// The fairshare vector of a grid user (by leaf identity).
     pub fn vector_for_user(&self, user: &GridUser) -> Option<FairshareVector> {
-        self.vector_at(self.user_paths.get(user)?)
+        self.user_leaf.get(user).map(|&id| self.vector_of_id(id))
     }
 
     /// The leaf distance ("priority") of a grid user.
     pub fn user_priority(&self, user: &GridUser) -> Option<f64> {
-        let path = self.user_paths.get(user)?;
-        self.nodes.get(path).map(|n| n.distance)
+        self.user_leaf
+            .get(user)
+            .map(|&id| self.arena[id.index()].state.distance)
     }
 
     /// All users known to the tree with their paths.
@@ -170,11 +521,17 @@ impl FairshareTree {
         self.user_paths.iter()
     }
 
+    /// The path of one user's leaf (indexed lookup, unlike the `O(n)` policy
+    /// scan in [`PolicyTree::path_of_user`]).
+    pub fn path_of_user(&self, user: &GridUser) -> Option<&EntityPath> {
+        self.user_paths.get(user)
+    }
+
     /// Fairshare vectors for every user, in stable (user-sorted) order.
     pub fn all_vectors(&self) -> Vec<(GridUser, FairshareVector)> {
-        self.user_paths
+        self.user_leaf
             .iter()
-            .filter_map(|(u, p)| self.vector_at(p).map(|v| (u.clone(), v)))
+            .map(|(u, &id)| (u.clone(), self.vector_of_id(id)))
             .collect()
     }
 
@@ -182,66 +539,10 @@ impl FairshareTree {
     pub fn depth(&self) -> usize {
         self.depth
     }
-}
 
-fn accumulate_usage(
-    node: &PolicyNode,
-    path: &EntityPath,
-    usage_by_user: &BTreeMap<GridUser, f64>,
-    out: &mut BTreeMap<EntityPath, f64>,
-) -> f64 {
-    let own = match &node.kind {
-        crate::policy::PolicyNodeKind::User(u) => {
-            usage_by_user.get(u).copied().unwrap_or(0.0)
-        }
-        _ => 0.0,
-    };
-    let children_sum: f64 = node
-        .children
-        .iter()
-        .map(|c| accumulate_usage(c, &path.child(&c.name), usage_by_user, out))
-        .sum();
-    let total = own + children_sum;
-    out.insert(path.clone(), total);
-    total
-}
-
-fn walk(
-    node: &PolicyNode,
-    path: &EntityPath,
-    subtree_usage: &BTreeMap<EntityPath, f64>,
-    config: &FairshareConfig,
-    out: &mut BTreeMap<EntityPath, NodeShare>,
-) {
-    let policy_total: f64 = node.children.iter().map(|c| c.share).sum();
-    let usage_total: f64 = node
-        .children
-        .iter()
-        .map(|c| subtree_usage[&path.child(&c.name)])
-        .sum();
-    for child in &node.children {
-        let child_path = path.child(&child.name);
-        let p = if policy_total > 0.0 {
-            child.share / policy_total
-        } else {
-            0.0
-        };
-        let u = if usage_total > 0.0 {
-            subtree_usage[&child_path] / usage_total
-        } else {
-            0.0
-        };
-        let d = config.distance(p, u);
-        out.insert(
-            child_path.clone(),
-            NodeShare {
-                policy_share: p,
-                usage_share: u,
-                distance: d,
-                element: config.resolution.scale(d),
-            },
-        );
-        walk(child, &child_path, subtree_usage, config, out);
+    /// Total number of arena nodes (policy nodes incl. root).
+    pub fn node_count(&self) -> usize {
+        self.arena.len()
     }
 }
 
@@ -251,10 +552,7 @@ mod tests {
     use crate::policy::{flat_policy, PolicyNode, PolicyTree};
 
     fn usage(pairs: &[(&str, f64)]) -> BTreeMap<GridUser, f64> {
-        pairs
-            .iter()
-            .map(|(n, v)| (GridUser::new(*n), *v))
-            .collect()
+        pairs.iter().map(|(n, v)| (GridUser::new(*n), *v)).collect()
     }
 
     fn paper_flat_policy() -> PolicyTree {
@@ -290,8 +588,8 @@ mod tests {
     #[test]
     fn paper_bursty_test_priority_bound() {
         // §IV-A-5: a 12%-share user with zero usage peaks at 0.5·(1+0.12)=0.56.
-        let policy = flat_policy(&[("U65", 0.47), ("U30", 0.385), ("U3", 0.12), ("Uoth", 0.025)])
-            .unwrap();
+        let policy =
+            flat_policy(&[("U65", 0.47), ("U30", 0.385), ("U3", 0.12), ("Uoth", 0.025)]).unwrap();
         let cfg = FairshareConfig::default();
         let u = usage(&[("U65", 500.0), ("U30", 400.0), ("Uoth", 30.0)]); // U3 idle
         let t = FairshareTree::compute(&policy, &u, &cfg, 0.0);
@@ -369,11 +667,7 @@ mod tests {
             "root",
             1.0,
             vec![
-                PolicyNode::group(
-                    "HP",
-                    0.7,
-                    vec![PolicyNode::user("u1", 1.0)],
-                ),
+                PolicyNode::group("HP", 0.7, vec![PolicyNode::user("u1", 1.0)]),
                 PolicyNode::user("LQ", 0.3),
             ],
         ))
@@ -415,13 +709,156 @@ mod tests {
     #[test]
     fn unknown_user_has_no_priority() {
         let policy = flat_policy(&[("a", 1.0)]).unwrap();
-        let t = FairshareTree::compute(
-            &policy,
-            &BTreeMap::new(),
-            &FairshareConfig::default(),
-            0.0,
-        );
+        let t = FairshareTree::compute(&policy, &BTreeMap::new(), &FairshareConfig::default(), 0.0);
         assert!(t.user_priority(&GridUser::new("ghost")).is_none());
         assert!(t.vector_for_user(&GridUser::new("ghost")).is_none());
+    }
+
+    // ---- incremental engine ----
+
+    fn deep_policy() -> PolicyTree {
+        // root → g0..g3 → 4 users each (depth 2, 21 nodes).
+        PolicyTree::new(PolicyNode::group(
+            "root",
+            1.0,
+            (0..4)
+                .map(|g| {
+                    PolicyNode::group(
+                        format!("g{g}"),
+                        1.0 + g as f64,
+                        (0..4)
+                            .map(|u| PolicyNode::user(format!("g{g}u{u}"), 1.0 + u as f64))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn single_user_update_recomputes_only_the_path() {
+        let policy = deep_policy();
+        let cfg = FairshareConfig::default();
+        let mut u = usage(&[("g0u0", 10.0), ("g1u2", 40.0), ("g3u3", 25.0)]);
+        let mut t = FairshareTree::compute(&policy, &u, &cfg, 0.0);
+        u.insert(GridUser::new("g1u2"), 90.0);
+        let mut dirty = DirtySet::new();
+        dirty.mark_user(GridUser::new("g1u2"));
+        let stats = t.recompute_dirty(&policy, &u, &dirty, 1.0);
+        assert!(!stats.full);
+        // Exactly the root→leaf path: leaf, its group, the root.
+        assert_eq!(stats.nodes_recomputed, 3);
+        // Sibling groups refreshed: root's 4 groups + g1's 4 users.
+        assert_eq!(stats.shares_refreshed, 8);
+        // Equivalence (also enforced by the debug assertion inside).
+        let fresh = FairshareTree::compute(&policy, &u, &cfg, 1.0);
+        assert!(t.state_equals(&fresh));
+    }
+
+    #[test]
+    fn empty_dirty_set_is_a_noop() {
+        let policy = deep_policy();
+        let cfg = FairshareConfig::default();
+        let u = usage(&[("g0u0", 10.0)]);
+        let mut t = FairshareTree::compute(&policy, &u, &cfg, 0.0);
+        let stats = t.recompute_dirty(&policy, &u, &DirtySet::new(), 5.0);
+        assert_eq!(stats.nodes_recomputed, 0);
+        assert_eq!(stats.shares_refreshed, 0);
+        assert_eq!(t.computed_at_s, 5.0);
+    }
+
+    #[test]
+    fn share_edit_refreshes_one_sibling_group() {
+        let mut policy = deep_policy();
+        let cfg = FairshareConfig::default();
+        let u = usage(&[("g0u0", 10.0), ("g2u1", 30.0)]);
+        let mut t = FairshareTree::compute(&policy, &u, &cfg, 0.0);
+        let path = EntityPath::parse("/g2/g2u1");
+        policy.set_share(&path, 9.0).unwrap();
+        let mut dirty = DirtySet::new();
+        dirty.mark_path(path);
+        let stats = t.recompute_dirty(&policy, &u, &dirty, 1.0);
+        assert!(!stats.full);
+        assert_eq!(stats.nodes_recomputed, 0);
+        assert_eq!(stats.shares_refreshed, 4); // g2's sibling group only
+        assert!(t.state_equals(&FairshareTree::compute(&policy, &u, &cfg, 1.0)));
+    }
+
+    #[test]
+    fn mark_all_falls_back_to_full_rebuild() {
+        let policy = deep_policy();
+        let cfg = FairshareConfig::default();
+        let u = usage(&[("g0u0", 10.0)]);
+        let mut t = FairshareTree::compute(&policy, &u, &cfg, 0.0);
+        let mut dirty = DirtySet::new();
+        dirty.mark_all();
+        let stats = t.recompute_dirty(&policy, &u, &dirty, 2.0);
+        assert!(stats.full);
+        assert_eq!(stats.nodes_recomputed, t.node_count() as u64);
+    }
+
+    #[test]
+    fn structural_mismatch_triggers_full_rebuild() {
+        // A user the policy knows but the arena doesn't: rebuild.
+        let policy_v1 = flat_policy(&[("a", 0.5), ("b", 0.5)]).unwrap();
+        let policy_v2 = flat_policy(&[("a", 0.5), ("b", 0.3), ("c", 0.2)]).unwrap();
+        let cfg = FairshareConfig::default();
+        let mut u = usage(&[("a", 5.0)]);
+        let mut t = FairshareTree::compute(&policy_v1, &u, &cfg, 0.0);
+        u.insert(GridUser::new("c"), 7.0);
+        let mut dirty = DirtySet::new();
+        dirty.mark_user(GridUser::new("c"));
+        let stats = t.recompute_dirty(&policy_v2, &u, &dirty, 1.0);
+        assert!(stats.full);
+        assert!(t.user_priority(&GridUser::new("c")).is_some());
+    }
+
+    #[test]
+    fn changed_elements_name_exactly_the_moved_nodes() {
+        let policy = deep_policy();
+        let cfg = FairshareConfig::default();
+        let mut u = usage(&[("g0u0", 10.0), ("g1u2", 40.0)]);
+        let mut t = FairshareTree::compute(&policy, &u, &cfg, 0.0);
+        u.insert(GridUser::new("g1u2"), 41.0);
+        let mut dirty = DirtySet::new();
+        dirty.mark_user(GridUser::new("g1u2"));
+        let stats = t.recompute_dirty(&policy, &u, &dirty, 1.0);
+        // Every changed node's derived state really differs from a tree
+        // computed on the old usage. Ids are stable across recompute (same
+        // policy), so compare by id.
+        u.insert(GridUser::new("g1u2"), 40.0);
+        let old = FairshareTree::compute(&policy, &u, &cfg, 0.0);
+        assert!(!stats.changed_elements.is_empty());
+        for id in &stats.changed_elements {
+            assert!(!t.share_of(*id).bits_eq(old.share_of(*id)));
+        }
+        // And every unchanged node's state is bit-identical to the old tree.
+        let changed: BTreeSet<NodeId> = stats.changed_elements.iter().copied().collect();
+        for i in 0..t.node_count() as u32 {
+            if !changed.contains(&NodeId(i)) {
+                assert!(t.share_of(NodeId(i)).bits_eq(old.share_of(NodeId(i))));
+            }
+        }
+    }
+
+    #[test]
+    fn vectors_via_ids_match_paths() {
+        let policy = deep_policy();
+        let cfg = FairshareConfig::default();
+        let u = usage(&[("g0u0", 10.0), ("g1u2", 40.0)]);
+        let t = FairshareTree::compute(&policy, &u, &cfg, 0.0);
+        for (user, path) in policy.users().iter().map(|(p, u)| (u.clone(), p.clone())) {
+            let id = t.user_node(&user).unwrap();
+            assert_eq!(t.node_id(&path), Some(id));
+            assert_eq!(
+                t.vector_of_id(id).elements(),
+                t.vector_at(&path).unwrap().elements()
+            );
+            assert_eq!(t.priority_of_id(id), t.user_priority(&user).unwrap());
+        }
+        let mut users = BTreeSet::new();
+        t.users_under(NodeId(0), &mut users);
+        assert_eq!(users.len(), 16);
     }
 }

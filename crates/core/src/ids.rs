@@ -63,9 +63,7 @@ impl From<&str> for SystemUser {
 }
 
 /// A resource site (cluster installation) participating in the grid.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct SiteId(pub u32);
 
 impl fmt::Display for SiteId {
@@ -75,9 +73,7 @@ impl fmt::Display for SiteId {
 }
 
 /// A job identifier, unique within the originating submission stream.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct JobId(pub u64);
 
 impl fmt::Display for JobId {

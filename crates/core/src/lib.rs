@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod combined;
 pub mod decay;
 pub mod fairshare;
@@ -33,6 +34,7 @@ pub mod projection;
 pub mod usage;
 pub mod vector;
 
+pub use arena::{DirtySet, NodeId, PathInterner, RecomputeStats, UserId};
 pub use combined::{CombinedVector, VectorWeights};
 pub use decay::DecayPolicy;
 pub use fairshare::{FairshareConfig, FairshareTree, NodeShare};

@@ -88,11 +88,7 @@ impl PolicyNode {
     }
 
     /// A user leaf with an explicit grid identity.
-    pub fn user_with_identity(
-        name: impl Into<String>,
-        share: f64,
-        identity: GridUser,
-    ) -> Self {
+    pub fn user_with_identity(name: impl Into<String>, share: f64, identity: GridUser) -> Self {
         Self {
             name: name.into(),
             share,
@@ -153,11 +149,7 @@ impl PolicyTree {
     /// Mount a sub-policy at the named mount point. The mounted tree's root
     /// children become the mount node's children; the mount node keeps its
     /// locally assigned share ("local administrations retain control").
-    pub fn mount(
-        &mut self,
-        at: &EntityPath,
-        subtree: &PolicyTree,
-    ) -> Result<(), PolicyError> {
+    pub fn mount(&mut self, at: &EntityPath, subtree: &PolicyTree) -> Result<(), PolicyError> {
         let node = node_at_mut(&mut self.root, at)
             .ok_or_else(|| PolicyError::NoSuchMountPoint(at.to_string()))?;
         if !matches!(node.kind, PolicyNodeKind::MountPoint { .. }) {
@@ -319,10 +311,7 @@ mod tests {
         let t = PolicyTree::new(PolicyNode::group(
             "root",
             1.0,
-            vec![
-                PolicyNode::user("a", 2.0),
-                PolicyNode::user("b", 6.0),
-            ],
+            vec![PolicyNode::user("a", 2.0), PolicyNode::user("b", 6.0)],
         ))
         .unwrap();
         let n = t.normalized_children(&EntityPath::root());
@@ -372,9 +361,12 @@ mod tests {
         ))
         .unwrap();
         let v0 = site.version();
-        site.mount(&EntityPath::parse("/grid"), &grid_policy).unwrap();
+        site.mount(&EntityPath::parse("/grid"), &grid_policy)
+            .unwrap();
         assert!(site.version() > v0);
-        let voa = site.absolute_share(&EntityPath::parse("/grid/vo-a")).unwrap();
+        let voa = site
+            .absolute_share(&EntityPath::parse("/grid/vo-a"))
+            .unwrap();
         assert!((voa - 0.15).abs() < 1e-12);
         // Local share of the mount stays under site control.
         assert!((site.absolute_share(&EntityPath::parse("/local")).unwrap() - 0.7).abs() < 1e-12);

@@ -157,7 +157,8 @@ fn insert(root: &mut PolicyNode, d: &Declaration) -> Result<(), PolicyFileError>
         let pos = match node.children.iter().position(|c| &c.name == comp) {
             Some(p) => p,
             None => {
-                node.children.push(PolicyNode::group(comp.clone(), 1.0, Vec::new()));
+                node.children
+                    .push(PolicyNode::group(comp.clone(), 1.0, Vec::new()));
                 node.children.len() - 1
             }
         };
@@ -203,7 +204,12 @@ pub fn to_policy_file(tree: &PolicyTree) -> String {
                 PolicyNodeKind::MountPoint { source } => format!("   mount={source}"),
                 _ => String::new(),
             };
-            out.push_str(&format!("{:<24} {}{}\n", child_path.to_string(), child.share, attr));
+            out.push_str(&format!(
+                "{:<24} {}{}\n",
+                child_path.to_string(),
+                child.share,
+                attr
+            ));
             walk(child, &child_path, out);
         }
     }

@@ -32,6 +32,28 @@ impl BitwiseVector {
     pub fn max_levels(&self) -> usize {
         (Self::MANTISSA_BITS / self.bits_per_level) as usize
     }
+
+    /// Usable levels for a tree of the given depth.
+    fn levels_for(&self, tree: &FairshareTree) -> usize {
+        tree.depth().min(self.max_levels()).max(1)
+    }
+
+    /// Bit-merge one user's vector into a `[0, 1]` scalar.
+    fn merge_vector(&self, vec: &crate::vector::FairshareVector, levels: usize) -> f64 {
+        let n = self.bits_per_level;
+        let buckets = 1u64 << n;
+        let max_merged = (1u64 << (n as u64 * levels as u64)) - 1;
+        let res_max = vec.resolution().max_value;
+        let mut acc: u64 = 0;
+        let padded = vec.padded(levels);
+        for (i, &e) in padded.elements().iter().take(levels).enumerate() {
+            // Quantize the element into 2^N buckets — this is where the
+            // N bits of entropy per level are awarded.
+            let q = (e / res_max * (buckets - 1) as f64).round() as u64;
+            acc |= q.min(buckets - 1) << ((levels - 1 - i) as u64 * n as u64);
+        }
+        acc as f64 / max_merged as f64
+    }
 }
 
 impl Default for BitwiseVector {
@@ -47,25 +69,16 @@ impl Projection for BitwiseVector {
     }
 
     fn project(&self, tree: &FairshareTree) -> BTreeMap<GridUser, f64> {
-        let levels = tree.depth().min(self.max_levels()).max(1);
-        let n = self.bits_per_level;
-        let buckets = 1u64 << n;
-        let max_merged = (1u64 << (n as u64 * levels as u64)) - 1;
+        let levels = self.levels_for(tree);
         tree.all_vectors()
             .into_iter()
-            .map(|(user, vec)| {
-                let res_max = vec.resolution().max_value;
-                let mut acc: u64 = 0;
-                let padded = vec.padded(levels);
-                for (i, &e) in padded.elements().iter().take(levels).enumerate() {
-                    // Quantize the element into 2^N buckets — this is where
-                    // the N bits of entropy per level are awarded.
-                    let q = (e / res_max * (buckets - 1) as f64).round() as u64;
-                    acc |= q.min(buckets - 1) << ((levels - 1 - i) as u64 * n as u64);
-                }
-                (user, acc as f64 / max_merged as f64)
-            })
+            .map(|(user, vec)| (user, self.merge_vector(&vec, levels)))
             .collect()
+    }
+
+    fn project_user(&self, tree: &FairshareTree, user: &GridUser) -> Option<f64> {
+        let vec = tree.vector_for_user(user)?;
+        Some(self.merge_vector(&vec, self.levels_for(tree)))
     }
 }
 
@@ -108,11 +121,7 @@ mod tests {
         // Two users whose elements differ by less than one bucket width
         // (and sit away from a bucket boundary) collapse to the same
         // projected value — the ∞-precision ✗.
-        let tree = flat_tree(&[
-            ("a", 0.3, 100.000),
-            ("b", 0.3, 100.001),
-            ("c", 0.4, 800.0),
-        ]);
+        let tree = flat_tree(&[("a", 0.3, 100.000), ("b", 0.3, 100.001), ("c", 0.4, 800.0)]);
         let v = BitwiseVector::new(4).project(&tree);
         assert_eq!(v[&GridUser::new("a")], v[&GridUser::new("b")]);
     }
@@ -130,7 +139,9 @@ mod tests {
         let proj = BitwiseVector::new(16);
         let v = proj.project(&tree);
         let elem = |name: &str| {
-            tree.vector_for_user(&GridUser::new(name)).unwrap().elements()[0]
+            tree.vector_for_user(&GridUser::new(name))
+                .unwrap()
+                .elements()[0]
         };
         let val_ratio = (v[&GridUser::new("a")] - v[&GridUser::new("b")])
             / (v[&GridUser::new("b")] - v[&GridUser::new("c")]);

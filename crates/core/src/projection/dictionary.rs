@@ -57,11 +57,7 @@ mod tests {
     #[test]
     fn paper_example_three_vectors() {
         // Distinct priorities → 0.75 / 0.50 / 0.25 by sorting order.
-        let tree = flat_tree(&[
-            ("high", 0.4, 0.0),
-            ("mid", 0.3, 300.0),
-            ("low", 0.3, 700.0),
-        ]);
+        let tree = flat_tree(&[("high", 0.4, 0.0), ("mid", 0.3, 300.0), ("low", 0.3, 700.0)]);
         let v = DictionaryOrdering.project(&tree);
         assert!((v[&GridUser::new("high")] - 0.75).abs() < 1e-12);
         assert!((v[&GridUser::new("mid")] - 0.50).abs() < 1e-12);
@@ -71,11 +67,7 @@ mod tests {
     #[test]
     fn ties_share_average_value() {
         // Two users with identical share and usage → identical vectors.
-        let tree = flat_tree(&[
-            ("a", 0.25, 100.0),
-            ("b", 0.25, 100.0),
-            ("c", 0.5, 800.0),
-        ]);
+        let tree = flat_tree(&[("a", 0.25, 100.0), ("b", 0.25, 100.0), ("c", 0.5, 800.0)]);
         let v = DictionaryOrdering.project(&tree);
         assert_eq!(v[&GridUser::new("a")], v[&GridUser::new("b")]);
         assert!(v[&GridUser::new("a")] > v[&GridUser::new("c")]);

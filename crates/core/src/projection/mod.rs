@@ -36,12 +36,21 @@ pub trait Projection: Send + Sync + std::fmt::Debug {
 
     /// Project every user in the tree to a `[0, 1]` factor.
     fn project(&self, tree: &FairshareTree) -> BTreeMap<GridUser, f64>;
+
+    /// Project a single user, for *path-local* algorithms whose per-user
+    /// value depends only on the nodes along that user's path (Bitwise,
+    /// Percental). Must be bit-identical to the corresponding entry of
+    /// [`project`](Self::project). Returns `None` for global algorithms
+    /// (Dictionary ordering ranks users against each other, so any change
+    /// requires a full re-projection) and for users absent from the tree.
+    fn project_user(&self, _tree: &FairshareTree, _user: &GridUser) -> Option<f64> {
+        None
+    }
 }
 
 /// Which projection algorithm to use; "the approach to use is configurable
 /// and can be changed during run-time".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum ProjectionKind {
     /// Rank-based dictionary (lexicographic) ordering.
     Dictionary,
@@ -71,7 +80,6 @@ impl ProjectionKind {
         ProjectionKind::Percental,
     ];
 }
-
 
 #[cfg(test)]
 pub(crate) mod test_util {
@@ -119,8 +127,7 @@ pub(crate) mod test_util {
             .flat_map(|(_, _, users)| users.iter())
             .map(|(n, _, u)| (GridUser::new(*n), *u))
             .collect();
-        let tree =
-            FairshareTree::compute(&policy, &usage, &FairshareConfig::default(), 0.0);
+        let tree = FairshareTree::compute(&policy, &usage, &FairshareConfig::default(), 0.0);
         (policy, tree)
     }
 }
@@ -132,11 +139,7 @@ mod tests {
 
     #[test]
     fn all_projections_produce_unit_range() {
-        let tree = flat_tree(&[
-            ("a", 0.5, 900.0),
-            ("b", 0.3, 50.0),
-            ("c", 0.2, 50.0),
-        ]);
+        let tree = flat_tree(&[("a", 0.5, 900.0), ("b", 0.3, 50.0), ("c", 0.2, 50.0)]);
         for kind in ProjectionKind::ALL {
             let proj = kind.build();
             let values = proj.project(&tree);
@@ -150,11 +153,7 @@ mod tests {
     #[test]
     fn all_projections_agree_on_order() {
         // b is most under-served, then c, then a.
-        let tree = flat_tree(&[
-            ("a", 0.5, 900.0),
-            ("b", 0.3, 10.0),
-            ("c", 0.2, 90.0),
-        ]);
+        let tree = flat_tree(&[("a", 0.5, 900.0), ("b", 0.3, 10.0), ("c", 0.2, 90.0)]);
         for kind in ProjectionKind::ALL {
             let values = kind.build().project(&tree);
             let a = values[&GridUser::new("a")];

@@ -50,6 +50,11 @@ impl Projection for Percental {
             })
             .collect()
     }
+
+    fn project_user(&self, tree: &FairshareTree, user: &GridUser) -> Option<f64> {
+        let (target, usage) = Self::total_shares(tree, tree.path_of_user(user)?)?;
+        Some(((target - usage) + 1.0) / 2.0)
+    }
 }
 
 #[cfg(test)]
@@ -64,8 +69,7 @@ mod tests {
             ("proj", 0.20, &[("u", 0.25, 10.0), ("v", 0.75, 10.0)]),
             ("rest", 0.80, &[("w", 1.0, 80.0)]),
         ]);
-        let (target, _) =
-            Percental::total_shares(&tree, &EntityPath::parse("/proj/u")).unwrap();
+        let (target, _) = Percental::total_shares(&tree, &EntityPath::parse("/proj/u")).unwrap();
         assert!((target - 0.05).abs() < 1e-12);
     }
 

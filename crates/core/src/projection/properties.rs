@@ -68,8 +68,7 @@ fn deep_tree(depth: usize, bottom_usage: (f64, f64)) -> FairshareTree {
             PolicyNode::group(format!("g{level}"), 1.0, vec![chain(level + 1, depth)])
         }
     }
-    let policy = PolicyTree::new(PolicyNode::group("root", 1.0, vec![chain(0, depth)]))
-        .unwrap();
+    let policy = PolicyTree::new(PolicyNode::group("root", 1.0, vec![chain(0, depth)])).unwrap();
     let usage: BTreeMap<GridUser, f64> = [
         (GridUser::new("da"), bottom_usage.0),
         (GridUser::new("db"), bottom_usage.1),
@@ -81,10 +80,9 @@ fn deep_tree(depth: usize, bottom_usage: (f64, f64)) -> FairshareTree {
 
 /// Flat tree helper: (user, share, usage) triples.
 fn flat(entries: &[(&str, f64, f64)]) -> FairshareTree {
-    let policy = crate::policy::flat_policy(
-        &entries.iter().map(|(n, s, _)| (*n, *s)).collect::<Vec<_>>(),
-    )
-    .unwrap();
+    let policy =
+        crate::policy::flat_policy(&entries.iter().map(|(n, s, _)| (*n, *s)).collect::<Vec<_>>())
+            .unwrap();
     let usage: BTreeMap<GridUser, f64> = entries
         .iter()
         .map(|(n, _, u)| (GridUser::new(*n), *u))

@@ -116,6 +116,24 @@ impl UsageHistogram {
             .sum()
     }
 
+    /// Usage of `user` weighted relative to a fixed reference epoch
+    /// (separable decays only; see [`DecayPolicy::epoch_weight`]). Equal to
+    /// the decayed usage at `epoch_s` up to the unclamped handling of slots
+    /// newer than the epoch. The incremental UMS caches these weights so
+    /// advancing time never dirties unchanged users.
+    pub fn epoch_usage(&self, user: &GridUser, epoch_s: f64, decay: DecayPolicy) -> f64 {
+        let Some(slots) = self.slots.get(user) else {
+            return 0.0;
+        };
+        slots
+            .iter()
+            .map(|(&slot, &charge)| {
+                let slot_center = (slot as f64 + 0.5) * self.slot_s;
+                charge * decay.epoch_weight(epoch_s - slot_center)
+            })
+            .sum()
+    }
+
     /// Raw (undecayed) total usage of `user`.
     pub fn raw_usage(&self, user: &GridUser) -> f64 {
         self.slots
@@ -154,10 +172,8 @@ impl UsageHistogram {
                 .slots
                 .iter()
                 .filter_map(|(u, slots)| {
-                    let filtered: BTreeMap<u64, f64> = slots
-                        .range(since_slot..)
-                        .map(|(&k, &v)| (k, v))
-                        .collect();
+                    let filtered: BTreeMap<u64, f64> =
+                        slots.range(since_slot..).map(|(&k, &v)| (k, v)).collect();
                     (!filtered.is_empty()).then(|| (u.clone(), filtered))
                 })
                 .collect(),
@@ -189,10 +205,7 @@ pub struct UsageSummary {
 impl UsageSummary {
     /// Total charge carried by this summary.
     pub fn total(&self) -> f64 {
-        self.per_user
-            .values()
-            .flat_map(|s| s.values())
-            .sum()
+        self.per_user.values().flat_map(|s| s.values()).sum()
     }
 
     /// Number of (user, slot) cells — the summary's wire size proxy.

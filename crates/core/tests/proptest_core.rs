@@ -31,11 +31,7 @@ fn flat_scenario() -> impl Strategy<Value = (Vec<(String, f64)>, Vec<f64>)> {
     })
 }
 
-fn build_tree(
-    shares: &[(String, f64)],
-    usage: &[f64],
-    k: f64,
-) -> (PolicyTree, FairshareTree) {
+fn build_tree(shares: &[(String, f64)], usage: &[f64], k: f64) -> (PolicyTree, FairshareTree) {
     let pairs: Vec<(&str, f64)> = shares.iter().map(|(n, s)| (n.as_str(), *s)).collect();
     let policy = flat_policy(&pairs).unwrap();
     let usage_map: BTreeMap<GridUser, f64> = shares
@@ -290,11 +286,7 @@ proptest! {
 
 /// Strategy: a random two-level policy tree (groups with users).
 fn random_tree() -> impl Strategy<Value = PolicyTree> {
-    proptest::collection::vec(
-        (1usize..5, 0.1..10.0f64),
-        1..5,
-    )
-    .prop_map(|groups| {
+    proptest::collection::vec((1usize..5, 0.1..10.0f64), 1..5).prop_map(|groups| {
         let children: Vec<PolicyNode> = groups
             .iter()
             .enumerate()

@@ -14,7 +14,7 @@ use aequus_core::fairshare::{FairshareConfig, FairshareTree};
 use aequus_core::policy::PolicyTree;
 use aequus_core::projection::{Projection, ProjectionKind};
 use aequus_core::usage::{UsageHistogram, UsageRecord};
-use aequus_core::{GridUser, SystemUser};
+use aequus_core::{GridUser, SystemUser, UserId};
 use aequus_services::AequusSite;
 use std::collections::BTreeMap;
 
@@ -23,6 +23,21 @@ pub trait FairshareSource {
     /// The fairshare priority factor (in `[0, 1]`) for a grid user.
     /// Replaces "the normal fairshare priority calculation code".
     fn fairshare_factor(&mut self, user: &GridUser, now_s: f64) -> f64;
+
+    /// Intern a grid user into a stable dense id so repeated priority
+    /// queries (reprioritization loops) can skip the keyed lookup. Sources
+    /// without an interner return `None` and callers fall back to
+    /// [`fairshare_factor`](Self::fairshare_factor).
+    fn intern_user(&mut self, _user: &GridUser) -> Option<UserId> {
+        None
+    }
+
+    /// The fairshare factor by interned id. Only called with ids this
+    /// source returned from [`intern_user`](Self::intern_user); the default
+    /// (for sources without an interner) is the neutral factor.
+    fn fairshare_factor_by_id(&mut self, _id: UserId, _now_s: f64) -> f64 {
+        0.5
+    }
 
     /// Supply usage information for a completed job (the SLURM job
     /// completion plugin / the Maui completion call site).
@@ -35,6 +50,14 @@ pub trait FairshareSource {
 impl FairshareSource for AequusSite {
     fn fairshare_factor(&mut self, user: &GridUser, now_s: f64) -> f64 {
         self.fairshare(user, now_s)
+    }
+
+    fn intern_user(&mut self, user: &GridUser) -> Option<UserId> {
+        Some(AequusSite::intern_user(self, user))
+    }
+
+    fn fairshare_factor_by_id(&mut self, id: UserId, now_s: f64) -> f64 {
+        self.fairshare_by_id(id, now_s)
     }
 
     fn report_usage(&mut self, record: UsageRecord, now_s: f64) {

@@ -9,7 +9,7 @@ use crate::nodes::NodePool;
 use crate::plugin::FairshareSource;
 use aequus_core::ids::{JobId, SiteId};
 use aequus_core::usage::UsageRecord;
-use aequus_core::GridUser;
+use aequus_core::{GridUser, UserId};
 use std::collections::BTreeMap;
 
 /// When pending-job priorities are recomputed — stage IV of the §IV-A-2
@@ -50,6 +50,16 @@ impl SchedulerStats {
     }
 }
 
+/// A queued job with its cached priority and (when the fairshare source
+/// supports interning) the stable id of its grid user, so re-prioritization
+/// sweeps query priorities by index instead of cloned `GridUser` keys.
+#[derive(Debug)]
+struct PendingEntry {
+    job: Job,
+    prio: f64,
+    user_id: Option<UserId>,
+}
+
 /// The common scheduler core.
 #[derive(Debug)]
 pub struct SchedulerCore {
@@ -59,7 +69,7 @@ pub struct SchedulerCore {
     weights: PriorityWeights,
     factors: FactorConfig,
     reprio: ReprioritizePolicy,
-    pending: Vec<(Job, f64)>, // job, cached priority
+    pending: Vec<PendingEntry>,
     running: Vec<Job>,
     last_reprio_s: f64,
     /// Statistics.
@@ -109,16 +119,26 @@ impl SchedulerCore {
         if job.grid_user.is_none() {
             job.grid_user = source.resolve_identity(&job.system_user, now_s);
         }
+        // Intern the user once at submit; every later priority query for
+        // this entry is an index load on the source side.
+        let user_id = job.grid_user.as_ref().and_then(|u| source.intern_user(u));
         self.stats.submitted += 1;
         // New jobs get a priority immediately so they can dispatch this cycle.
-        let prio = self.priority_of(&job, source, now_s);
-        self.pending.push((job, prio));
+        let prio = self.priority_of(&job, user_id, source, now_s);
+        self.pending.push(PendingEntry { job, prio, user_id });
     }
 
-    fn priority_of(&self, job: &Job, source: &mut dyn FairshareSource, now_s: f64) -> f64 {
-        let fairshare = match &job.grid_user {
-            Some(u) => source.fairshare_factor(u, now_s),
-            None => 0.5, // unmapped users get the neutral factor
+    fn priority_of(
+        &self,
+        job: &Job,
+        user_id: Option<UserId>,
+        source: &mut dyn FairshareSource,
+        now_s: f64,
+    ) -> f64 {
+        let fairshare = match (user_id, &job.grid_user) {
+            (Some(id), _) => source.fairshare_factor_by_id(id, now_s),
+            (None, Some(u)) => source.fairshare_factor(u, now_s),
+            (None, None) => 0.5, // unmapped users get the neutral factor
         };
         combined_priority(
             &self.weights,
@@ -143,16 +163,17 @@ impl SchedulerCore {
         self.nodes.advance(now_s);
         self.complete_due(source, now_s);
         if self.reprio_due(now_s) {
-            for (job, prio) in &mut self.pending {
-                *prio = combined_priority(
+            for entry in &mut self.pending {
+                entry.prio = combined_priority(
                     &self.weights,
-                    match &job.grid_user {
-                        Some(u) => source.fairshare_factor(u, now_s),
-                        None => 0.5,
+                    match (entry.user_id, &entry.job.grid_user) {
+                        (Some(id), _) => source.fairshare_factor_by_id(id, now_s),
+                        (None, Some(u)) => source.fairshare_factor(u, now_s),
+                        (None, None) => 0.5,
                     },
-                    self.factors.age_factor(job, now_s),
-                    self.factors.qos_factor(job),
-                    self.factors.size_factor(job),
+                    self.factors.age_factor(&entry.job, now_s),
+                    self.factors.qos_factor(&entry.job),
+                    self.factors.size_factor(&entry.job),
                 );
             }
             self.last_reprio_s = now_s;
@@ -163,22 +184,24 @@ impl SchedulerCore {
     fn complete_due(&mut self, source: &mut dyn FairshareSource, now_s: f64) {
         let mut i = 0;
         while i < self.running.len() {
-            let end = self.running[i].expected_end().expect("running jobs have ends");
+            let end = self.running[i]
+                .expected_end()
+                .expect("running jobs have ends");
             if end <= now_s {
                 let mut job = self.running.swap_remove(i);
                 let start_s = match job.state {
                     JobState::Running { start_s } => start_s,
                     _ => unreachable!("job in running list"),
                 };
-                job.state = JobState::Completed { start_s, end_s: end };
+                job.state = JobState::Completed {
+                    start_s,
+                    end_s: end,
+                };
                 self.nodes.release(job.cores);
                 self.stats.completed += 1;
                 if let Some(user) = &job.grid_user {
-                    *self
-                        .stats
-                        .usage_by_user
-                        .entry(user.clone())
-                        .or_insert(0.0) += job.cores as f64 * job.duration_s;
+                    *self.stats.usage_by_user.entry(user.clone()).or_insert(0.0) +=
+                        job.cores as f64 * job.duration_s;
                     source.report_usage(
                         UsageRecord {
                             job: job.id,
@@ -205,15 +228,16 @@ impl SchedulerCore {
     fn dispatch(&mut self, now_s: f64) {
         // Highest priority first; FIFO (submit time, id) as tie-breakers.
         self.pending.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
+            b.prio
+                .partial_cmp(&a.prio)
                 .unwrap()
-                .then(a.0.submit_s.partial_cmp(&b.0.submit_s).unwrap())
-                .then(a.0.id.cmp(&b.0.id))
+                .then(a.job.submit_s.partial_cmp(&b.job.submit_s).unwrap())
+                .then(a.job.id.cmp(&b.job.id))
         });
 
         let mut shadow: Option<(f64, u32)> = None; // (shadow time, extra free cores at shadow)
         let mut started: std::collections::BTreeSet<JobId> = std::collections::BTreeSet::new();
-        for (job, _prio) in &self.pending {
+        for PendingEntry { job, .. } in &self.pending {
             if shadow.is_none() {
                 if self.nodes.free_cores() >= job.cores {
                     // Start at head position.
@@ -246,21 +270,21 @@ impl SchedulerCore {
             let head_started: usize = self
                 .pending
                 .iter()
-                .take_while(|(j, _)| started.contains(&j.id))
+                .take_while(|e| started.contains(&e.job.id))
                 .count();
             head_started
         };
         let mut order = 0usize;
-        self.pending.retain_mut(|(job, _)| {
-            if started.contains(&job.id) {
-                job.state = JobState::Running { start_s: now_s };
+        self.pending.retain_mut(|entry| {
+            if started.contains(&entry.job.id) {
+                entry.job.state = JobState::Running { start_s: now_s };
                 self.stats.started += 1;
-                self.stats.total_wait_s += job.wait_time(now_s);
+                self.stats.total_wait_s += entry.job.wait_time(now_s);
                 order += 1;
                 if order > backfill_from_head {
                     self.stats.backfilled += 1;
                 }
-                self.running.push(job.clone());
+                self.running.push(entry.job.clone());
                 false
             } else {
                 true
@@ -298,7 +322,7 @@ impl SchedulerCore {
 
     /// Pending jobs and their cached priorities (inspection/metrics).
     pub fn pending_jobs(&self) -> impl Iterator<Item = (&Job, f64)> {
-        self.pending.iter().map(|(j, p)| (j, *p))
+        self.pending.iter().map(|e| (&e.job, e.prio))
     }
 
     /// Running jobs (inspection/metrics).
@@ -398,7 +422,10 @@ mod tests {
         sched.advance(&mut src, 5.0);
         let running_ids: Vec<JobId> = sched.running_jobs().iter().map(|j| j.id).collect();
         assert!(running_ids.contains(&JobId(4)), "short job backfilled");
-        assert!(!running_ids.contains(&JobId(3)), "long job would delay head");
+        assert!(
+            !running_ids.contains(&JobId(3)),
+            "long job would delay head"
+        );
         assert!(!running_ids.contains(&JobId(2)), "head still waiting");
         assert_eq!(sched.stats.backfilled, 1);
         // At t=100 jobs 1 and 4 are done. User b is now under-served, so job

@@ -101,11 +101,7 @@ mod tests {
 
     #[test]
     fn slurm_runs_workload_to_completion() {
-        let mut slurm = SlurmScheduler::new(
-            SiteId(0),
-            NodePool::new(4, 1),
-            SlurmConfig::default(),
-        );
+        let mut slurm = SlurmScheduler::new(SiteId(0), NodePool::new(4, 1), SlurmConfig::default());
         let mut src = LocalFairshare::new(
             flat_policy(&[("a", 1.0)]).unwrap(),
             FairshareConfig::default(),

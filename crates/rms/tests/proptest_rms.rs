@@ -8,9 +8,8 @@ use aequus_core::policy::flat_policy;
 use aequus_core::projection::ProjectionKind;
 use aequus_core::{GridUser, SystemUser};
 use aequus_rms::{
-    FairshareSource,
-    FactorConfig, Job, LocalFairshare, NodePool, PriorityWeights, ReprioritizePolicy,
-    SchedulerCore,
+    FactorConfig, FairshareSource, Job, LocalFairshare, NodePool, PriorityWeights,
+    ReprioritizePolicy, SchedulerCore,
 };
 use proptest::prelude::*;
 

@@ -2,13 +2,31 @@
 //! and policy trees from the PDS periodically, and pre-calculates fairshare
 //! trees with the current fairshare values for all users. This way, no
 //! real-time calculations need to take place when new jobs arrive" (§II-A).
+//!
+//! ## Incremental refresh
+//!
+//! The FCS is the consumer end of the dirty-set flow USS → UMS → FCS: each
+//! refresh drains the [`DirtySet`](aequus_core::arena::DirtySet)s
+//! accumulated by the PDS (policy edits)
+//! and UMS (usage changes) and hands them to
+//! [`FairshareTree::recompute_dirty`], which re-derives only the affected
+//! subtrees. A full from-scratch rebuild happens only on the first refresh,
+//! after a projection switch, or when the dirty set says "all" (structural
+//! policy change, non-separable decay). After the tree update, only users
+//! under changed nodes are re-projected — except under projections without
+//! a per-user entry point (Dictionary re-ranks globally).
+//!
+//! The FCS also interns users into dense [`UserId`]s so the RMS-side hot
+//! path can query priorities by index instead of cloning `GridUser` keys.
+//! Ids are assigned on first sight, never reused, and survive full rebuilds.
 
 use crate::pds::Pds;
 use crate::ums::Ums;
+use aequus_core::arena::{RecomputeStats, UserId};
 use aequus_core::fairshare::{FairshareConfig, FairshareTree};
 use aequus_core::projection::{Projection, ProjectionKind};
 use aequus_core::GridUser;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-site fairshare calculation service.
 pub struct Fcs {
@@ -18,9 +36,22 @@ pub struct Fcs {
     refresh_interval_s: f64,
     tree: Option<FairshareTree>,
     factors: BTreeMap<GridUser, f64>,
+    /// Stable user interner: `GridUser` → dense id, assigned on first sight.
+    user_ids: BTreeMap<GridUser, UserId>,
+    users_by_id: Vec<GridUser>,
+    /// Factor table indexed by [`UserId`]; `NaN` marks "no precomputed
+    /// factor" (the id is interned but the user is absent from the tree).
+    factor_slots: Vec<f64>,
     last_refresh_s: Option<f64>,
     last_policy_version: u64,
+    /// Next refresh must rebuild from scratch (projection switch). Tracked
+    /// separately from `last_refresh_s` so cadence statistics stay truthful.
+    force_full: bool,
     refreshes: u64,
+    full_refreshes: u64,
+    incremental_refreshes: u64,
+    nodes_recomputed_total: u64,
+    last_recompute: RecomputeStats,
 }
 
 impl std::fmt::Debug for Fcs {
@@ -30,6 +61,8 @@ impl std::fmt::Debug for Fcs {
             .field("refresh_interval_s", &self.refresh_interval_s)
             .field("last_refresh_s", &self.last_refresh_s)
             .field("refreshes", &self.refreshes)
+            .field("full_refreshes", &self.full_refreshes)
+            .field("incremental_refreshes", &self.incremental_refreshes)
             .finish()
     }
 }
@@ -49,19 +82,28 @@ impl Fcs {
             refresh_interval_s,
             tree: None,
             factors: BTreeMap::new(),
+            user_ids: BTreeMap::new(),
+            users_by_id: Vec::new(),
+            factor_slots: Vec::new(),
             last_refresh_s: None,
             last_policy_version: 0,
+            force_full: false,
             refreshes: 0,
+            full_refreshes: 0,
+            incremental_refreshes: 0,
+            nodes_recomputed_total: 0,
+            last_recompute: RecomputeStats::default(),
         }
     }
 
     /// Switch the projection algorithm at run time ("the approach to use is
     /// configurable and can be changed during run-time", §III-C). Takes
-    /// effect on the next refresh.
+    /// effect on the next refresh, which rebuilds from scratch; the refresh
+    /// timestamp is left untouched so cadence statistics stay truthful.
     pub fn set_projection(&mut self, kind: ProjectionKind) {
         self.projection_kind = kind;
         self.projection = kind.build();
-        self.last_refresh_s = None; // force recompute
+        self.force_full = true;
     }
 
     /// The active projection algorithm.
@@ -74,10 +116,10 @@ impl Fcs {
         &self.config
     }
 
-    /// Whether the precomputed values are stale at `now_s` (interval elapsed
-    /// or the policy version moved).
+    /// Whether the precomputed values are stale at `now_s` (interval
+    /// elapsed, the policy version moved, or a projection switch pends).
     pub fn is_stale(&self, pds: &Pds, now_s: f64) -> bool {
-        if pds.version() != self.last_policy_version {
+        if self.force_full || pds.version() != self.last_policy_version {
             return true;
         }
         match self.last_refresh_s {
@@ -86,19 +128,127 @@ impl Fcs {
         }
     }
 
-    /// Recompute the fairshare tree and projected factors if stale.
-    /// Returns whether a recomputation happened.
-    pub fn refresh(&mut self, pds: &Pds, ums: &Ums, now_s: f64) -> bool {
+    /// Recompute the fairshare tree and projected factors if stale, draining
+    /// the PDS and UMS dirty sets. Returns whether a refresh happened.
+    pub fn refresh(&mut self, pds: &mut Pds, ums: &mut Ums, now_s: f64) -> bool {
         if !self.is_stale(pds, now_s) {
             return false;
         }
-        let tree = FairshareTree::compute(pds.policy(), ums.usage(), &self.config, now_s);
-        self.factors = self.projection.project(&tree);
-        self.tree = Some(tree);
+        let mut dirty = pds.take_dirty();
+        dirty.merge(&ums.take_dirty());
+        // A version bump the dirty set cannot explain (no edited path, no
+        // mark-all) means the policy changed behind our back: rebuild.
+        let unexplained_version = pds.version() != self.last_policy_version
+            && !dirty.is_all()
+            && dirty.paths().next().is_none();
+        let need_full =
+            self.tree.is_none() || self.force_full || dirty.is_all() || unexplained_version;
+
+        if need_full {
+            let tree = FairshareTree::compute(pds.policy(), ums.usage(), &self.config, now_s);
+            self.factors = self.projection.project(&tree);
+            self.last_recompute = RecomputeStats {
+                full: true,
+                nodes_recomputed: tree.node_count() as u64,
+                shares_refreshed: tree.node_count() as u64,
+                changed_elements: Vec::new(),
+            };
+            self.tree = Some(tree);
+            self.full_refreshes += 1;
+            self.force_full = false;
+        } else if dirty.is_empty() {
+            // Interval elapsed but nothing changed upstream: the refresh
+            // happened (cadence-wise) and did zero recompute work.
+            self.incremental_refreshes += 1;
+            self.last_recompute = RecomputeStats::default();
+        } else {
+            let stats = self
+                .tree
+                .as_mut()
+                .expect("tree present on incremental path")
+                .recompute_dirty(pds.policy(), ums.usage(), &dirty, now_s);
+            let tree = self.tree.as_ref().expect("tree present");
+            if stats.full {
+                // The tree detected a structural mismatch and rebuilt.
+                self.factors = self.projection.project(tree);
+                self.full_refreshes += 1;
+            } else {
+                // Re-project only users under nodes whose state changed.
+                let mut affected: BTreeSet<GridUser> = BTreeSet::new();
+                for id in &stats.changed_elements {
+                    tree.users_under(*id, &mut affected);
+                }
+                let mut global_projection = false;
+                for user in &affected {
+                    match self.projection.project_user(tree, user) {
+                        Some(f) => {
+                            self.factors.insert(user.clone(), f);
+                        }
+                        None => {
+                            // No per-user entry point (Dictionary): any
+                            // change can shift every rank — re-rank all.
+                            global_projection = true;
+                            break;
+                        }
+                    }
+                }
+                if global_projection && !affected.is_empty() {
+                    self.factors = self.projection.project(tree);
+                }
+                self.incremental_refreshes += 1;
+            }
+            self.last_recompute = stats;
+        }
+
+        self.nodes_recomputed_total += self.last_recompute.nodes_recomputed;
+        self.sync_factor_slots();
         self.last_refresh_s = Some(now_s);
         self.last_policy_version = pds.version();
         self.refreshes += 1;
         true
+    }
+
+    /// Rebuild the id-indexed factor table from the factor map, interning
+    /// users seen for the first time. Flat `O(users)` — no tree work.
+    fn sync_factor_slots(&mut self) {
+        for slot in self.factor_slots.iter_mut() {
+            *slot = f64::NAN;
+        }
+        let mut new_users: Vec<GridUser> = Vec::new();
+        for (user, &factor) in &self.factors {
+            match self.user_ids.get(user) {
+                Some(id) => self.factor_slots[id.index()] = factor,
+                None => new_users.push(user.clone()),
+            }
+        }
+        for user in new_users {
+            let factor = self.factors[&user];
+            let id = self.intern_user(&user);
+            self.factor_slots[id.index()] = factor;
+        }
+    }
+
+    /// Intern a user, returning its stable dense id. Ids survive full
+    /// rebuilds and are never reused.
+    pub fn intern_user(&mut self, user: &GridUser) -> UserId {
+        if let Some(id) = self.user_ids.get(user) {
+            return *id;
+        }
+        let id = UserId(self.users_by_id.len() as u32);
+        self.user_ids.insert(user.clone(), id);
+        self.users_by_id.push(user.clone());
+        self.factor_slots.push(f64::NAN);
+        id
+    }
+
+    /// Resolve an already-interned user's id without interning.
+    pub fn id_of(&self, user: &GridUser) -> Option<UserId> {
+        self.user_ids.get(user).copied()
+    }
+
+    /// The user an id was assigned to.
+    pub fn user_of(&self, id: UserId) -> Option<&GridUser> {
+        self.users_by_id.get(id.index())
     }
 
     /// Query the precomputed fairshare factor for a user — constant time,
@@ -106,6 +256,15 @@ impl Fcs {
     /// assigned to the job based on the associated user identity").
     pub fn query(&self, user: &GridUser) -> Option<f64> {
         self.factors.get(user).copied()
+    }
+
+    /// Query by interned id: an index load instead of a map walk — the
+    /// RMS-side hot path.
+    pub fn query_id(&self, id: UserId) -> Option<f64> {
+        match self.factor_slots.get(id.index()) {
+            Some(f) if !f.is_nan() => Some(*f),
+            _ => None,
+        }
     }
 
     /// The precomputed factors for all users.
@@ -118,9 +277,36 @@ impl Fcs {
         self.tree.as_ref()
     }
 
-    /// Number of precomputations performed.
+    /// When the factors were last refreshed.
+    pub fn last_refresh(&self) -> Option<f64> {
+        self.last_refresh_s
+    }
+
+    /// Number of precomputations performed (full + incremental).
     pub fn refreshes(&self) -> u64 {
         self.refreshes
+    }
+
+    /// Refreshes that rebuilt the tree from scratch.
+    pub fn full_refreshes(&self) -> u64 {
+        self.full_refreshes
+    }
+
+    /// Refreshes served by the incremental engine (including zero-work
+    /// refreshes where nothing was dirty).
+    pub fn incremental_refreshes(&self) -> u64 {
+        self.incremental_refreshes
+    }
+
+    /// Total subtree-aggregate recomputations across all refreshes — the
+    /// work metric the incremental engine minimizes.
+    pub fn nodes_recomputed(&self) -> u64 {
+        self.nodes_recomputed_total
+    }
+
+    /// What the most recent refresh did.
+    pub fn last_recompute(&self) -> &RecomputeStats {
+        &self.last_recompute
     }
 }
 
@@ -130,32 +316,39 @@ mod tests {
     use crate::participation::ParticipationMode;
     use crate::uss::Uss;
     use aequus_core::ids::{JobId, SiteId};
-    use aequus_core::policy::flat_policy;
+    use aequus_core::policy::{flat_policy, PolicyNode, PolicyTree};
     use aequus_core::usage::UsageRecord;
     use aequus_core::DecayPolicy;
+
+    fn record(user: &str, start: f64, end: f64) -> UsageRecord {
+        UsageRecord {
+            job: JobId(1),
+            user: GridUser::new(user),
+            site: SiteId(0),
+            cores: 1,
+            start_s: start,
+            end_s: end,
+        }
+    }
 
     fn setup() -> (Pds, Ums, Uss) {
         let pds = Pds::new(flat_policy(&[("a", 0.5), ("b", 0.5)]).unwrap());
         let mut uss = Uss::new(SiteId(0), ParticipationMode::Full, 60.0);
-        uss.ingest(&UsageRecord {
-            job: JobId(1),
-            user: GridUser::new("a"),
-            site: SiteId(0),
-            cores: 1,
-            start_s: 0.0,
-            end_s: 100.0,
-        });
+        uss.ingest(&record("a", 0.0, 100.0));
         let mut ums = Ums::new(0.0, DecayPolicy::None);
-        ums.refresh(&uss, 0.0);
+        ums.refresh(&mut uss, 0.0);
         (pds, ums, uss)
     }
 
     #[test]
     fn precomputes_factors_for_all_users() {
-        let (pds, ums, _) = setup();
+        let (mut pds, mut ums, _) = setup();
         let mut fcs = Fcs::new(FairshareConfig::default(), ProjectionKind::Percental, 30.0);
-        assert!(fcs.query(&GridUser::new("a")).is_none(), "nothing before refresh");
-        assert!(fcs.refresh(&pds, &ums, 0.0));
+        assert!(
+            fcs.query(&GridUser::new("a")).is_none(),
+            "nothing before refresh"
+        );
+        assert!(fcs.refresh(&mut pds, &mut ums, 0.0));
         let fa = fcs.query(&GridUser::new("a")).unwrap();
         let fb = fcs.query(&GridUser::new("b")).unwrap();
         assert!(fb > fa, "b has no usage → higher factor");
@@ -163,31 +356,42 @@ mod tests {
 
     #[test]
     fn query_is_cached_between_refreshes() {
-        let (pds, ums, _) = setup();
+        let (mut pds, mut ums, _) = setup();
         let mut fcs = Fcs::new(FairshareConfig::default(), ProjectionKind::Percental, 30.0);
-        fcs.refresh(&pds, &ums, 0.0);
-        assert!(!fcs.refresh(&pds, &ums, 10.0));
-        assert!(fcs.refresh(&pds, &ums, 31.0));
+        fcs.refresh(&mut pds, &mut ums, 0.0);
+        assert!(!fcs.refresh(&mut pds, &mut ums, 10.0));
+        assert!(fcs.refresh(&mut pds, &mut ums, 31.0));
         assert_eq!(fcs.refreshes(), 2);
+        // Nothing was dirty at t=31: the refresh did zero tree work.
+        assert_eq!(fcs.full_refreshes(), 1);
+        assert_eq!(fcs.incremental_refreshes(), 1);
+        assert_eq!(fcs.last_recompute().nodes_recomputed, 0);
     }
 
     #[test]
     fn policy_change_invalidates_cache() {
-        let (mut pds, ums, _) = setup();
+        let (mut pds, mut ums, _) = setup();
         let mut fcs = Fcs::new(FairshareConfig::default(), ProjectionKind::Percental, 1e9);
-        fcs.refresh(&pds, &ums, 0.0);
-        pds.set_share(&aequus_core::EntityPath::parse("/a"), 0.9).unwrap();
-        assert!(fcs.refresh(&pds, &ums, 1.0), "version bump forces recompute");
+        fcs.refresh(&mut pds, &mut ums, 0.0);
+        pds.set_share(&aequus_core::EntityPath::parse("/a"), 0.9)
+            .unwrap();
+        assert!(
+            fcs.refresh(&mut pds, &mut ums, 1.0),
+            "version bump forces recompute"
+        );
+        // A share edit is served incrementally, not by a rebuild.
+        assert_eq!(fcs.full_refreshes(), 1);
+        assert_eq!(fcs.incremental_refreshes(), 1);
     }
 
     #[test]
     fn runtime_projection_switch() {
-        let (pds, ums, _) = setup();
+        let (mut pds, mut ums, _) = setup();
         let mut fcs = Fcs::new(FairshareConfig::default(), ProjectionKind::Percental, 1e9);
-        fcs.refresh(&pds, &ums, 0.0);
+        fcs.refresh(&mut pds, &mut ums, 0.0);
         let percental_b = fcs.query(&GridUser::new("b")).unwrap();
         fcs.set_projection(ProjectionKind::Dictionary);
-        fcs.refresh(&pds, &ums, 1.0);
+        fcs.refresh(&mut pds, &mut ums, 1.0);
         let dict_b = fcs.query(&GridUser::new("b")).unwrap();
         // Dictionary assigns rank-spaced values: 2 users → 2/3 and 1/3.
         assert!((dict_b - 2.0 / 3.0).abs() < 1e-9, "{dict_b}");
@@ -195,10 +399,125 @@ mod tests {
     }
 
     #[test]
+    fn projection_switch_keeps_cadence_stats_truthful() {
+        let (mut pds, mut ums, _) = setup();
+        let mut fcs = Fcs::new(FairshareConfig::default(), ProjectionKind::Percental, 1e9);
+        fcs.refresh(&mut pds, &mut ums, 5.0);
+        fcs.set_projection(ProjectionKind::Bitwise);
+        // The switch pends a rebuild without pretending no refresh ever ran.
+        assert_eq!(fcs.last_refresh(), Some(5.0));
+        assert!(fcs.is_stale(&pds, 6.0));
+        fcs.refresh(&mut pds, &mut ums, 6.0);
+        assert_eq!(fcs.last_refresh(), Some(6.0));
+        assert_eq!(fcs.full_refreshes(), 2, "switch rebuilds from scratch");
+    }
+
+    #[test]
     fn unknown_user_unprioritized() {
-        let (pds, ums, _) = setup();
+        let (mut pds, mut ums, _) = setup();
         let mut fcs = Fcs::new(FairshareConfig::default(), ProjectionKind::Percental, 30.0);
-        fcs.refresh(&pds, &ums, 0.0);
+        fcs.refresh(&mut pds, &mut ums, 0.0);
         assert!(fcs.query(&GridUser::new("ghost")).is_none());
+    }
+
+    #[test]
+    fn single_user_update_recomputes_only_the_path() {
+        // Acceptance criterion: one user's usage update touches exactly that
+        // user's root→leaf path, observable through the FCS work counter.
+        let policy = PolicyTree::new(PolicyNode::group(
+            "root",
+            1.0,
+            vec![
+                PolicyNode::group(
+                    "g0",
+                    0.5,
+                    vec![PolicyNode::user("u0", 0.5), PolicyNode::user("u1", 0.5)],
+                ),
+                PolicyNode::group(
+                    "g1",
+                    0.5,
+                    vec![PolicyNode::user("u2", 0.5), PolicyNode::user("u3", 0.5)],
+                ),
+            ],
+        ))
+        .unwrap();
+        let mut pds = Pds::new(policy);
+        let mut uss = Uss::new(SiteId(0), ParticipationMode::Full, 60.0);
+        uss.ingest(&record("u0", 0.0, 100.0));
+        uss.ingest(&record("u2", 0.0, 50.0));
+        let mut ums = Ums::new(0.0, DecayPolicy::None);
+        ums.refresh(&mut uss, 0.0);
+        let mut fcs = Fcs::new(FairshareConfig::default(), ProjectionKind::Percental, 0.0);
+        fcs.refresh(&mut pds, &mut ums, 0.0);
+        assert_eq!(fcs.full_refreshes(), 1);
+        let full_work = fcs.nodes_recomputed();
+
+        // New usage for u2 only.
+        uss.ingest(&record("u2", 100.0, 200.0));
+        ums.refresh(&mut uss, 10.0);
+        assert!(fcs.refresh(&mut pds, &mut ums, 10.0));
+        assert_eq!(fcs.incremental_refreshes(), 1);
+        // Exactly the path u2 → g1 → root.
+        assert_eq!(fcs.last_recompute().nodes_recomputed, 3);
+        assert_eq!(fcs.nodes_recomputed(), full_work + 3);
+        // And the factors track the new usage: u2 fell behind u3.
+        assert!(
+            fcs.query(&GridUser::new("u2")).unwrap() < fcs.query(&GridUser::new("u3")).unwrap()
+        );
+    }
+
+    #[test]
+    fn incremental_factors_match_full_recompute() {
+        // The projected factors after an incremental refresh are bit-equal
+        // to a from-scratch FCS over the same state, for each projection.
+        for kind in [
+            ProjectionKind::Dictionary,
+            ProjectionKind::Bitwise,
+            ProjectionKind::Percental,
+        ] {
+            let (mut pds, mut ums, mut uss) = setup();
+            let mut fcs = Fcs::new(FairshareConfig::default(), kind, 0.0);
+            fcs.refresh(&mut pds, &mut ums, 0.0);
+            uss.ingest(&record("b", 0.0, 400.0));
+            ums.refresh(&mut uss, 1.0);
+            pds.set_share(&aequus_core::EntityPath::parse("/a"), 0.7)
+                .unwrap();
+            fcs.refresh(&mut pds, &mut ums, 1.0);
+
+            let mut fresh = Fcs::new(FairshareConfig::default(), kind, 0.0);
+            fresh.refresh(&mut pds, &mut ums, 1.0);
+            assert_eq!(fcs.factors().len(), fresh.factors().len());
+            for (user, f) in fcs.factors() {
+                assert_eq!(
+                    f.to_bits(),
+                    fresh.factors()[user].to_bits(),
+                    "{kind:?} factor mismatch for {user:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn user_ids_stable_across_rebuilds() {
+        let (mut pds, mut ums, _) = setup();
+        let mut fcs = Fcs::new(FairshareConfig::default(), ProjectionKind::Percental, 0.0);
+        fcs.refresh(&mut pds, &mut ums, 0.0);
+        let id_a = fcs.id_of(&GridUser::new("a")).unwrap();
+        let id_b = fcs.id_of(&GridUser::new("b")).unwrap();
+        assert_ne!(id_a, id_b);
+        assert_eq!(fcs.query_id(id_a), fcs.query(&GridUser::new("a")));
+
+        // Structural policy change forces a full rebuild; ids survive.
+        pds.set_policy(flat_policy(&[("b", 0.4), ("c", 0.6)]).unwrap());
+        fcs.refresh(&mut pds, &mut ums, 1.0);
+        assert_eq!(fcs.id_of(&GridUser::new("b")), Some(id_b));
+        assert_eq!(fcs.query_id(id_b), fcs.query(&GridUser::new("b")));
+        // "a" left the policy: its id persists but no factor is published.
+        assert_eq!(fcs.id_of(&GridUser::new("a")), Some(id_a));
+        assert_eq!(fcs.query_id(id_a), None);
+        // "c" is new and got a fresh id, not a's.
+        let id_c = fcs.id_of(&GridUser::new("c")).unwrap();
+        assert_ne!(id_c, id_a);
+        assert_eq!(fcs.user_of(id_c), Some(&GridUser::new("c")));
     }
 }

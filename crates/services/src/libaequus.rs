@@ -8,7 +8,7 @@
 
 use crate::fcs::Fcs;
 use crate::irs::Irs;
-use aequus_core::{GridUser, SystemUser};
+use aequus_core::{GridUser, SystemUser, UserId};
 use std::collections::BTreeMap;
 
 /// Cache statistics, for the throughput evaluation.
@@ -38,6 +38,9 @@ pub struct LibAequus {
     fairshare_ttl_s: f64,
     identity_ttl_s: f64,
     fairshare_cache: BTreeMap<GridUser, (f64, f64)>, // value, fetched_at
+    /// Id-indexed fairshare cache: a vector lookup instead of a map walk on
+    /// the scheduler hot path. Slots are `(value, fetched_at)`.
+    fairshare_id_cache: Vec<Option<(f64, f64)>>,
     identity_cache: BTreeMap<SystemUser, (Option<GridUser>, f64)>,
     /// Fairshare query cache statistics.
     pub fairshare_stats: CacheStats,
@@ -52,6 +55,7 @@ impl LibAequus {
             fairshare_ttl_s,
             identity_ttl_s,
             fairshare_cache: BTreeMap::new(),
+            fairshare_id_cache: Vec::new(),
             identity_cache: BTreeMap::new(),
             fairshare_stats: CacheStats::default(),
             identity_stats: CacheStats::default(),
@@ -71,6 +75,25 @@ impl LibAequus {
         self.fairshare_stats.misses += 1;
         let value = fcs.query(user).unwrap_or(0.5);
         self.fairshare_cache.insert(user.clone(), (value, now_s));
+        value
+    }
+
+    /// Fetch the fairshare factor by interned [`UserId`] — the zero-clone
+    /// variant of [`get_fairshare`](Self::get_fairshare) for the scheduler
+    /// hot path. Same TTL-cache semantics, same neutral-factor fallback.
+    pub fn get_fairshare_by_id(&mut self, fcs: &Fcs, id: UserId, now_s: f64) -> f64 {
+        if let Some(Some((value, at))) = self.fairshare_id_cache.get(id.index()) {
+            if now_s - at < self.fairshare_ttl_s {
+                self.fairshare_stats.hits += 1;
+                return *value;
+            }
+        }
+        self.fairshare_stats.misses += 1;
+        let value = fcs.query_id(id).unwrap_or(0.5);
+        if self.fairshare_id_cache.len() <= id.index() {
+            self.fairshare_id_cache.resize(id.index() + 1, None);
+        }
+        self.fairshare_id_cache[id.index()] = Some((value, now_s));
         value
     }
 
@@ -98,6 +121,7 @@ impl LibAequus {
     /// Drop all cached entries (e.g. on reconfiguration).
     pub fn flush(&mut self) {
         self.fairshare_cache.clear();
+        self.fairshare_id_cache.clear();
         self.identity_cache.clear();
     }
 
@@ -122,7 +146,7 @@ mod tests {
     use aequus_core::DecayPolicy;
 
     fn fcs_fixture() -> Fcs {
-        let pds = Pds::new(flat_policy(&[("a", 0.5), ("b", 0.5)]).unwrap());
+        let mut pds = Pds::new(flat_policy(&[("a", 0.5), ("b", 0.5)]).unwrap());
         let mut uss = Uss::new(SiteId(0), ParticipationMode::Full, 60.0);
         uss.ingest(&UsageRecord {
             job: JobId(1),
@@ -133,10 +157,26 @@ mod tests {
             end_s: 50.0,
         });
         let mut ums = Ums::new(0.0, DecayPolicy::None);
-        ums.refresh(&uss, 0.0);
+        ums.refresh(&mut uss, 0.0);
         let mut fcs = Fcs::new(FairshareConfig::default(), ProjectionKind::Percental, 30.0);
-        fcs.refresh(&pds, &ums, 0.0);
+        fcs.refresh(&mut pds, &mut ums, 0.0);
         fcs
+    }
+
+    #[test]
+    fn id_queries_share_cache_semantics() {
+        let mut fcs = fcs_fixture();
+        let id_a = fcs.id_of(&GridUser::new("a")).unwrap();
+        let mut lib = LibAequus::new(10.0, 60.0);
+        let by_name = lib.get_fairshare(&fcs, &GridUser::new("a"), 0.0);
+        let by_id = lib.get_fairshare_by_id(&fcs, id_a, 0.0);
+        assert_eq!(by_name.to_bits(), by_id.to_bits());
+        // Second id query within TTL hits the id cache.
+        lib.get_fairshare_by_id(&fcs, id_a, 5.0);
+        assert_eq!(lib.fairshare_stats.hits, 1);
+        // Unknown-but-interned users fall back to the neutral factor.
+        let ghost = fcs.intern_user(&GridUser::new("ghost"));
+        assert_eq!(lib.get_fairshare_by_id(&fcs, ghost, 0.0), 0.5);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! policies both locally and globally by mounting sub-policies from other
 //! sources (which may be other PDS services)" (§II-A).
 
+use aequus_core::arena::DirtySet;
 use aequus_core::ids::EntityPath;
 use aequus_core::policy::{PolicyError, PolicyTree};
 use std::collections::BTreeMap;
@@ -12,6 +13,10 @@ pub struct Pds {
     policy: PolicyTree,
     /// Sub-policies exported by this PDS, fetchable by other PDS instances.
     exports: BTreeMap<String, PolicyTree>,
+    /// Which parts of the policy changed since the FCS last drained this
+    /// service: share edits mark their path, structural changes (replace,
+    /// mount) mark everything.
+    dirty: DirtySet,
 }
 
 impl Pds {
@@ -20,6 +25,7 @@ impl Pds {
         Self {
             policy,
             exports: BTreeMap::new(),
+            dirty: DirtySet::new(),
         }
     }
 
@@ -38,11 +44,14 @@ impl Pds {
     /// the non-optimal policy test where targets change relative to load).
     pub fn set_policy(&mut self, policy: PolicyTree) {
         self.policy = policy;
+        self.dirty.mark_all();
     }
 
     /// Change one node's share at run time.
     pub fn set_share(&mut self, path: &EntityPath, share: f64) -> Result<(), PolicyError> {
-        self.policy.set_share(path, share)
+        self.policy.set_share(path, share)?;
+        self.dirty.mark_path(path.clone());
+        Ok(())
     }
 
     /// Export a named sub-policy for other PDS instances to mount.
@@ -67,7 +76,19 @@ impl Pds {
             .fetch_export(export_name)
             .ok_or_else(|| PolicyError::NoSuchMountPoint(export_name.to_string()))?
             .clone();
-        self.policy.mount(at, &sub)
+        self.policy.mount(at, &sub)?;
+        self.dirty.mark_all(); // mounting changes the tree structure
+        Ok(())
+    }
+
+    /// Drain the accumulated policy changes since the last drain.
+    pub fn take_dirty(&mut self) -> DirtySet {
+        self.dirty.take()
+    }
+
+    /// Pending policy changes (inspection).
+    pub fn dirty(&self) -> &DirtySet {
+        &self.dirty
     }
 }
 

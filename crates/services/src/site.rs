@@ -127,9 +127,21 @@ impl AequusSite {
             }
             self.last_publish_s = now_s;
         }
-        // Stage II-b and II-c: UMS and FCS cache refreshes.
-        self.ums.refresh(&self.uss, now_s);
-        self.fcs.refresh(&self.pds, &self.ums, now_s);
+        // Stage II-b and II-c: UMS and FCS cache refreshes — the dirty-set
+        // flow USS → UMS → FCS drains here.
+        self.ums.refresh(&mut self.uss, now_s);
+        self.fcs.refresh(&mut self.pds, &mut self.ums, now_s);
+    }
+
+    /// RMS-facing: intern a grid user into a stable dense id for
+    /// allocation-free priority queries on the scheduling hot path.
+    pub fn intern_user(&mut self, user: &GridUser) -> aequus_core::UserId {
+        self.fcs.intern_user(user)
+    }
+
+    /// RMS-facing: query the fairshare factor by interned id.
+    pub fn fairshare_by_id(&mut self, id: aequus_core::UserId, now_s: f64) -> f64 {
+        self.lib.get_fairshare_by_id(&self.fcs, id, now_s)
     }
 
     /// The current fairshare tree, if computed (metrics access).
@@ -222,7 +234,10 @@ mod tests {
         // Site 1 never ran the job but sees the usage.
         let fa = s1.fairshare(&GridUser::new("a"), 430.0);
         let fb = s1.fairshare(&GridUser::new("b"), 430.0);
-        assert!(fa < fb, "a's remote usage lowers its priority: {fa} vs {fb}");
+        assert!(
+            fa < fb,
+            "a's remote usage lowers its priority: {fa} vs {fb}"
+        );
     }
 
     #[test]

@@ -93,6 +93,10 @@ mod tests {
         let t = ServiceTimings::default().scaled(2.0);
         assert_eq!(t.report_delay_s, 20.0);
         assert_eq!(t.uss_publish_interval_s, 360.0);
-        assert!((t.worst_case_pipeline_s() - 2.0 * ServiceTimings::default().worst_case_pipeline_s()).abs() < 1e-9);
+        assert!(
+            (t.worst_case_pipeline_s() - 2.0 * ServiceTimings::default().worst_case_pipeline_s())
+                .abs()
+                < 1e-9
+        );
     }
 }

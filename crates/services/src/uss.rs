@@ -6,6 +6,7 @@
 //! services", §IV-A).
 
 use crate::participation::ParticipationMode;
+use aequus_core::arena::DirtySet;
 use aequus_core::ids::SiteId;
 use aequus_core::usage::{UsageHistogram, UsageRecord, UsageSummary};
 use aequus_core::GridUser;
@@ -28,6 +29,9 @@ pub struct Uss {
     records_ingested: u64,
     /// Count of summaries received from peers.
     summaries_received: u64,
+    /// Users whose usage changed since the UMS last drained this service —
+    /// the head of the incremental dirty-set flow USS → UMS → FCS.
+    dirty: DirtySet,
 }
 
 impl Uss {
@@ -41,6 +45,7 @@ impl Uss {
             published: Default::default(),
             records_ingested: 0,
             summaries_received: 0,
+            dirty: DirtySet::new(),
         }
     }
 
@@ -57,6 +62,9 @@ impl Uss {
     /// Ingest a locally completed job's usage record.
     pub fn ingest(&mut self, rec: &UsageRecord) {
         debug_assert_eq!(rec.site, self.site, "record routed to wrong site");
+        if rec.charge() > 0.0 {
+            self.dirty.mark_user(rec.user.clone());
+        }
         self.local.record(rec);
         self.records_ingested += 1;
     }
@@ -113,6 +121,9 @@ impl Uss {
         if summary.site == self.site {
             return; // never double-count our own data
         }
+        for user in summary.per_user.keys() {
+            self.dirty.mark_user(user.clone());
+        }
         self.remote.merge_summary(summary);
         self.summaries_received += 1;
     }
@@ -131,6 +142,42 @@ impl Uss {
             }
         }
         usage
+    }
+
+    /// Usage of one user weighted relative to a fixed reference epoch
+    /// (separable decays; see [`aequus_core::DecayPolicy::epoch_weight`]):
+    /// local plus, when the mode reads global data, remote.
+    pub fn epoch_usage_of(
+        &self,
+        user: &GridUser,
+        epoch_s: f64,
+        decay: aequus_core::DecayPolicy,
+    ) -> f64 {
+        let mut value = self.local.epoch_usage(user, epoch_s, decay);
+        if self.mode.reads_global() {
+            value += self.remote.epoch_usage(user, epoch_s, decay);
+        }
+        value
+    }
+
+    /// All users with any recorded usage (local, plus remote when the mode
+    /// reads global data).
+    pub fn known_users(&self) -> std::collections::BTreeSet<GridUser> {
+        let mut users: std::collections::BTreeSet<GridUser> = self.local.users().cloned().collect();
+        if self.mode.reads_global() {
+            users.extend(self.remote.users().cloned());
+        }
+        users
+    }
+
+    /// Drain the set of users whose usage changed since the last drain.
+    pub fn take_dirty(&mut self) -> DirtySet {
+        self.dirty.take()
+    }
+
+    /// Users dirty since the last drain (inspection).
+    pub fn dirty(&self) -> &DirtySet {
+        &self.dirty
     }
 
     /// Total local usage recorded (conservation checks / metrics).
@@ -219,7 +266,10 @@ mod tests {
         let s = peer.publish(500.0).unwrap();
         uss.receive(&s);
         let usage = uss.decayed_usage(500.0, DecayPolicy::None);
-        assert!(!usage.contains_key(&GridUser::new("b")), "global data ignored");
+        assert!(
+            !usage.contains_key(&GridUser::new("b")),
+            "global data ignored"
+        );
         // But it still contributes its own data outward.
         assert!(uss.publish(500.0).is_some());
     }

@@ -100,10 +100,8 @@ impl SimCluster {
         // "sys-<grid user>" maps back to the grid identity. Register both
         // the grid-wide and any site-local identities.
         for (_, user) in policy.users().into_iter().chain(scenario.policy.users()) {
-            site.irs.store_mapping(
-                SystemUser::new(format!("sys-{}", user.as_str())),
-                user,
-            );
+            site.irs
+                .store_mapping(SystemUser::new(format!("sys-{}", user.as_str())), user);
         }
         let nodes = NodePool::new(spec.nodes, spec.cores_per_node);
         let site_id = SiteId(index as u32);
@@ -168,12 +166,17 @@ impl SimCluster {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aequus_services::ParticipationMode;
     use aequus_core::GridUser;
+    use aequus_services::ParticipationMode;
 
     fn scenario() -> GridScenario {
         GridScenario::national_testbed(
-            &[("U65", 0.6525), ("U30", 0.3049), ("U3", 0.0286), ("Uoth", 0.0140)],
+            &[
+                ("U65", 0.6525),
+                ("U30", 0.3049),
+                ("U3", 0.0286),
+                ("Uoth", 0.0140),
+            ],
             1,
         )
     }
@@ -264,28 +267,34 @@ mod policy_override_tests {
         spec.policy_override = Some(local_policy);
         let c = SimCluster::new(0, &spec, &sc);
         let site_policy = c.site.pds.policy();
-        assert!((site_policy
-            .absolute_share(&EntityPath::parse("/local-hpc"))
-            .unwrap()
-            - 0.8)
-            .abs()
-            < 1e-12);
-        assert!((site_policy
-            .absolute_share(&EntityPath::parse("/grid/U65"))
-            .unwrap()
-            - 0.1)
-            .abs()
-            < 1e-12);
+        assert!(
+            (site_policy
+                .absolute_share(&EntityPath::parse("/local-hpc"))
+                .unwrap()
+                - 0.8)
+                .abs()
+                < 1e-12
+        );
+        assert!(
+            (site_policy
+                .absolute_share(&EntityPath::parse("/grid/U65"))
+                .unwrap()
+                - 0.1)
+                .abs()
+                < 1e-12
+        );
         // The default-policy site keeps the grid-wide 50/50.
         let default_site = SimCluster::new(1, &sc.clusters[1], &sc);
-        assert!((default_site
-            .site
-            .pds
-            .policy()
-            .absolute_share(&EntityPath::parse("/U65"))
-            .unwrap()
-            - 0.5)
-            .abs()
-            < 1e-12);
+        assert!(
+            (default_site
+                .site
+                .pds
+                .policy()
+                .absolute_share(&EntityPath::parse("/U65"))
+                .unwrap()
+                - 0.5)
+                .abs()
+                < 1e-12
+        );
     }
 }

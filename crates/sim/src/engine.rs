@@ -78,11 +78,7 @@ impl GridSimulation {
             .enumerate()
             .map(|(i, spec)| SimCluster::new(i, spec, &scenario))
             .collect();
-        let dispatcher = Dispatcher::new(
-            scenario.dispatch,
-            &scenario.capacities(),
-            scenario.seed,
-        );
+        let dispatcher = Dispatcher::new(scenario.dispatch, &scenario.capacities(), scenario.seed);
         let faults = FaultRng::new(scenario.seed.wrapping_add(0x5EED));
         Self {
             scenario,
@@ -244,10 +240,21 @@ impl GridSimulation {
             utilization: busy as f64 / total_cores.max(1) as f64,
             pending: self.clusters.iter().map(|c| c.rms.pending()).sum(),
             running: self.clusters.iter().map(|c| c.rms.running()).sum(),
-            completed: self
+            completed: self.clusters.iter().map(|c| c.rms.stats().completed).sum(),
+            fcs_full_refreshes: self
                 .clusters
                 .iter()
-                .map(|c| c.rms.stats().completed)
+                .map(|c| c.site.fcs.full_refreshes())
+                .sum(),
+            fcs_incremental_refreshes: self
+                .clusters
+                .iter()
+                .map(|c| c.site.fcs.incremental_refreshes())
+                .sum(),
+            fcs_nodes_recomputed: self
+                .clusters
+                .iter()
+                .map(|c| c.site.fcs.nodes_recomputed())
                 .sum(),
         }
     }
@@ -306,10 +313,7 @@ mod tests {
         let r1 = GridSimulation::new(small_scenario()).run(&trace, 1000.0);
         let r2 = GridSimulation::new(small_scenario()).run(&trace, 1000.0);
         assert_eq!(r1.total_completed(), r2.total_completed());
-        assert_eq!(
-            r1.metrics.samples().len(),
-            r2.metrics.samples().len()
-        );
+        assert_eq!(r1.metrics.samples().len(), r2.metrics.samples().len());
         for (a, b) in r1.metrics.samples().iter().zip(r2.metrics.samples()) {
             assert_eq!(a.utilization, b.utilization);
             assert_eq!(a.users, b.users);

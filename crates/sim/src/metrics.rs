@@ -32,6 +32,14 @@ pub struct Sample {
     pub running: usize,
     /// Cumulative completed jobs.
     pub completed: u64,
+    /// Cumulative FCS refreshes across sites that rebuilt the fairshare
+    /// tree from scratch.
+    pub fcs_full_refreshes: u64,
+    /// Cumulative FCS refreshes served by the incremental engine.
+    pub fcs_incremental_refreshes: u64,
+    /// Cumulative subtree-aggregate recomputations across all sites — the
+    /// work metric the incremental engine minimizes.
+    pub fcs_nodes_recomputed: u64,
 }
 
 /// The full metrics log of one simulation run.
@@ -220,7 +228,11 @@ impl MetricsLog {
 
     /// Peak jobs-per-minute submission rate.
     pub fn peak_submission_rate(&self) -> u32 {
-        self.submissions_per_minute.iter().copied().max().unwrap_or(0)
+        self.submissions_per_minute
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     /// Sustained (mean over non-empty minutes) submission rate.
@@ -266,6 +278,9 @@ mod tests {
             pending: 0,
             running: 0,
             completed: 10,
+            fcs_full_refreshes: 0,
+            fcs_incremental_refreshes: 0,
+            fcs_nodes_recomputed: 0,
         }
     }
 
@@ -334,11 +349,19 @@ mod tests {
         let mut users = BTreeMap::new();
         users.insert(
             "a".to_string(),
-            UserSample { priority: 0.0, usage_share: 1.0, factor: 0.5 },
+            UserSample {
+                priority: 0.0,
+                usage_share: 1.0,
+                factor: 0.5,
+            },
         );
         users.insert(
             "b".to_string(),
-            UserSample { priority: 0.5, usage_share: 0.0, factor: 0.9 },
+            UserSample {
+                priority: 0.5,
+                usage_share: 0.0,
+                factor: 0.9,
+            },
         );
         log.record(Sample {
             t_s: 0.0,
@@ -348,6 +371,9 @@ mod tests {
             pending: 0,
             running: 1,
             completed: 0,
+            fcs_full_refreshes: 0,
+            fcs_incremental_refreshes: 0,
+            fcs_nodes_recomputed: 0,
         });
         assert!(log.balance_windows(0.1).is_empty());
         assert_eq!(log.active_balance_windows(0.1), vec![(0.0, 0.0)]);

@@ -9,10 +9,7 @@ use aequus_workload::{Trace, TraceJob};
 use proptest::prelude::*;
 
 fn mini_scenario(seed: u64) -> GridScenario {
-    let mut s = GridScenario::national_testbed(
-        &[("U65", 0.6), ("U30", 0.3), ("U3", 0.1)],
-        seed,
-    );
+    let mut s = GridScenario::national_testbed(&[("U65", 0.6), ("U30", 0.3), ("U3", 0.1)], seed);
     s.clusters.truncate(3);
     for c in &mut s.clusters {
         c.nodes = 6;
@@ -21,20 +18,18 @@ fn mini_scenario(seed: u64) -> GridScenario {
 }
 
 fn trace_strategy() -> impl Strategy<Value = Trace> {
-    proptest::collection::vec((0u8..3, 0.0..2000.0f64, 5.0..300.0f64), 1..80).prop_map(
-        |jobs| {
-            Trace::new(
-                jobs.into_iter()
-                    .map(|(u, t, d)| TraceJob {
-                        user: ["U65", "U30", "U3"][u as usize].to_string(),
-                        submit_s: t,
-                        duration_s: d,
-                        cores: 1,
-                    })
-                    .collect(),
-            )
-        },
-    )
+    proptest::collection::vec((0u8..3, 0.0..2000.0f64, 5.0..300.0f64), 1..80).prop_map(|jobs| {
+        Trace::new(
+            jobs.into_iter()
+                .map(|(u, t, d)| TraceJob {
+                    user: ["U65", "U30", "U3"][u as usize].to_string(),
+                    submit_s: t,
+                    duration_s: d,
+                    cores: 1,
+                })
+                .collect(),
+        )
+    })
 }
 
 proptest! {

@@ -74,8 +74,8 @@ impl ContinuousDistribution for BirnbaumSaunders {
             return 0.0;
         }
         // d/dx ξ(x) = (1/(2γ)) (1/√(xβ) + √β / x^{3/2})
-        let dxi = (1.0 / (x * self.beta).sqrt() + self.beta.sqrt() / x.powf(1.5))
-            / (2.0 * self.gamma);
+        let dxi =
+            (1.0 / (x * self.beta).sqrt() + self.beta.sqrt() / x.powf(1.5)) / (2.0 * self.gamma);
         std_normal_pdf(self.xi(x)) * dxi
     }
     fn cdf(&self, x: f64) -> f64 {

@@ -305,8 +305,7 @@ pub struct Nakagami {
 impl Nakagami {
     /// Create a Nakagami distribution; `None` unless m ≥ 0.5 and Ω > 0.
     pub fn new(m: f64, omega: f64) -> Option<Self> {
-        (m >= 0.5 && omega > 0.0 && m.is_finite() && omega.is_finite())
-            .then_some(Self { m, omega })
+        (m >= 0.5 && omega > 0.0 && m.is_finite() && omega.is_finite()).then_some(Self { m, omega })
     }
 
     /// Inverse-normalized-variance estimator: Ω = E\[x²\], m = Ω²/Var(x²).
@@ -346,8 +345,7 @@ impl ContinuousDistribution for Nakagami {
             return f64::NEG_INFINITY;
         }
         let (m, w) = (self.m, self.omega);
-        (2.0f64).ln() + m * (m / w).ln() - ln_gamma(m) + (2.0 * m - 1.0) * x.ln()
-            - m * x * x / w
+        (2.0f64).ln() + m * (m / w).ln() - ln_gamma(m) + (2.0 * m - 1.0) * x.ln() - m * x * x / w
     }
     fn cdf(&self, x: f64) -> f64 {
         if x <= 0.0 {

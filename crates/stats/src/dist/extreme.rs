@@ -23,8 +23,11 @@ pub struct Gev {
 impl Gev {
     /// Create a GEV distribution; `None` if `sigma <= 0` or non-finite params.
     pub fn new(k: f64, sigma: f64, mu: f64) -> Option<Self> {
-        (sigma > 0.0 && k.is_finite() && sigma.is_finite() && mu.is_finite())
-            .then_some(Self { k, sigma, mu })
+        (sigma > 0.0 && k.is_finite() && sigma.is_finite() && mu.is_finite()).then_some(Self {
+            k,
+            sigma,
+            mu,
+        })
     }
 
     /// Standardized variable t(x) = 1 + k (x − μ)/σ; support requires t > 0.

@@ -98,13 +98,8 @@ pub struct Burr {
 impl Burr {
     /// Create a Burr XII distribution; `None` unless all parameters > 0.
     pub fn new(alpha: f64, c: f64, k: f64) -> Option<Self> {
-        (alpha > 0.0
-            && c > 0.0
-            && k > 0.0
-            && alpha.is_finite()
-            && c.is_finite()
-            && k.is_finite())
-        .then_some(Self { alpha, c, k })
+        (alpha > 0.0 && c > 0.0 && k > 0.0 && alpha.is_finite() && c.is_finite() && k.is_finite())
+            .then_some(Self { alpha, c, k })
     }
 
     /// MLE via Nelder–Mead over (ln α, ln c, ln k) from several starts.
@@ -158,8 +153,7 @@ impl ContinuousDistribution for Burr {
         }
         let z = x / self.alpha;
         let zc = z.powf(self.c);
-        (self.k * self.c / self.alpha).ln() + (self.c - 1.0) * z.ln()
-            - (self.k + 1.0) * zc.ln_1p()
+        (self.k * self.c / self.alpha).ln() + (self.c - 1.0) * z.ln() - (self.k + 1.0) * zc.ln_1p()
     }
     fn cdf(&self, x: f64) -> f64 {
         if x <= 0.0 {
@@ -173,9 +167,8 @@ impl ContinuousDistribution for Burr {
     }
     fn mean(&self) -> Option<f64> {
         // E[X] = α k B(k − 1/c, 1 + 1/c) when ck > 1.
-        (self.c * self.k > 1.0).then(|| {
-            self.alpha * self.k * ln_beta(self.k - 1.0 / self.c, 1.0 + 1.0 / self.c).exp()
-        })
+        (self.c * self.k > 1.0)
+            .then(|| self.alpha * self.k * ln_beta(self.k - 1.0 / self.c, 1.0 + 1.0 / self.c).exp())
     }
 }
 
@@ -375,7 +368,9 @@ impl ContinuousDistribution for TLocationScale {
     fn ln_pdf(&self, x: f64) -> f64 {
         let z = (x - self.mu) / self.sigma;
         let nu = self.nu;
-        -ln_beta(0.5, nu / 2.0) - 0.5 * nu.ln() - self.sigma.ln()
+        -ln_beta(0.5, nu / 2.0)
+            - 0.5 * nu.ln()
+            - self.sigma.ln()
             - (nu + 1.0) / 2.0 * (z * z / nu).ln_1p()
     }
     fn cdf(&self, x: f64) -> f64 {
@@ -391,11 +386,7 @@ impl ContinuousDistribution for TLocationScale {
     }
     fn icdf(&self, p: f64) -> f64 {
         let nu = self.nu;
-        let (pp, sign) = if p < 0.5 {
-            (p, -1.0)
-        } else {
-            (1.0 - p, 1.0)
-        };
+        let (pp, sign) = if p < 0.5 { (p, -1.0) } else { (1.0 - p, 1.0) };
         let t = beta_inc_inv(nu / 2.0, 0.5, 2.0 * pp);
         let z = (nu * (1.0 - t) / t).sqrt();
         self.mu + self.sigma * sign * z

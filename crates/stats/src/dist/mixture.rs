@@ -6,8 +6,8 @@
 //! [`Mixture`] implements exactly that construction for arbitrary
 //! components.
 
-use crate::distribution::{icdf_numeric, ContinuousDistribution, Support};
 use crate::dist::AnyDist;
+use crate::distribution::{icdf_numeric, ContinuousDistribution, Support};
 
 /// A finite mixture of component distributions with non-negative weights.
 ///
@@ -160,15 +160,9 @@ mod tests {
     #[test]
     fn rejects_bad_weights() {
         assert!(Mixture::new(vec![]).is_none());
-        assert!(Mixture::new(vec![(
-            -1.0,
-            AnyDist::from(Normal::new(0.0, 1.0).unwrap())
-        )])
-        .is_none());
-        assert!(Mixture::new(vec![(
-            0.0,
-            AnyDist::from(Normal::new(0.0, 1.0).unwrap())
-        )])
-        .is_none());
+        assert!(
+            Mixture::new(vec![(-1.0, AnyDist::from(Normal::new(0.0, 1.0).unwrap()))]).is_none()
+        );
+        assert!(Mixture::new(vec![(0.0, AnyDist::from(Normal::new(0.0, 1.0).unwrap()))]).is_none());
     }
 }

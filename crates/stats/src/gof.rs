@@ -102,11 +102,7 @@ mod tests {
     fn ad_sensitive_to_tail_mismatch() {
         // Same median, different tail: Weibull k=0.6 data vs k=1.2 model.
         let heavy = Weibull::new(100.0, 0.6).unwrap();
-        let light = Weibull::new(
-            100.0 * (2.0f64.ln()).powf(1.0 / 0.6 - 1.0 / 1.2),
-            1.2,
-        )
-        .unwrap();
+        let light = Weibull::new(100.0 * (2.0f64.ln()).powf(1.0 / 0.6 - 1.0 / 1.2), 1.2).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let xs = sample_n(&heavy, 2000, &mut rng);
         let own = anderson_darling_dist(&xs, &heavy);

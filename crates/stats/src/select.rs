@@ -6,9 +6,9 @@
 //! information criterion").
 
 use crate::dist::{
-    AnyDist, BirnbaumSaunders, Burr, Exponential, Gamma, Gev, Gumbel, HalfNormal,
-    InverseGaussian, LogLogistic, LogNormal, Logistic, Nakagami, Normal, Pareto, Rayleigh,
-    TLocationScale, Uniform, Weibull,
+    AnyDist, BirnbaumSaunders, Burr, Exponential, Gamma, Gev, Gumbel, HalfNormal, InverseGaussian,
+    LogLogistic, LogNormal, Logistic, Nakagami, Normal, Pareto, Rayleigh, TLocationScale, Uniform,
+    Weibull,
 };
 use crate::distribution::ContinuousDistribution;
 use crate::ks::ks_statistic;

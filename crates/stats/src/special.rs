@@ -58,10 +58,9 @@ pub fn digamma(x: f64) -> f64 {
     }
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    result + x.ln() - 0.5 * inv
-        - inv2
-            * (1.0 / 12.0
-                - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))))
+    result + x.ln()
+        - 0.5 * inv
+        - inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))))
 }
 
 /// Error function erf(x), accurate to ~1.2e-7 absolute (sufficient here, the
@@ -463,11 +462,7 @@ mod tests {
     #[test]
     fn ln_gamma_half() {
         // Γ(1/2) = √π
-        close(
-            ln_gamma(0.5),
-            std::f64::consts::PI.sqrt().ln(),
-            1e-12,
-        );
+        close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-12);
     }
 
     #[test]

@@ -93,7 +93,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..5000 {
             let x = r.sample(&mut rng);
-            assert!(x >= x_lo - 1e-9 && x <= x_hi + 1e-9, "{x} not in [{x_lo},{x_hi}]");
+            assert!(
+                x >= x_lo - 1e-9 && x <= x_hi + 1e-9,
+                "{x} not in [{x_lo},{x_hi}]"
+            );
         }
     }
 

@@ -98,10 +98,7 @@ pub fn table2_arrival(trace: &Trace) -> Vec<FitRow> {
     // U65 composite row: the Eq. (1) mixture against all U65 arrivals.
     {
         let composite = crate::models::u65_composite_arrival();
-        let scaled: Vec<f64> = u65_arrivals
-            .iter()
-            .map(|&t| t / horizon * YEAR_S)
-            .collect();
+        let scaled: Vec<f64> = u65_arrivals.iter().map(|&t| t / horizon * YEAR_S).collect();
         let inter: Vec<f64> = u65_arrivals.windows(2).map(|w| w[1] - w[0]).collect();
         let ks = ks_statistic(&subsample(&scaled), |x| composite.cdf(x));
         let ad = anderson_darling(&subsample(&scaled), |x| composite.cdf(x));

@@ -56,12 +56,7 @@ pub fn clean(trace: &Trace) -> (Trace, CleanStats) {
 /// something representative to remove. `admin_job_frac` and
 /// `zero_duration_frac` are fractions of the *final* job count (the paper's
 /// combined figure is ~15% of jobs carrying ~1.5% of usage).
-pub fn with_noise(
-    trace: &Trace,
-    admin_job_frac: f64,
-    zero_duration_frac: f64,
-    seed: u64,
-) -> Trace {
+pub fn with_noise(trace: &Trace, admin_job_frac: f64, zero_duration_frac: f64, seed: u64) -> Trace {
     let mut rng = StdRng::seed_from_u64(seed);
     let n = trace.len();
     let span = trace.last_submit().max(1.0);

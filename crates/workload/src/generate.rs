@@ -47,10 +47,7 @@ impl Default for TestTraceConfig {
             test_len_s: 6.0 * 3600.0,
             load_target: 0.95,
             capacity_cores: 240,
-            job_shares: UserClass::ALL
-                .iter()
-                .map(|&c| (c, c.job_share()))
-                .collect(),
+            job_shares: UserClass::ALL.iter().map(|&c| (c, c.job_share())).collect(),
             usage_shares: Some(
                 UserClass::ALL
                     .iter()
@@ -137,8 +134,7 @@ pub fn test_trace(config: &TestTraceConfig) -> Trace {
     if let Some(shares) = &config.usage_shares {
         let mut work_by_user: std::collections::BTreeMap<&str, f64> = Default::default();
         for j in &jobs {
-            *work_by_user.entry(j.user.as_str()).or_default() +=
-                j.duration_s * j.cores as f64;
+            *work_by_user.entry(j.user.as_str()).or_default() += j.duration_s * j.cores as f64;
         }
         let total: f64 = work_by_user.values().sum();
         let share_sum: f64 = shares.iter().map(|(_, s)| s).sum();
@@ -157,8 +153,7 @@ pub fn test_trace(config: &TestTraceConfig) -> Trace {
     }
     // Load targeting: scale durations so total work hits the target.
     let raw_work: f64 = jobs.iter().map(|j| j.duration_s * j.cores as f64).sum();
-    let target_work =
-        config.load_target * config.capacity_cores as f64 * config.test_len_s;
+    let target_work = config.load_target * config.capacity_cores as f64 * config.test_len_s;
     let scale = if raw_work > 0.0 {
         target_work / raw_work
     } else {
@@ -211,7 +206,10 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(test_trace(&cfg), test_trace(&cfg));
-        let cfg2 = TestTraceConfig { seed: 7, ..cfg.clone() };
+        let cfg2 = TestTraceConfig {
+            seed: 7,
+            ..cfg.clone()
+        };
         assert_ne!(test_trace(&cfg), test_trace(&cfg2));
     }
 
@@ -263,9 +261,21 @@ mod tests {
         assert!(share(&bursty, "U30") > share(&base, "U30"));
         assert!(share(&bursty, "U65") < share(&base, "U65"));
         // Targets from the paper: bursty U65 = 47%, U30 = 38.5%.
-        assert!((share(&bursty, "U30") - 0.385).abs() < 0.01, "{}", share(&bursty, "U30"));
-        assert!((share(&bursty, "U65") - 0.47).abs() < 0.01, "{}", share(&bursty, "U65"));
+        assert!(
+            (share(&bursty, "U30") - 0.385).abs() < 0.01,
+            "{}",
+            share(&bursty, "U30")
+        );
+        assert!(
+            (share(&bursty, "U65") - 0.47).abs() < 0.01,
+            "{}",
+            share(&bursty, "U65")
+        );
         // Baseline matches the historical mix.
-        assert!((share(&base, "U65") - 0.6525).abs() < 0.01, "{}", share(&base, "U65"));
+        assert!(
+            (share(&base, "U65") - 0.6525).abs() < 0.01,
+            "{}",
+            share(&base, "U65")
+        );
     }
 }

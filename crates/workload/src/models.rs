@@ -20,9 +20,9 @@
 
 use crate::users::{UserClass, DAY_S, YEAR_S};
 use aequus_stats::dist::{AnyDist, BirnbaumSaunders, Burr, Gev, Mixture, Weibull};
-use aequus_stats::RangeRescaled;
 #[cfg(test)]
 use aequus_stats::ContinuousDistribution;
+use aequus_stats::RangeRescaled;
 
 /// GEV shape parameters of the four U65 arrival phases (Table II).
 pub const U65_PHASE_SHAPES: [f64; 4] = [-0.386, -0.371, -0.457, -0.301];
@@ -86,9 +86,7 @@ pub fn arrival_model(user: UserClass) -> AnyDist {
         UserClass::U30 => AnyDist::from(Burr::new(1.42e7, 1.2, 0.08).expect("valid")),
         // U3: bursty arrivals, early burst in the original trace; positive
         // GEV shape = heavy right tail after the burst.
-        UserClass::U3 => {
-            AnyDist::from(Gev::new(0.195, 29.1 * DAY_S, 60.0 * DAY_S).expect("valid"))
-        }
+        UserClass::U3 => AnyDist::from(Gev::new(0.195, 29.1 * DAY_S, 60.0 * DAY_S).expect("valid")),
         // U_oth: diffuse background arrivals across the year.
         UserClass::Uoth => {
             AnyDist::from(Gev::new(0.148, 56.0 * DAY_S, 182.0 * DAY_S).expect("valid"))
@@ -111,9 +109,7 @@ pub fn arrival_sampler(user: UserClass) -> RangeRescaled<AnyDist> {
 pub fn duration_model(user: UserClass) -> AnyDist {
     match user {
         // BS(β = 1.76e4, γ = 3.53): median β ≈ 4.9 h.
-        UserClass::U65 => {
-            AnyDist::from(BirnbaumSaunders::new(1.76e4, 3.53).expect("valid"))
-        }
+        UserClass::U65 => AnyDist::from(BirnbaumSaunders::new(1.76e4, 3.53).expect("valid")),
         // Weibull(λ = 5.49e4, k = 0.637): "U30 exhibits a larger tail and
         // generally exhibits larger job sizes".
         UserClass::U30 => AnyDist::from(Weibull::new(5.49e4, 0.637).expect("valid")),
@@ -122,9 +118,7 @@ pub fn duration_model(user: UserClass) -> AnyDist {
         // shorter than those of U65".
         UserClass::U3 => AnyDist::from(Burr::new(2.07, 11.0, 0.02).expect("valid")),
         // BS(β = 3.02e4, γ = 7.91).
-        UserClass::Uoth => {
-            AnyDist::from(BirnbaumSaunders::new(3.02e4, 7.91).expect("valid"))
-        }
+        UserClass::Uoth => AnyDist::from(BirnbaumSaunders::new(3.02e4, 7.91).expect("valid")),
     }
 }
 

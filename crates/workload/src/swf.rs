@@ -67,12 +67,10 @@ pub fn parse_swf(text: &str) -> Result<Trace, SwfError> {
             });
         }
         let num = |i: usize| -> Result<f64, SwfError> {
-            fields[i]
-                .parse::<f64>()
-                .map_err(|_| SwfError::BadField {
-                    line: idx + 1,
-                    field: i,
-                })
+            fields[i].parse::<f64>().map_err(|_| SwfError::BadField {
+                line: idx + 1,
+                field: i,
+            })
         };
         let submit = num(1)?;
         let run_time = num(3)?;
@@ -167,10 +165,7 @@ mod tests {
             assert_eq!(a.cores, b.cores);
         }
         // Same submitter structure (names re-keyed to stable ids).
-        assert_eq!(
-            t.job_share_by_user().len(),
-            back.job_share_by_user().len()
-        );
+        assert_eq!(t.job_share_by_user().len(), back.job_share_by_user().len());
     }
 
     #[test]

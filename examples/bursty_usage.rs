@@ -22,7 +22,10 @@ fn main() {
     let result = GridSimulation::new(scenario).run(&trace, 1800.0);
 
     println!("# Bursty usage test (Figure 13)");
-    println!("{:>7} {:>9} {:>9} {:>9} | {:>9} {:>9}", "t(min)", "U65share", "U30share", "U3share", "U3prio", "U65prio");
+    println!(
+        "{:>7} {:>9} {:>9} {:>9} | {:>9} {:>9}",
+        "t(min)", "U65share", "U30share", "U3share", "U3prio", "U65prio"
+    );
     for s in result.metrics.samples().iter().step_by(10) {
         let sh = |u: &str| s.users.get(u).map(|x| x.usage_share).unwrap_or(0.0);
         let pr = |u: &str| s.users.get(u).map(|x| x.priority).unwrap_or(0.0);

@@ -44,8 +44,10 @@ fn main() {
         ParticipationMode::Full,
         60.0,
     );
-    site.irs.store_mapping(SystemUser::new("sys-alice"), GridUser::new("alice"));
-    site.irs.store_mapping(SystemUser::new("sys-bob"), GridUser::new("bob"));
+    site.irs
+        .store_mapping(SystemUser::new("sys-alice"), GridUser::new("alice"));
+    site.irs
+        .store_mapping(SystemUser::new("sys-bob"), GridUser::new("bob"));
 
     // Alice hammers the machine; Bob submits occasionally.
     let mut queue: Vec<ToyJob> = (0..20)
@@ -57,7 +59,10 @@ fn main() {
         .collect();
 
     let mut now = 0.0_f64;
-    println!("{:>8} {:>6} {:>8} {:>10} {:>10}", "t(s)", "job", "user", "fs-factor", "decision");
+    println!(
+        "{:>8} {:>6} {:>8} {:>10} {:>10}",
+        "t(s)", "job", "user", "fs-factor", "decision"
+    );
     while !queue.is_empty() {
         site.tick(now);
         // The custom scheduler's priority pass: one libaequus call per user.

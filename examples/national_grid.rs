@@ -34,7 +34,10 @@ fn main() {
         result.metrics.peak_submission_rate()
     );
     println!("\nusage shares over time (targets: .6525 .3049 .0286 .0140):");
-    println!("{:>7} {:>8} {:>8} {:>8} {:>8}", "t(min)", "U65", "U30", "U3", "Uoth");
+    println!(
+        "{:>7} {:>8} {:>8} {:>8} {:>8}",
+        "t(min)", "U65", "U30", "U3", "Uoth"
+    );
     for s in result.metrics.samples().iter().step_by(15) {
         let sh = |u: &str| s.users.get(u).map(|x| x.usage_share).unwrap_or(0.0);
         println!(
@@ -53,5 +56,8 @@ fn main() {
         .filter(|(a, b)| b - a >= 600.0)
         .map(|(a, b)| format!("[{:.0},{:.0}] min", a / 60.0, b / 60.0))
         .collect();
-    println!("\nbalance windows (max deviation < 0.10): {}", windows.join(", "));
+    println!(
+        "\nbalance windows (max deviation < 0.10): {}",
+        windows.join(", ")
+    );
 }

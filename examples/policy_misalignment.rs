@@ -19,7 +19,10 @@ fn main() {
 
     println!("# Non-optimal policy test (Figure 12)");
     println!("targets: U65 .70, U30 .20, U3 .08, Uoth .02 (actual mix: .65/.30/.03/.01)");
-    println!("{:>7} {:>8} {:>8} {:>8} {:>8} {:>10}", "t(min)", "U65", "U30", "U3", "Uoth", "deviation");
+    println!(
+        "{:>7} {:>8} {:>8} {:>8} {:>8} {:>10}",
+        "t(min)", "U65", "U30", "U3", "Uoth", "deviation"
+    );
     let samples = result.metrics.samples();
     for s in samples.iter().step_by(10) {
         let sh = |u: &str| s.users.get(u).map(|x| x.usage_share).unwrap_or(0.0);
@@ -46,6 +49,10 @@ fn main() {
         .collect();
     println!(
         "\nnear-balance windows: {} (paper: close to balance in the 120-180 min range)",
-        if windows.is_empty() { "none".to_string() } else { windows.join(", ") }
+        if windows.is_empty() {
+            "none".to_string()
+        } else {
+            windows.join(", ")
+        }
     );
 }

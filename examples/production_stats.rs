@@ -29,7 +29,10 @@ fn main() {
         capacity_cores: scenario.total_cores(),
         ..Default::default()
     });
-    eprintln!("simulating {} jobs over {months} months on 544 cores...", trace.len());
+    eprintln!(
+        "simulating {} jobs over {months} months on 544 cores...",
+        trace.len()
+    );
     let result = GridSimulation::new(scenario).run(&trace, 86400.0);
 
     println!("# Production statistics (HPC2N shape)");
@@ -37,8 +40,17 @@ fn main() {
         "jobs/month: {:.0} (paper: ~40,000)",
         result.total_completed() as f64 / months as f64
     );
-    println!("mean utilization: {:.1}%", 100.0 * result.mean_utilization());
-    let max_pending = result.metrics.samples().iter().map(|s| s.pending).max().unwrap_or(0);
+    println!(
+        "mean utilization: {:.1}%",
+        100.0 * result.mean_utilization()
+    );
+    let max_pending = result
+        .metrics
+        .samples()
+        .iter()
+        .map(|s| s.pending)
+        .max()
+        .unwrap_or(0);
     println!("peak queue depth: {max_pending} jobs (stability: bounded)");
     println!(
         "mean queue wait: {:.1} min",

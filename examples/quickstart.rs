@@ -5,9 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use aequus::sim::{GridSimulation, GridScenario};
-use aequus::workload::{test_trace, TestTraceConfig};
+use aequus::sim::{GridScenario, GridSimulation};
 use aequus::workload::users::baseline_policy_shares;
+use aequus::workload::{test_trace, TestTraceConfig};
 
 fn main() {
     // The paper's baseline: six clusters × 40 virtual hosts, percental
@@ -47,7 +47,10 @@ fn main() {
         );
     }
     match result.metrics.convergence_time(0.12, 1800.0) {
-        Some(t) => println!("\nbalance (deviation < 0.12, 30 min dwell) reached at {:.0} min", t / 60.0),
+        Some(t) => println!(
+            "\nbalance (deviation < 0.12, 30 min dwell) reached at {:.0} min",
+            t / 60.0
+        ),
         None => println!("\nfinal deviation: {:.3}", result.metrics.final_deviation()),
     }
 }

@@ -30,8 +30,14 @@ fn grid_completes_paper_scale_workload() {
 
 #[test]
 fn completed_usage_mix_matches_submitted_mix() {
+    // The comparison is against the *full-trace* submitted mix, so the queue
+    // must be (nearly) drained: the longest jobs disproportionately belong
+    // to the heavy users, and cutting the run while they are still in flight
+    // skews the completed mix (a 3600 s drain leaves ~20 of 10 000 jobs
+    // unfinished and U65 off by 0.032). A 14 400 s drain completes
+    // 9 998/10 000 and the mix matches to ≤ 0.006 (see EXPERIMENTS.md).
     let trace = small_trace(10_000, 2);
-    let result = GridSimulation::new(small_scenario(2)).run(&trace, 3600.0);
+    let result = GridSimulation::new(small_scenario(2)).run(&trace, 14_400.0);
     let usage = result.usage_by_user();
     let total: f64 = usage.values().sum();
     for (user, submitted_share) in trace.usage_share_by_user() {
@@ -41,7 +47,7 @@ fn completed_usage_mix_matches_submitted_mix() {
             .unwrap_or(0.0)
             / total;
         assert!(
-            (completed_share - submitted_share).abs() < 0.03,
+            (completed_share - submitted_share).abs() < 0.01,
             "{user}: completed {completed_share:.3} vs submitted {submitted_share:.3}"
         );
     }
@@ -141,7 +147,9 @@ fn decay_policy_changes_measured_shares_not_completions() {
         sc.fairshare.decay = decay;
         GridSimulation::new(sc).run(&trace, 2400.0)
     };
-    let exp = run(DecayPolicy::Exponential { half_life_s: 1800.0 });
+    let exp = run(DecayPolicy::Exponential {
+        half_life_s: 1800.0,
+    });
     let none = run(DecayPolicy::None);
     assert_eq!(exp.total_completed(), none.total_completed());
     // Undecayed shares integrate all history → smoother (lower variance).
@@ -151,7 +159,12 @@ fn decay_policy_changes_measured_shares_not_completions() {
         let mean = tail.iter().map(|(_, v)| v).sum::<f64>() / tail.len() as f64;
         tail.iter().map(|(_, v)| (v - mean).powi(2)).sum::<f64>() / tail.len() as f64
     };
-    assert!(var(&none) <= var(&exp) + 1e-9, "{} vs {}", var(&none), var(&exp));
+    assert!(
+        var(&none) <= var(&exp) + 1e-9,
+        "{} vs {}",
+        var(&none),
+        var(&exp)
+    );
 }
 
 #[test]

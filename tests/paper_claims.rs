@@ -69,10 +69,18 @@ fn claim_partial_participation_alignment() {
     });
     let result = GridSimulation::new(scenario).run(&trace, 1800.0);
 
+    // The claim is about the *converged* system: before the first summaries
+    // propagate (publication interval + gossip latency), every site only
+    // sees its own local usage and all per-site priorities disagree wildly
+    // (|Δp| up to 1.17 in the first half-hour, for full sites too). Skip two
+    // decay half-lives (2 × 1800 s) of burn-in so the cold-start transient
+    // does not dominate the mean (see EXPERIMENTS.md).
+    const BURN_IN_S: f64 = 3600.0;
     let mean_abs_diff = |site: usize| {
         let samples = result.metrics.samples();
         let diffs: Vec<f64> = samples
             .iter()
+            .filter(|s| s.t_s >= BURN_IN_S)
             .filter_map(|s| {
                 let p = s.per_site_priority.get(site)?.get("U65")?;
                 let p0 = s.per_site_priority.first()?.get("U65")?;

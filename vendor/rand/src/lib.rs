@@ -1,0 +1,258 @@
+//! Offline shim for `rand` 0.8: the API subset this workspace uses, backed
+//! by a deterministic xoshiro256++ generator seeded via splitmix64.
+//!
+//! Coverage: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and the `Rng`
+//! methods `gen::<f64>()`, `gen::<u64>()`, `gen::<bool>()`, `gen_bool`, and
+//! `gen_range` over half-open and inclusive numeric ranges. Streams are
+//! deterministic per seed (all workspace consumers seed explicitly) but do
+//! NOT match upstream `rand` byte-for-byte — statistical tests in the
+//! workspace only assert tolerances, never exact upstream streams.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core source of randomness: a 64-bit word stream.
+pub trait RngCore {
+    /// Next word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types samplable uniformly from the full word stream (the `Standard`
+/// distribution of upstream rand).
+pub trait StandardSample {
+    /// Draw one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that can be sampled uniformly (`SampleRange` of upstream rand).
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased-enough integer draw in `[0, span)` via 128-bit multiply-shift.
+fn index_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0, "empty integer range");
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + index_below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain.
+                    return rng.next_u64() as $t;
+                }
+                start + index_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u = f64::sample_standard(rng) as $t;
+                self.start + u * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let u = f64::sample_standard(rng) as $t;
+                start + u * (end - start)
+            }
+        }
+    )*};
+}
+
+float_range!(f32, f64);
+
+/// The user-facing sampling trait (upstream `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Sample a value from the standard distribution of `T`.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range: {p}");
+        f64::sample_standard(self) < p
+    }
+
+    /// Uniform draw from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators (upstream `rand::SeedableRng`, u64-seed subset).
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stands in for upstream StdRng).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // xoshiro must not start in the all-zero state.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_bounds_and_uniformity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            let i = rng.gen_range(0usize..10);
+            counts[i] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "count {c}");
+        }
+        for _ in 0..1000 {
+            let x = rng.gen_range(5.0..6.0f64);
+            assert!((5.0..6.0).contains(&x));
+            let y = rng.gen_range(3u64..=5);
+            assert!((3..=5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((hits as f64 / 100_000.0 - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn works_through_unsized_bound() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen::<f64>()
+        }
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!((0.0..1.0).contains(&draw(&mut rng)));
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline shim for `serde`: marker traits only.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types as a
+//! forward-compatibility marker but never serializes through them (no
+//! `#[serde(...)]` attributes, no trait-bounded consumers). This shim keeps
+//! the workspace resolvable without network access; swapping back to the
+//! real crate is a one-line change in the root `Cargo.toml`.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

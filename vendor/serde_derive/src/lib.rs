@@ -1,0 +1,18 @@
+//! Offline shim for `serde_derive`: the derive macros parse nothing and emit
+//! nothing. The workspace uses `#[derive(Serialize, Deserialize)]` purely as
+//! a forward-compatibility marker — no code path serializes anything yet, so
+//! an empty expansion is sufficient and keeps the build network-free.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
