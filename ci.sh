@@ -6,3 +6,14 @@ cd "$(dirname "$0")"
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q --workspace
+
+# Docs must build warning-free for the first-party crates (vendored shims
+# are exempt — they mirror external APIs we don't own).
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
+  -p aequus -p aequus-telemetry -p aequus-core -p aequus-services \
+  -p aequus-rms -p aequus-sim -p aequus-workload -p aequus-stats \
+  -p aequus-bench
+
+# Telemetry overhead smoke check: the instrumented dispatch hot path must
+# stay within 5% of the disabled-telemetry baseline.
+cargo run -q --release -p aequus-bench --bin telemetry_overhead -- --check

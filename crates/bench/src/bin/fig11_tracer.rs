@@ -1,0 +1,87 @@
+//! Figure 11 companion: *measured* pipeline update delay vs the configured
+//! §IV-A-2 worst case. The update-delay experiment (`fig11_update_delay`)
+//! varies the delay chain's *relative* magnitude; this binary instruments
+//! the baseline with the pipeline-delay tracer and reports, per stage, the
+//! empirical delay distribution next to its configured cap — showing how
+//! much of the worst-case budget `worst_case_pipeline_s()` the deployment
+//! actually consumes.
+
+use aequus_bench::{baseline_trace, jobs_arg, report, PAPER_JOBS};
+use aequus_sim::{GridScenario, GridSimulation};
+use aequus_telemetry::HistogramSnapshot;
+use aequus_workload::users::baseline_policy_shares;
+
+fn main() {
+    let jobs = jobs_arg(PAPER_JOBS);
+    let seed = 42;
+    let scenario = GridScenario::national_testbed(&baseline_policy_shares(), seed).with_telemetry();
+    let timings = scenario.timings;
+    eprintln!("running instrumented baseline ({jobs} jobs)...");
+    let trace = baseline_trace(jobs, seed);
+    let result = GridSimulation::new(scenario).run(&trace, 1800.0);
+
+    // Aggregate one stage histogram across sites: total count plus the
+    // worst site's quantiles (quantiles are not mergeable; the max is the
+    // conservative cross-site bound).
+    let stage_stats = |name: &str| -> (u64, Option<HistogramSnapshot>) {
+        let total = result
+            .site_telemetry
+            .iter()
+            .filter_map(|s| s.histograms.get(name).map(|h| h.count))
+            .sum();
+        let worst = result
+            .site_telemetry
+            .iter()
+            .filter_map(|s| s.histograms.get(name))
+            .filter(|h| h.count > 0)
+            .max_by(|a, b| a.p99.partial_cmp(&b.p99).expect("finite quantiles"))
+            .copied();
+        (total, worst)
+    };
+
+    println!("# Figure 11 companion: measured pipeline delay vs configured caps");
+    println!(
+        "{:>8} {:>8} {:>10} {:>10} {:>10} {:>12} {:>8}",
+        "stage", "traces", "p50(s)", "p99(s)", "max(s)", "cap(s)", "p99/cap"
+    );
+    for (stage, cap_s) in timings.stage_caps() {
+        let (count, worst) = stage_stats(&format!("aequus_tracer_{stage}_delay_s"));
+        match worst {
+            Some(h) => println!(
+                "{stage:>8} {count:>8} {:>10.1} {:>10.1} {:>10.1} {cap_s:>12.1} {:>7.0}%",
+                h.p50,
+                h.p99,
+                h.max,
+                100.0 * h.p99 / cap_s.max(f64::MIN_POSITIVE)
+            ),
+            None => println!("{stage:>8} {count:>8} {:>43} {cap_s:>12.1}", "(no samples)"),
+        }
+    }
+    let bound = timings.worst_case_pipeline_s();
+    let (count, e2e) = stage_stats("aequus_tracer_end_to_end_s");
+    match e2e {
+        Some(h) => println!(
+            "{:>8} {count:>8} {:>10.1} {:>10.1} {:>10.1} {bound:>12.1} {:>7.0}%",
+            "e2e",
+            h.p50,
+            h.p99,
+            h.max,
+            100.0 * h.p99 / bound.max(f64::MIN_POSITIVE)
+        ),
+        None => println!(
+            "{:>8} {count:>8} {:>43} {bound:>12.1}",
+            "e2e", "(no samples)"
+        ),
+    }
+    println!(
+        "\nNotes: stage delays are measured at cluster-tick granularity, so the\n\
+         report stage can read a few seconds over its cap. The lib stage measures\n\
+         *observed* visibility — it includes the wait for the traced user's next\n\
+         uncached fairshare fetch, so at low per-user load it exceeds the pure TTL\n\
+         cap; the end-to-end p99 is the figure to hold against the {bound:.0} s\n\
+         worst-case budget (at the paper's 95% load it sits well inside it)."
+    );
+
+    println!();
+    println!("{}", report::render_telemetry(&result));
+}

@@ -35,6 +35,16 @@ pub fn run_baseline(jobs: usize, seed: u64) -> SimResult {
     GridSimulation::new(scenario).run(&trace, 1800.0)
 }
 
+/// Run the baseline with telemetry wired into every site: per-site metric
+/// registries, stage spans, structured events, and the pipeline-delay
+/// tracer. The result carries per-site snapshots (`SimResult::site_telemetry`)
+/// and the engine's own registry.
+pub fn run_baseline_telemetry(jobs: usize, seed: u64) -> SimResult {
+    let scenario = GridScenario::national_testbed(&baseline_policy_shares(), seed).with_telemetry();
+    let trace = baseline_trace(jobs, seed);
+    GridSimulation::new(scenario).run(&trace, 1800.0)
+}
+
 /// Outcome of the update-delay experiment (Fig. 11).
 #[derive(Debug, Clone, Copy)]
 pub struct UpdateDelayOutcome {

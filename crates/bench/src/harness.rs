@@ -3,7 +3,7 @@
 //! `iter_batched`) so the bench targets under `benches/` run offline.
 //!
 //! Measurement model: a short warmup sizes a batch so one sample takes
-//! roughly [`Criterion::target_sample_time`], then `sample_size` samples are
+//! roughly `Criterion::target_sample_time`, then `sample_size` samples are
 //! timed and the per-iteration mean, minimum, and median are printed. This
 //! is deliberately simpler than criterion (no bootstrap, no outlier
 //! rejection) — adequate for the order-of-magnitude and ratio comparisons

@@ -23,7 +23,67 @@ pub fn render_series(title: &str, series: &[(&str, Vec<(f64, f64)>)], step: usiz
     out
 }
 
-/// Render the standard run summary block.
+/// Render the per-site telemetry registries as a table: counters summed
+/// across sites, histograms with total count and the worst (max-p99) site's
+/// quantiles. Empty string when the run had telemetry disabled.
+pub fn render_telemetry(result: &SimResult) -> String {
+    if result.site_telemetry.is_empty() {
+        return String::new();
+    }
+    let mut out = format!("# telemetry ({} sites)\n", result.site_telemetry.len());
+    let mut counters: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for snap in &result.site_telemetry {
+        for (name, v) in &snap.counters {
+            *counters.entry(name.as_str()).or_insert(0) += v;
+        }
+    }
+    out.push_str("counters (summed across sites):\n");
+    for (name, v) in &counters {
+        out.push_str(&format!("  {name:<44} {v:>12}\n"));
+    }
+    out.push_str(&format!(
+        "histograms (worst site by p99):\n  {:<44} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+        "name", "count", "p50", "p95", "p99", "max"
+    ));
+    let mut hist_names: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    for snap in &result.site_telemetry {
+        hist_names.extend(snap.histograms.keys().map(String::as_str));
+    }
+    for name in hist_names {
+        let total: u64 = result
+            .site_telemetry
+            .iter()
+            .filter_map(|s| s.histograms.get(name).map(|h| h.count))
+            .sum();
+        let worst = result
+            .site_telemetry
+            .iter()
+            .filter_map(|s| s.histograms.get(name))
+            .max_by(|a, b| a.p99.partial_cmp(&b.p99).expect("finite quantiles"));
+        if let Some(h) = worst {
+            out.push_str(&format!(
+                "  {name:<44} {total:>10} {:>10.4} {:>10.4} {:>10.4} {:>10.4}\n",
+                h.p50, h.p95, h.p99, h.max
+            ));
+        }
+    }
+    if let Some(engine) = &result.engine_telemetry {
+        out.push_str("engine:\n");
+        for (name, v) in &engine.counters {
+            out.push_str(&format!("  {name:<44} {v:>12}\n"));
+        }
+        for (name, h) in &engine.histograms {
+            out.push_str(&format!(
+                "  {name:<44} {:>10} p99 {:.6}s max {:.6}s\n",
+                h.count, h.p99, h.max
+            ));
+        }
+    }
+    out
+}
+
+/// Render the standard run summary block (with the telemetry table appended
+/// when the run collected telemetry).
 pub fn render_summary(name: &str, result: &SimResult) -> String {
     let conv = result
         .metrics
@@ -35,7 +95,7 @@ pub fn render_summary(name: &str, result: &SimResult) -> String {
         .filter(|(a, b)| b - a >= 600.0)
         .map(|(a, b)| format!("[{:.0},{:.0}]min", a / 60.0, b / 60.0))
         .collect();
-    format!(
+    let mut out = format!(
         "# {name}\n\
          jobs completed      : {}/{}\n\
          mean utilization    : {:.1}%\n\
@@ -59,7 +119,13 @@ pub fn render_summary(name: &str, result: &SimResult) -> String {
             windows.join(" ")
         },
         result.metrics.final_deviation(),
-    )
+    );
+    let telemetry = render_telemetry(result);
+    if !telemetry.is_empty() {
+        out.push('\n');
+        out.push_str(&telemetry);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -87,5 +153,18 @@ mod tests {
         let s = render_summary("baseline", &r);
         assert!(s.contains("jobs completed"));
         assert!(s.contains("2000"));
+        assert!(render_telemetry(&r).is_empty(), "telemetry was off");
+    }
+
+    #[test]
+    fn telemetry_table_renders_when_wired() {
+        let r = crate::run_baseline_telemetry(600, 1);
+        let s = render_telemetry(&r);
+        assert!(s.contains("# telemetry (6 sites)"));
+        assert!(s.contains("aequus_uss_records_ingested_total"));
+        assert!(s.contains("aequus_rms_dispatch_s"));
+        assert!(s.contains("aequus_sim_event_s"));
+        // The summary embeds the same table.
+        assert!(render_summary("t", &r).contains("# telemetry"));
     }
 }

@@ -10,7 +10,34 @@ use crate::plugin::FairshareSource;
 use aequus_core::ids::{JobId, SiteId};
 use aequus_core::usage::UsageRecord;
 use aequus_core::{GridUser, UserId};
+use aequus_telemetry::{Counter, Histogram, Telemetry};
 use std::collections::BTreeMap;
+
+/// Pre-registered scheduler metric handles (no-ops until wired).
+#[derive(Debug, Clone, Default)]
+struct SchedMetrics {
+    submitted: Counter,
+    started: Counter,
+    completed: Counter,
+    backfilled: Counter,
+    reprio_passes: Counter,
+    h_reprio: Histogram,
+    h_dispatch: Histogram,
+}
+
+impl SchedMetrics {
+    fn wire(t: &Telemetry) -> Self {
+        Self {
+            submitted: t.counter("aequus_rms_submitted_total"),
+            started: t.counter("aequus_rms_started_total"),
+            completed: t.counter("aequus_rms_completed_total"),
+            backfilled: t.counter("aequus_rms_backfilled_total"),
+            reprio_passes: t.counter("aequus_rms_reprio_passes_total"),
+            h_reprio: t.histogram("aequus_rms_reprioritize_s"),
+            h_dispatch: t.histogram("aequus_rms_dispatch_s"),
+        }
+    }
+}
 
 /// When pending-job priorities are recomputed — stage IV of the §IV-A-2
 /// delay chain.
@@ -74,6 +101,8 @@ pub struct SchedulerCore {
     last_reprio_s: f64,
     /// Statistics.
     pub stats: SchedulerStats,
+    /// Telemetry handles (no-ops until wired).
+    metrics: SchedMetrics,
 }
 
 impl SchedulerCore {
@@ -95,7 +124,14 @@ impl SchedulerCore {
             running: Vec::new(),
             last_reprio_s: f64::NEG_INFINITY,
             stats: SchedulerStats::default(),
+            metrics: SchedMetrics::default(),
         }
+    }
+
+    /// Wire the scheduler into a telemetry registry; pass
+    /// [`Telemetry::disabled`] to detach.
+    pub fn set_telemetry(&mut self, t: &Telemetry) {
+        self.metrics = SchedMetrics::wire(t);
     }
 
     /// The site this scheduler manages.
@@ -123,6 +159,7 @@ impl SchedulerCore {
         // this entry is an index load on the source side.
         let user_id = job.grid_user.as_ref().and_then(|u| source.intern_user(u));
         self.stats.submitted += 1;
+        self.metrics.submitted.inc();
         // New jobs get a priority immediately so they can dispatch this cycle.
         let prio = self.priority_of(&job, user_id, source, now_s);
         self.pending.push(PendingEntry { job, prio, user_id });
@@ -163,6 +200,8 @@ impl SchedulerCore {
         self.nodes.advance(now_s);
         self.complete_due(source, now_s);
         if self.reprio_due(now_s) {
+            let _span = self.metrics.h_reprio.start_timer();
+            self.metrics.reprio_passes.inc();
             for entry in &mut self.pending {
                 entry.prio = combined_priority(
                     &self.weights,
@@ -199,6 +238,7 @@ impl SchedulerCore {
                 };
                 self.nodes.release(job.cores);
                 self.stats.completed += 1;
+                self.metrics.completed.inc();
                 if let Some(user) = &job.grid_user {
                     *self.stats.usage_by_user.entry(user.clone()).or_insert(0.0) +=
                         job.cores as f64 * job.duration_s;
@@ -226,6 +266,7 @@ impl SchedulerCore {
     /// if they terminate before the shadow time or leave the reserved cores
     /// untouched.
     fn dispatch(&mut self, now_s: f64) {
+        let _span = self.metrics.h_dispatch.start_timer();
         // Highest priority first; FIFO (submit time, id) as tie-breakers.
         self.pending.sort_by(|a, b| {
             b.prio
@@ -279,10 +320,12 @@ impl SchedulerCore {
             if started.contains(&entry.job.id) {
                 entry.job.state = JobState::Running { start_s: now_s };
                 self.stats.started += 1;
+                self.metrics.started.inc();
                 self.stats.total_wait_s += entry.job.wait_time(now_s);
                 order += 1;
                 if order > backfill_from_head {
                     self.stats.backfilled += 1;
+                    self.metrics.backfilled.inc();
                 }
                 self.running.push(entry.job.clone());
                 false

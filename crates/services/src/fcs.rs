@@ -26,7 +26,38 @@ use aequus_core::arena::{RecomputeStats, UserId};
 use aequus_core::fairshare::{FairshareConfig, FairshareTree};
 use aequus_core::projection::{Projection, ProjectionKind};
 use aequus_core::GridUser;
+use aequus_telemetry::{Counter, Histogram, Telemetry};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Pre-registered FCS metric handles (no-ops until wired).
+#[derive(Debug, Clone, Default)]
+struct FcsMetrics {
+    telemetry: Telemetry,
+    refreshes: Counter,
+    full_refreshes: Counter,
+    queries: Counter,
+    /// Hot-path query counter — the id-indexed lookup gets a counter, not a
+    /// clock-reading span, to stay within the telemetry overhead budget.
+    id_queries: Counter,
+    h_refresh_full: Histogram,
+    h_refresh_incr: Histogram,
+    h_query: Histogram,
+}
+
+impl FcsMetrics {
+    fn wire(t: &Telemetry) -> Self {
+        Self {
+            telemetry: t.clone(),
+            refreshes: t.counter("aequus_fcs_refreshes_total"),
+            full_refreshes: t.counter("aequus_fcs_full_refreshes_total"),
+            queries: t.counter("aequus_fcs_queries_total"),
+            id_queries: t.counter("aequus_fcs_id_queries_total"),
+            h_refresh_full: t.histogram("aequus_fcs_refresh_full_s"),
+            h_refresh_incr: t.histogram("aequus_fcs_refresh_incremental_s"),
+            h_query: t.histogram("aequus_fcs_query_s"),
+        }
+    }
+}
 
 /// Per-site fairshare calculation service.
 pub struct Fcs {
@@ -52,6 +83,8 @@ pub struct Fcs {
     incremental_refreshes: u64,
     nodes_recomputed_total: u64,
     last_recompute: RecomputeStats,
+    /// Telemetry handles (no-ops until wired).
+    metrics: FcsMetrics,
 }
 
 impl std::fmt::Debug for Fcs {
@@ -93,7 +126,14 @@ impl Fcs {
             incremental_refreshes: 0,
             nodes_recomputed_total: 0,
             last_recompute: RecomputeStats::default(),
+            metrics: FcsMetrics::default(),
         }
+    }
+
+    /// Wire this service into a telemetry registry; pass
+    /// [`Telemetry::disabled`] to detach.
+    pub fn set_telemetry(&mut self, t: &Telemetry) {
+        self.metrics = FcsMetrics::wire(t);
     }
 
     /// Switch the projection algorithm at run time ("the approach to use is
@@ -145,6 +185,17 @@ impl Fcs {
             self.tree.is_none() || self.force_full || dirty.is_all() || unexplained_version;
 
         if need_full {
+            let _span = self.metrics.h_refresh_full.start_timer();
+            self.metrics.full_refreshes.inc();
+            self.metrics.telemetry.event(now_s, "fcs.full_rebuild", || {
+                if unexplained_version {
+                    "unexplained policy version bump".to_string()
+                } else if dirty.is_all() {
+                    "dirty set marked all".to_string()
+                } else {
+                    "first refresh or projection switch".to_string()
+                }
+            });
             let tree = FairshareTree::compute(pds.policy(), ums.usage(), &self.config, now_s);
             self.factors = self.projection.project(&tree);
             self.last_recompute = RecomputeStats {
@@ -161,7 +212,9 @@ impl Fcs {
             // happened (cadence-wise) and did zero recompute work.
             self.incremental_refreshes += 1;
             self.last_recompute = RecomputeStats::default();
+            self.metrics.h_refresh_incr.record(0.0);
         } else {
+            let _span = self.metrics.h_refresh_incr.start_timer();
             let stats = self
                 .tree
                 .as_mut()
@@ -172,6 +225,10 @@ impl Fcs {
                 // The tree detected a structural mismatch and rebuilt.
                 self.factors = self.projection.project(tree);
                 self.full_refreshes += 1;
+                self.metrics.full_refreshes.inc();
+                self.metrics.telemetry.event(now_s, "fcs.full_rebuild", || {
+                    "structural mismatch during incremental recompute".to_string()
+                });
             } else {
                 // Re-project only users under nodes whose state changed.
                 let mut affected: BTreeSet<GridUser> = BTreeSet::new();
@@ -205,6 +262,7 @@ impl Fcs {
         self.last_refresh_s = Some(now_s);
         self.last_policy_version = pds.version();
         self.refreshes += 1;
+        self.metrics.refreshes.inc();
         true
     }
 
@@ -255,12 +313,15 @@ impl Fcs {
     /// no calculation ("pre-calculated values already exist and can be
     /// assigned to the job based on the associated user identity").
     pub fn query(&self, user: &GridUser) -> Option<f64> {
+        let _span = self.metrics.h_query.start_timer();
+        self.metrics.queries.inc();
         self.factors.get(user).copied()
     }
 
     /// Query by interned id: an index load instead of a map walk — the
-    /// RMS-side hot path.
+    /// RMS-side hot path (counter-only instrumentation; see `FcsMetrics`).
     pub fn query_id(&self, id: UserId) -> Option<f64> {
+        self.metrics.id_queries.inc();
         match self.factor_slots.get(id.index()) {
             Some(f) if !f.is_nan() => Some(*f),
             _ => None,

@@ -6,6 +6,7 @@
 //! modeled here as a pluggable resolver callback.
 
 use aequus_core::{GridUser, SystemUser};
+use aequus_telemetry::{Counter, Histogram, Telemetry};
 use std::collections::BTreeMap;
 
 /// The resolver endpoint type: given a system account, return the grid
@@ -19,6 +20,9 @@ pub struct Irs {
     endpoint: Option<ResolverEndpoint>,
     lookups: u64,
     endpoint_calls: u64,
+    c_lookups: Counter,
+    c_endpoint_calls: Counter,
+    h_resolve: Histogram,
 }
 
 impl std::fmt::Debug for Irs {
@@ -45,7 +49,18 @@ impl Irs {
             endpoint: None,
             lookups: 0,
             endpoint_calls: 0,
+            c_lookups: Counter::default(),
+            c_endpoint_calls: Counter::default(),
+            h_resolve: Histogram::default(),
         }
+    }
+
+    /// Wire this service into a telemetry registry; pass
+    /// [`Telemetry::disabled`] to detach.
+    pub fn set_telemetry(&mut self, t: &Telemetry) {
+        self.c_lookups = t.counter("aequus_irs_lookups_total");
+        self.c_endpoint_calls = t.counter("aequus_irs_endpoint_calls_total");
+        self.h_resolve = t.histogram("aequus_irs_resolve_s");
     }
 
     /// Way 1 (§III-B): actively store a reverse mapping in the look-up table.
@@ -63,12 +78,15 @@ impl Irs {
     /// consulted first, then the endpoint (whose answers are memoized into
     /// the table).
     pub fn resolve(&mut self, system: &SystemUser) -> Option<GridUser> {
+        let _span = self.h_resolve.start_timer();
         self.lookups += 1;
+        self.c_lookups.inc();
         if let Some(g) = self.table.get(system) {
             return Some(g.clone());
         }
         if let Some(ep) = &self.endpoint {
             self.endpoint_calls += 1;
+            self.c_endpoint_calls.inc();
             if let Some(g) = ep(system) {
                 self.table.insert(system.clone(), g.clone());
                 return Some(g);

@@ -9,25 +9,60 @@
 use crate::fcs::Fcs;
 use crate::irs::Irs;
 use aequus_core::{GridUser, SystemUser, UserId};
+use aequus_telemetry::{Counter, Telemetry};
 use std::collections::BTreeMap;
 
-/// Cache statistics, for the throughput evaluation.
+/// Per-cache statistics, for the throughput evaluation. The fairshare-value
+/// and identity-resolution caches each keep their own instance — their
+/// workloads differ (every dispatch pass vs. job submission), so blending
+/// them would hide a cold identity cache behind a hot fairshare cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Queries answered from the client-side cache.
     pub hits: u64,
     /// Queries that had to call out to the service.
     pub misses: u64,
+    /// Cached entries discarded: TTL-stale entries replaced on re-fetch,
+    /// plus everything dropped by [`LibAequus::flush`].
+    pub evictions: u64,
 }
 
 impl CacheStats {
-    /// Hit ratio in `[0, 1]`; 0 when no queries were made.
-    pub fn hit_ratio(&self) -> f64 {
+    /// Hit ratio in `[0, 1]`, or `None` when no queries were made — a cache
+    /// that was never consulted has no ratio, and reporting `0.0` would
+    /// read as "every query missed".
+    pub fn hit_ratio(&self) -> Option<f64> {
         let total = self.hits + self.misses;
         if total == 0 {
-            0.0
+            None
         } else {
-            self.hits as f64 / total as f64
+            Some(self.hits as f64 / total as f64)
+        }
+    }
+}
+
+/// Pre-registered per-cache telemetry counters (no-ops until wired).
+#[derive(Debug, Clone, Default)]
+struct LibMetrics {
+    telemetry: Telemetry,
+    fs_hits: Counter,
+    fs_misses: Counter,
+    fs_evictions: Counter,
+    id_hits: Counter,
+    id_misses: Counter,
+    id_evictions: Counter,
+}
+
+impl LibMetrics {
+    fn wire(t: &Telemetry) -> Self {
+        Self {
+            telemetry: t.clone(),
+            fs_hits: t.counter("aequus_lib_fairshare_hits_total"),
+            fs_misses: t.counter("aequus_lib_fairshare_misses_total"),
+            fs_evictions: t.counter("aequus_lib_fairshare_evictions_total"),
+            id_hits: t.counter("aequus_lib_identity_hits_total"),
+            id_misses: t.counter("aequus_lib_identity_misses_total"),
+            id_evictions: t.counter("aequus_lib_identity_evictions_total"),
         }
     }
 }
@@ -46,6 +81,8 @@ pub struct LibAequus {
     pub fairshare_stats: CacheStats,
     /// Identity resolution cache statistics.
     pub identity_stats: CacheStats,
+    /// Telemetry handles (no-ops until wired).
+    metrics: LibMetrics,
 }
 
 impl LibAequus {
@@ -59,7 +96,14 @@ impl LibAequus {
             identity_cache: BTreeMap::new(),
             fairshare_stats: CacheStats::default(),
             identity_stats: CacheStats::default(),
+            metrics: LibMetrics::default(),
         }
+    }
+
+    /// Wire this library instance into a telemetry registry; pass
+    /// [`Telemetry::disabled`] to detach.
+    pub fn set_telemetry(&mut self, t: &Telemetry) {
+        self.metrics = LibMetrics::wire(t);
     }
 
     /// Fetch the global fairshare factor for `user`, serving from the cache
@@ -69,12 +113,28 @@ impl LibAequus {
         if let Some(&(value, at)) = self.fairshare_cache.get(user) {
             if now_s - at < self.fairshare_ttl_s {
                 self.fairshare_stats.hits += 1;
+                self.metrics.fs_hits.inc();
+                self.metrics
+                    .telemetry
+                    .trace_lib_query(user.as_str(), at, now_s);
                 return value;
             }
         }
         self.fairshare_stats.misses += 1;
+        self.metrics.fs_misses.inc();
         let value = fcs.query(user).unwrap_or(0.5);
-        self.fairshare_cache.insert(user.clone(), (value, now_s));
+        if self
+            .fairshare_cache
+            .insert(user.clone(), (value, now_s))
+            .is_some()
+        {
+            // The replaced entry was TTL-stale (a fresh one would have hit).
+            self.fairshare_stats.evictions += 1;
+            self.metrics.fs_evictions.inc();
+        }
+        self.metrics
+            .telemetry
+            .trace_lib_query(user.as_str(), now_s, now_s);
         value
     }
 
@@ -84,17 +144,41 @@ impl LibAequus {
     pub fn get_fairshare_by_id(&mut self, fcs: &Fcs, id: UserId, now_s: f64) -> f64 {
         if let Some(Some((value, at))) = self.fairshare_id_cache.get(id.index()) {
             if now_s - at < self.fairshare_ttl_s {
+                let (value, at) = (*value, *at);
                 self.fairshare_stats.hits += 1;
-                return *value;
+                self.metrics.fs_hits.inc();
+                self.trace_lib_query_id(fcs, id, at, now_s);
+                return value;
             }
         }
         self.fairshare_stats.misses += 1;
+        self.metrics.fs_misses.inc();
         let value = fcs.query_id(id).unwrap_or(0.5);
         if self.fairshare_id_cache.len() <= id.index() {
             self.fairshare_id_cache.resize(id.index() + 1, None);
         }
-        self.fairshare_id_cache[id.index()] = Some((value, now_s));
+        if self.fairshare_id_cache[id.index()]
+            .replace((value, now_s))
+            .is_some()
+        {
+            self.fairshare_stats.evictions += 1;
+            self.metrics.fs_evictions.inc();
+        }
+        self.trace_lib_query_id(fcs, id, now_s, now_s);
         value
+    }
+
+    /// Pipeline-tracer hook for the id-indexed path: the user-name lookup
+    /// only happens while a trace is actually in flight, keeping the hot
+    /// path free of it.
+    fn trace_lib_query_id(&self, fcs: &Fcs, id: UserId, served_fetch_s: f64, now_s: f64) {
+        if self.metrics.telemetry.traces_active() > 0 {
+            if let Some(user) = fcs.user_of(id) {
+                self.metrics
+                    .telemetry
+                    .trace_lib_query(user.as_str(), served_fetch_s, now_s);
+            }
+        }
     }
 
     /// Resolve a system account to its grid identity via the IRS, with
@@ -108,21 +192,40 @@ impl LibAequus {
         if let Some((cached, at)) = self.identity_cache.get(system) {
             if now_s - at < self.identity_ttl_s {
                 self.identity_stats.hits += 1;
+                self.metrics.id_hits.inc();
                 return cached.clone();
             }
         }
         self.identity_stats.misses += 1;
+        self.metrics.id_misses.inc();
         let resolved = irs.resolve(system);
-        self.identity_cache
-            .insert(system.clone(), (resolved.clone(), now_s));
+        if self
+            .identity_cache
+            .insert(system.clone(), (resolved.clone(), now_s))
+            .is_some()
+        {
+            self.identity_stats.evictions += 1;
+            self.metrics.id_evictions.inc();
+        }
         resolved
     }
 
-    /// Drop all cached entries (e.g. on reconfiguration).
+    /// Drop all cached entries (e.g. on reconfiguration). Every dropped
+    /// entry counts as an eviction of its cache.
     pub fn flush(&mut self) {
+        let fs_dropped =
+            (self.fairshare_cache.len() + self.fairshare_id_cache.iter().flatten().count()) as u64;
+        let id_dropped = self.identity_cache.len() as u64;
+        self.fairshare_stats.evictions += fs_dropped;
+        self.identity_stats.evictions += id_dropped;
+        self.metrics.fs_evictions.add(fs_dropped);
+        self.metrics.id_evictions.add(id_dropped);
         self.fairshare_cache.clear();
         self.fairshare_id_cache.clear();
         self.identity_cache.clear();
+        self.metrics.telemetry.event(-1.0, "lib.flush", || {
+            format!("dropped {fs_dropped} fairshare + {id_dropped} identity entries")
+        });
     }
 
     /// Number of live fairshare cache entries.
@@ -204,7 +307,66 @@ mod tests {
         }
         assert_eq!(lib.fairshare_stats.misses, 1);
         assert_eq!(lib.fairshare_stats.hits, 99);
-        assert!(lib.fairshare_stats.hit_ratio() > 0.98);
+        assert!(lib.fairshare_stats.hit_ratio().unwrap() > 0.98);
+    }
+
+    #[test]
+    fn hit_ratio_is_none_before_any_query() {
+        let lib = LibAequus::new(10.0, 60.0);
+        assert_eq!(lib.fairshare_stats.hit_ratio(), None);
+        assert_eq!(lib.identity_stats.hit_ratio(), None);
+        let all_misses = CacheStats {
+            hits: 0,
+            misses: 4,
+            evictions: 0,
+        };
+        assert_eq!(all_misses.hit_ratio(), Some(0.0), "a real 0.0 still shows");
+    }
+
+    #[test]
+    fn stale_replacement_and_flush_count_as_evictions() {
+        let fcs = fcs_fixture();
+        let mut lib = LibAequus::new(10.0, 60.0);
+        lib.get_fairshare(&fcs, &GridUser::new("a"), 0.0);
+        assert_eq!(lib.fairshare_stats.evictions, 0);
+        // TTL expired: the re-fetch replaces (evicts) the stale entry.
+        lib.get_fairshare(&fcs, &GridUser::new("a"), 20.0);
+        assert_eq!(lib.fairshare_stats.evictions, 1);
+        // Same semantics on the id-indexed path.
+        let id_a = fcs.id_of(&GridUser::new("a")).unwrap();
+        lib.get_fairshare_by_id(&fcs, id_a, 20.0);
+        lib.get_fairshare_by_id(&fcs, id_a, 40.0);
+        assert_eq!(lib.fairshare_stats.evictions, 2);
+        // Flush drops one map entry and one id slot.
+        lib.flush();
+        assert_eq!(lib.fairshare_stats.evictions, 4);
+        // Identity evictions are tracked independently.
+        assert_eq!(lib.identity_stats.evictions, 0);
+        let mut irs = Irs::new();
+        irs.store_mapping(SystemUser::new("s"), GridUser::new("g"));
+        lib.resolve_identity(&mut irs, &SystemUser::new("s"), 0.0);
+        lib.resolve_identity(&mut irs, &SystemUser::new("s"), 100.0);
+        assert_eq!(lib.identity_stats.evictions, 1);
+        assert_eq!(lib.fairshare_stats.evictions, 4, "fairshare side untouched");
+    }
+
+    #[test]
+    fn telemetry_reports_both_caches_independently() {
+        use aequus_telemetry::Telemetry;
+        let fcs = fcs_fixture();
+        let t = Telemetry::enabled();
+        let mut lib = LibAequus::new(10.0, 60.0);
+        lib.set_telemetry(&t);
+        lib.get_fairshare(&fcs, &GridUser::new("a"), 0.0);
+        lib.get_fairshare(&fcs, &GridUser::new("a"), 1.0);
+        let mut irs = Irs::new();
+        lib.resolve_identity(&mut irs, &SystemUser::new("x"), 0.0);
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.counters["aequus_lib_fairshare_hits_total"], 1);
+        assert_eq!(snap.counters["aequus_lib_fairshare_misses_total"], 1);
+        assert_eq!(snap.counters["aequus_lib_identity_misses_total"], 1);
+        assert_eq!(snap.counters["aequus_lib_identity_hits_total"], 0);
+        assert_eq!(snap.counters["aequus_lib_fairshare_evictions_total"], 0);
     }
 
     #[test]

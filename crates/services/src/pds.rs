@@ -5,6 +5,7 @@
 use aequus_core::arena::DirtySet;
 use aequus_core::ids::EntityPath;
 use aequus_core::policy::{PolicyError, PolicyTree};
+use aequus_telemetry::{Counter, Telemetry};
 use std::collections::BTreeMap;
 
 /// Per-site policy distribution service.
@@ -17,6 +18,9 @@ pub struct Pds {
     /// service: share edits mark their path, structural changes (replace,
     /// mount) mark everything.
     dirty: DirtySet,
+    /// Telemetry: policy edit counter + event ring (no-ops until wired).
+    telemetry: Telemetry,
+    c_edits: Counter,
 }
 
 impl Pds {
@@ -26,7 +30,17 @@ impl Pds {
             policy,
             exports: BTreeMap::new(),
             dirty: DirtySet::new(),
+            telemetry: Telemetry::disabled(),
+            c_edits: Counter::default(),
         }
+    }
+
+    /// Wire this service into a telemetry registry; pass
+    /// [`Telemetry::disabled`] to detach. PDS edits carry no domain clock,
+    /// so their events use the `-1.0` no-clock timestamp.
+    pub fn set_telemetry(&mut self, t: &Telemetry) {
+        self.telemetry = t.clone();
+        self.c_edits = t.counter("aequus_pds_edits_total");
     }
 
     /// The currently effective policy tree.
@@ -45,12 +59,19 @@ impl Pds {
     pub fn set_policy(&mut self, policy: PolicyTree) {
         self.policy = policy;
         self.dirty.mark_all();
+        self.c_edits.inc();
+        self.telemetry.event(-1.0, "pds.policy_replaced", || {
+            "whole policy replaced".into()
+        });
     }
 
     /// Change one node's share at run time.
     pub fn set_share(&mut self, path: &EntityPath, share: f64) -> Result<(), PolicyError> {
         self.policy.set_share(path, share)?;
         self.dirty.mark_path(path.clone());
+        self.c_edits.inc();
+        self.telemetry
+            .event(-1.0, "pds.share_edit", || format!("{path:?} -> {share}"));
         Ok(())
     }
 
@@ -78,6 +99,10 @@ impl Pds {
             .clone();
         self.policy.mount(at, &sub)?;
         self.dirty.mark_all(); // mounting changes the tree structure
+        self.c_edits.inc();
+        self.telemetry.event(-1.0, "pds.mount", || {
+            format!("mounted export {export_name:?} at {at:?}")
+        });
         Ok(())
     }
 

@@ -16,6 +16,7 @@ use aequus_core::policy::PolicyTree;
 use aequus_core::projection::ProjectionKind;
 use aequus_core::usage::{UsageRecord, UsageSummary};
 use aequus_core::{GridUser, SiteId, SystemUser};
+use aequus_telemetry::Telemetry;
 use std::collections::VecDeque;
 
 /// One site's complete Aequus stack.
@@ -40,6 +41,8 @@ pub struct AequusSite {
     /// Summaries produced but not yet delivered to peers.
     outbox: Vec<UsageSummary>,
     last_publish_s: f64,
+    /// Site-wide telemetry domain (disabled by default).
+    telemetry: Telemetry,
 }
 
 impl AequusSite {
@@ -66,7 +69,25 @@ impl AequusSite {
             outbox: Vec::new(),
             last_publish_s: f64::NEG_INFINITY,
             timings,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Wire the whole site — every service plus the client library — into
+    /// one telemetry domain. Pass [`Telemetry::disabled`] to detach.
+    pub fn set_telemetry(&mut self, t: &Telemetry) {
+        self.telemetry = t.clone();
+        self.pds.set_telemetry(t);
+        self.uss.set_telemetry(t);
+        self.ums.set_telemetry(t);
+        self.fcs.set_telemetry(t);
+        self.irs.set_telemetry(t);
+        self.lib.set_telemetry(t);
+    }
+
+    /// The site's telemetry handle (disabled unless wired).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The site identity.
@@ -88,6 +109,8 @@ impl AequusSite {
     /// RMS-facing: report a completed job's usage. The record reaches the
     /// USS only after the configured reporting delay (stage I of §IV-A-2).
     pub fn report_completion(&mut self, record: UsageRecord, now_s: f64) {
+        self.telemetry
+            .trace_report(record.job.0, record.user.as_str(), now_s);
         self.pending_reports
             .push_back((now_s + self.timings.report_delay_s, record));
     }
@@ -100,6 +123,12 @@ impl AequusSite {
     /// Deliver a usage summary from a peer site.
     pub fn receive_summary(&mut self, summary: &UsageSummary) {
         self.uss.receive(summary);
+    }
+
+    /// Deliver a usage summary from a peer site with the delivery time (so
+    /// the gossip-merge telemetry event carries a real timestamp).
+    pub fn receive_summary_at(&mut self, summary: &UsageSummary, now_s: f64) {
+        self.uss.receive_at(summary, now_s);
     }
 
     /// Drain summaries produced since the last call (the simulator delivers
@@ -119,18 +148,30 @@ impl AequusSite {
             }
             let (_, rec) = self.pending_reports.pop_front().expect("front checked");
             self.uss.ingest(&rec);
+            let end_slot = (rec.end_s / self.uss.slot_duration()).floor().max(0.0) as u64;
+            self.telemetry.trace_ingest(rec.job.0, end_slot, now_s);
         }
         // Stage II-a: USS publication.
         if now_s - self.last_publish_s >= self.timings.uss_publish_interval_s {
             if let Some(summary) = self.uss.publish(now_s) {
+                if self.telemetry.traces_active() > 0 {
+                    let users: Vec<&str> = summary.per_user.keys().map(GridUser::as_str).collect();
+                    let current_slot = (now_s / self.uss.slot_duration()).floor().max(0.0) as u64;
+                    self.telemetry.trace_publish(&users, current_slot, now_s);
+                }
                 self.outbox.push(summary);
             }
             self.last_publish_s = now_s;
         }
         // Stage II-b and II-c: UMS and FCS cache refreshes — the dirty-set
-        // flow USS → UMS → FCS drains here.
-        self.ums.refresh(&mut self.uss, now_s);
-        self.fcs.refresh(&mut self.pds, &mut self.ums, now_s);
+        // flow USS → UMS → FCS drains here. Only *actual* refreshes mark
+        // tracer visibility (a cache-valid no-op reveals nothing new).
+        if self.ums.refresh(&mut self.uss, now_s) {
+            self.telemetry.trace_ums_refresh(now_s);
+        }
+        if self.fcs.refresh(&mut self.pds, &mut self.ums, now_s) {
+            self.telemetry.trace_fcs_refresh(now_s);
+        }
     }
 
     /// RMS-facing: intern a grid user into a stable dense id for

@@ -63,6 +63,23 @@ impl ServiceTimings {
             + self.lib_cache_ttl_s
     }
 
+    /// The worst-case delay contribution of each pipeline stage, in chain
+    /// order, as `(stage name, seconds)` — what the fig11 companion plots
+    /// the measured per-stage delays against. Stage names match the
+    /// `aequus_tracer_<stage>_delay_s` histogram naming.
+    pub fn stage_caps(&self) -> [(&'static str, f64); 5] {
+        [
+            ("report", self.report_delay_s),
+            (
+                "publish",
+                self.uss_publish_interval_s + self.exchange_latency_s,
+            ),
+            ("ums", self.ums_refresh_interval_s),
+            ("fcs", self.fcs_refresh_interval_s),
+            ("lib", self.lib_cache_ttl_s),
+        ]
+    }
+
     /// Scale every delay by `factor` (used by delay-sensitivity ablations).
     pub fn scaled(&self, factor: f64) -> Self {
         Self {
@@ -86,6 +103,45 @@ mod tests {
         let t = ServiceTimings::default();
         let expected = 10.0 + 180.0 + 5.0 + 180.0 + 180.0 + 60.0;
         assert!((t.worst_case_pipeline_s() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stage_caps_sum_to_worst_case() {
+        // The per-stage decomposition and the scalar bound must agree —
+        // the fig11 companion relies on this when stacking stage caps.
+        for timings in [
+            ServiceTimings::default(),
+            ServiceTimings::default().scaled(0.25),
+            ServiceTimings {
+                report_delay_s: 1.0,
+                uss_publish_interval_s: 2.0,
+                ums_refresh_interval_s: 3.0,
+                fcs_refresh_interval_s: 4.0,
+                lib_cache_ttl_s: 5.0,
+                lib_identity_ttl_s: 6.0,
+                exchange_latency_s: 7.0,
+            },
+        ] {
+            let sum: f64 = timings.stage_caps().iter().map(|(_, s)| s).sum();
+            assert!((sum - timings.worst_case_pipeline_s()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn worst_case_excludes_identity_ttl() {
+        // Identity resolution is off the fairshare-value path; its TTL must
+        // not inflate the §IV-A-2 bound.
+        let mut t = ServiceTimings::default();
+        let before = t.worst_case_pipeline_s();
+        t.lib_identity_ttl_s = 1e6;
+        assert_eq!(t.worst_case_pipeline_s(), before);
+    }
+
+    #[test]
+    fn zero_timings_collapse_the_pipeline() {
+        let t = ServiceTimings::default().scaled(0.0);
+        assert_eq!(t.worst_case_pipeline_s(), 0.0);
+        assert!(t.stage_caps().iter().all(|(_, s)| *s == 0.0));
     }
 
     #[test]

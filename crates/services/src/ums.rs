@@ -22,7 +22,28 @@
 use crate::uss::Uss;
 use aequus_core::arena::DirtySet;
 use aequus_core::{DecayPolicy, GridUser};
+use aequus_telemetry::{Counter, Histogram, Telemetry};
 use std::collections::BTreeMap;
+
+/// Pre-registered UMS metric handles (no-ops until wired).
+#[derive(Debug, Clone, Default)]
+struct UmsMetrics {
+    telemetry: Telemetry,
+    refreshes: Counter,
+    full_rebuilds: Counter,
+    h_refresh: Histogram,
+}
+
+impl UmsMetrics {
+    fn wire(t: &Telemetry) -> Self {
+        Self {
+            telemetry: t.clone(),
+            refreshes: t.counter("aequus_ums_refreshes_total"),
+            full_rebuilds: t.counter("aequus_ums_full_rebuilds_total"),
+            h_refresh: t.histogram("aequus_ums_refresh_s"),
+        }
+    }
+}
 
 /// How many exponential half-lives the reference epoch may lag behind `now`
 /// before it is rebased. Epoch weights of fresh usage grow as
@@ -47,6 +68,8 @@ pub struct Ums {
     last_refresh_s: Option<f64>,
     refreshes: u64,
     full_rebuilds: u64,
+    /// Telemetry handles (no-ops until wired).
+    metrics: UmsMetrics,
 }
 
 impl Ums {
@@ -62,7 +85,14 @@ impl Ums {
             last_refresh_s: None,
             refreshes: 0,
             full_rebuilds: 0,
+            metrics: UmsMetrics::default(),
         }
+    }
+
+    /// Wire this service into a telemetry registry; pass
+    /// [`Telemetry::disabled`] to detach.
+    pub fn set_telemetry(&mut self, t: &Telemetry) {
+        self.metrics = UmsMetrics::wire(t);
     }
 
     /// Whether the cache is stale at `now_s`.
@@ -88,6 +118,7 @@ impl Ums {
         if !self.is_stale(now_s) {
             return false;
         }
+        let _span = self.metrics.h_refresh.start_timer();
         if self.decay.separable() {
             self.refresh_separable(usses, now_s);
         } else {
@@ -102,9 +133,14 @@ impl Ums {
             self.cached = combined;
             self.dirty.mark_all();
             self.full_rebuilds += 1;
+            self.metrics.full_rebuilds.inc();
+            self.metrics.telemetry.event(now_s, "ums.full_rebuild", || {
+                "non-separable decay: whole cache re-decayed".to_string()
+            });
         }
         self.last_refresh_s = Some(now_s);
         self.refreshes += 1;
+        self.metrics.refreshes.inc();
         true
     }
 
@@ -131,6 +167,10 @@ impl Ums {
             self.cached = combined;
             self.dirty.mark_all();
             self.full_rebuilds += 1;
+            self.metrics.full_rebuilds.inc();
+            self.metrics.telemetry.event(now_s, "ums.full_rebuild", || {
+                format!("epoch rebased to {epoch}")
+            });
             return;
         }
         let epoch = self.epoch_s.expect("epoch set by rebase");

@@ -10,6 +10,34 @@ use aequus_core::arena::DirtySet;
 use aequus_core::ids::SiteId;
 use aequus_core::usage::{UsageHistogram, UsageRecord, UsageSummary};
 use aequus_core::GridUser;
+use aequus_telemetry::{Counter, Histogram, Telemetry};
+
+/// Pre-registered USS metric handles (all no-ops until
+/// [`Uss::set_telemetry`] wires an enabled registry).
+#[derive(Debug, Clone, Default)]
+struct UssMetrics {
+    telemetry: Telemetry,
+    ingested: Counter,
+    published: Counter,
+    received: Counter,
+    h_ingest: Histogram,
+    h_publish: Histogram,
+    h_receive: Histogram,
+}
+
+impl UssMetrics {
+    fn wire(t: &Telemetry) -> Self {
+        Self {
+            telemetry: t.clone(),
+            ingested: t.counter("aequus_uss_records_ingested_total"),
+            published: t.counter("aequus_uss_summaries_published_total"),
+            received: t.counter("aequus_uss_summaries_received_total"),
+            h_ingest: t.histogram("aequus_uss_ingest_s"),
+            h_publish: t.histogram("aequus_uss_publish_s"),
+            h_receive: t.histogram("aequus_uss_receive_s"),
+        }
+    }
+}
 
 /// Per-site usage statistics service.
 #[derive(Debug, Clone)]
@@ -32,6 +60,8 @@ pub struct Uss {
     /// Users whose usage changed since the UMS last drained this service —
     /// the head of the incremental dirty-set flow USS → UMS → FCS.
     dirty: DirtySet,
+    /// Telemetry handles (no-ops until wired).
+    metrics: UssMetrics,
 }
 
 impl Uss {
@@ -46,7 +76,19 @@ impl Uss {
             records_ingested: 0,
             summaries_received: 0,
             dirty: DirtySet::new(),
+            metrics: UssMetrics::default(),
         }
+    }
+
+    /// Wire this service into a telemetry registry; pass
+    /// [`Telemetry::disabled`] to detach.
+    pub fn set_telemetry(&mut self, t: &Telemetry) {
+        self.metrics = UssMetrics::wire(t);
+    }
+
+    /// Duration of one usage-histogram slot in seconds.
+    pub fn slot_duration(&self) -> f64 {
+        self.local.slot_duration()
     }
 
     /// The owning site.
@@ -61,12 +103,14 @@ impl Uss {
 
     /// Ingest a locally completed job's usage record.
     pub fn ingest(&mut self, rec: &UsageRecord) {
+        let _span = self.metrics.h_ingest.start_timer();
         debug_assert_eq!(rec.site, self.site, "record routed to wrong site");
         if rec.charge() > 0.0 {
             self.dirty.mark_user(rec.user.clone());
         }
         self.local.record(rec);
         self.records_ingested += 1;
+        self.metrics.ingested.inc();
     }
 
     /// Produce the next incremental summary for exchange: the *delta*
@@ -75,6 +119,7 @@ impl Uss {
     /// until it closes). Returns `None` when this site does not contribute
     /// usage data (read-only participation) or nothing new exists.
     pub fn publish(&mut self, now_s: f64) -> Option<UsageSummary> {
+        let _span = self.metrics.h_publish.start_timer();
         if !self.mode.contributes() {
             return None;
         }
@@ -105,6 +150,7 @@ impl Uss {
         if per_user.is_empty() {
             return None;
         }
+        self.metrics.published.inc();
         Some(UsageSummary {
             site: self.site,
             slot_s: self.local.slot_duration(),
@@ -115,6 +161,13 @@ impl Uss {
     /// Merge a summary received from a peer site. Ignored when this site does
     /// not read global data (contribute-only / local-only participation).
     pub fn receive(&mut self, summary: &UsageSummary) {
+        self.receive_at(summary, -1.0);
+    }
+
+    /// [`Uss::receive`] with a domain timestamp for the gossip-merge event
+    /// (the sim engine knows the delivery time; plain `receive` does not).
+    pub fn receive_at(&mut self, summary: &UsageSummary, now_s: f64) {
+        let _span = self.metrics.h_receive.start_timer();
         if !self.mode.reads_global() {
             return;
         }
@@ -126,6 +179,14 @@ impl Uss {
         }
         self.remote.merge_summary(summary);
         self.summaries_received += 1;
+        self.metrics.received.inc();
+        self.metrics.telemetry.event(now_s, "uss.gossip_merge", || {
+            format!(
+                "merged summary from site {} ({} users)",
+                summary.site.0,
+                summary.per_user.len()
+            )
+        });
     }
 
     /// Per-user decayed usage as the UMS consumes it: local plus (when the

@@ -9,6 +9,7 @@ use aequus_rms::{
     SlurmConfig, SlurmScheduler,
 };
 use aequus_services::AequusSite;
+use aequus_telemetry::Telemetry;
 use aequus_workload::TraceJob;
 
 /// The RMS front end of a cluster.
@@ -75,6 +76,9 @@ pub struct SimCluster {
     pub rms: Rms,
     /// The local Aequus installation.
     pub site: AequusSite,
+    /// Per-site telemetry domain: every service of this cluster's stack
+    /// plus its RMS report into it (disabled unless the scenario opts in).
+    pub telemetry: Telemetry,
     next_job: u64,
 }
 
@@ -105,7 +109,13 @@ impl SimCluster {
         }
         let nodes = NodePool::new(spec.nodes, spec.cores_per_node);
         let site_id = SiteId(index as u32);
-        let rms = match spec.rms {
+        let telemetry = if scenario.telemetry {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        };
+        site.set_telemetry(&telemetry);
+        let mut rms = match spec.rms {
             RmsKind::Slurm => Rms::Slurm(SlurmScheduler::new(
                 site_id,
                 nodes,
@@ -124,9 +134,14 @@ impl SimCluster {
                 },
             )),
         };
+        match &mut rms {
+            Rms::Slurm(s) => s.core_mut().set_telemetry(&telemetry),
+            Rms::Maui(m) => m.core_mut().set_telemetry(&telemetry),
+        }
         Self {
             rms,
             site,
+            telemetry,
             next_job: (index as u64) << 40, // disjoint id spaces per cluster
         }
     }
@@ -157,9 +172,10 @@ impl SimCluster {
         self.site.take_outbox()
     }
 
-    /// Deliver a peer summary.
-    pub fn deliver(&mut self, summary: &UsageSummary) {
-        self.site.receive_summary(summary);
+    /// Deliver a peer summary at `now_s` (the gossip-merge telemetry event
+    /// carries the delivery time).
+    pub fn deliver(&mut self, summary: &UsageSummary, now_s: f64) {
+        self.site.receive_summary_at(summary, now_s);
     }
 }
 

@@ -40,6 +40,9 @@ pub struct Sample {
     /// Cumulative subtree-aggregate recomputations across all sites — the
     /// work metric the incremental engine minimizes.
     pub fcs_nodes_recomputed: u64,
+    /// Per-site telemetry registry snapshots, in cluster order. Empty when
+    /// the scenario runs without telemetry.
+    pub site_telemetry: Vec<aequus_telemetry::Snapshot>,
 }
 
 /// The full metrics log of one simulation run.
@@ -281,6 +284,7 @@ mod tests {
             fcs_full_refreshes: 0,
             fcs_incremental_refreshes: 0,
             fcs_nodes_recomputed: 0,
+            site_telemetry: vec![],
         }
     }
 
@@ -374,6 +378,7 @@ mod tests {
             fcs_full_refreshes: 0,
             fcs_incremental_refreshes: 0,
             fcs_nodes_recomputed: 0,
+            site_telemetry: vec![],
         });
         assert!(log.balance_windows(0.1).is_empty());
         assert_eq!(log.active_balance_windows(0.1), vec![(0.0, 0.0)]);

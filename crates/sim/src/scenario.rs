@@ -77,6 +77,10 @@ pub struct GridScenario {
     pub seed: u64,
     /// Failure injection.
     pub faults: FaultPlan,
+    /// Enable telemetry: per-site metric registries, stage spans, structured
+    /// events, and the end-to-end pipeline-delay tracer. Off by default —
+    /// disabled telemetry compiles to no-op handles on every hot path.
+    pub telemetry: bool,
 }
 
 impl GridScenario {
@@ -112,6 +116,7 @@ impl GridScenario {
             usage_slot_s: 60.0,
             seed,
             faults: FaultPlan::none(),
+            telemetry: false,
         }
     }
 
@@ -143,6 +148,13 @@ impl GridScenario {
     /// tree with a mounted grid sub-policy.
     pub fn with_policy(mut self, policy: PolicyTree) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Enable per-site telemetry (metric registries, spans, events, and the
+    /// pipeline-delay tracer).
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = true;
         self
     }
 

@@ -1,0 +1,115 @@
+//! A bounded ring buffer of recent notable events — cache evictions, forced
+//! full rebuilds, gossip merges. Keeps the last N events; older ones are
+//! dropped (counted), so the buffer's footprint is fixed no matter how long
+//! a deployment runs.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One structured event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TelemetryEvent {
+    /// Simulated/domain time of the event in seconds; `-1.0` when the
+    /// emitting call site has no clock (e.g. PDS policy edits).
+    pub t_s: f64,
+    /// Dot-separated event kind, e.g. `"fcs.full_rebuild"`.
+    pub kind: &'static str,
+    /// Free-form human-readable detail.
+    pub detail: String,
+}
+
+/// The bounded event ring.
+#[derive(Debug)]
+pub struct EventRing {
+    cap: usize,
+    buf: Mutex<VecDeque<TelemetryEvent>>,
+    dropped: AtomicU64,
+}
+
+impl EventRing {
+    /// Create a ring holding at most `cap` events (minimum 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self {
+            cap,
+            buf: Mutex::new(VecDeque::with_capacity(cap)),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Append an event, evicting the oldest when full.
+    pub fn push(&self, ev: TelemetryEvent) {
+        let mut buf = self.buf.lock().expect("event ring poisoned");
+        if buf.len() == self.cap {
+            buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(ev);
+    }
+
+    /// The retained events, oldest first.
+    pub fn recent(&self) -> Vec<TelemetryEvent> {
+        self.buf
+            .lock()
+            .expect("event ring poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Events evicted so far because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: usize) -> TelemetryEvent {
+        TelemetryEvent {
+            t_s: i as f64,
+            kind: "test.event",
+            detail: format!("event {i}"),
+        }
+    }
+
+    #[test]
+    fn wraparound_keeps_last_n() {
+        let ring = EventRing::new(4);
+        for i in 0..10 {
+            ring.push(ev(i));
+        }
+        let kept = ring.recent();
+        assert_eq!(kept.len(), 4);
+        assert_eq!(kept[0].t_s, 6.0, "oldest retained is event 6");
+        assert_eq!(kept[3].t_s, 9.0);
+        assert_eq!(ring.dropped(), 6);
+    }
+
+    #[test]
+    fn under_capacity_drops_nothing() {
+        let ring = EventRing::new(8);
+        ring.push(ev(0));
+        ring.push(ev(1));
+        assert_eq!(ring.recent().len(), 2);
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(ring.capacity(), 8);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let ring = EventRing::new(0);
+        ring.push(ev(0));
+        ring.push(ev(1));
+        assert_eq!(ring.recent().len(), 1);
+        assert_eq!(ring.recent()[0].t_s, 1.0);
+    }
+}

@@ -1,0 +1,407 @@
+//! Snapshot exporters: Prometheus text exposition and JSON, plus parsers
+//! for both so a scraped/archived snapshot can be loaded back (used by the
+//! bench harness and the round-trip tests). Hand-rolled — the telemetry
+//! crate carries no dependencies.
+//!
+//! Non-finite values (`+inf` from the histogram overflow bucket) are
+//! rendered as `inf` in Prometheus text (as the real exporter does) and as
+//! the JSON strings `"inf"` / `"-inf"` / `"nan"` so the JSON stays valid.
+
+use crate::hist::HistogramSnapshot;
+use crate::registry::Snapshot;
+use std::collections::BTreeMap;
+
+fn fmt_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-inf".to_string()
+    } else if v.is_nan() {
+        "nan".to_string()
+    } else {
+        // `{:?}` is the shortest representation that round-trips.
+        format!("{v:?}")
+    }
+}
+
+fn parse_f64(s: &str) -> Option<f64> {
+    match s {
+        "inf" | "+inf" => Some(f64::INFINITY),
+        "-inf" => Some(f64::NEG_INFINITY),
+        "nan" => Some(f64::NAN),
+        _ => s.parse().ok(),
+    }
+}
+
+/// Render `snap` in the Prometheus text exposition format. Histograms are
+/// exported as summaries: `<name>{quantile="…"}` series plus `_count`,
+/// `_sum`, and `_max`.
+pub fn to_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", fmt_f64(*v)));
+    }
+    for (name, h) in &snap.histograms {
+        out.push_str(&format!("# TYPE {name} summary\n"));
+        for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+            out.push_str(&format!("{name}{{quantile=\"{q}\"}} {}\n", fmt_f64(v)));
+        }
+        out.push_str(&format!("{name}_count {}\n", h.count));
+        out.push_str(&format!("{name}_sum {}\n", fmt_f64(h.sum)));
+        out.push_str(&format!("{name}_max {}\n", fmt_f64(h.max)));
+    }
+    out
+}
+
+/// Parse text produced by [`to_prometheus`] back into a [`Snapshot`].
+/// Returns `None` on any malformed line.
+pub fn from_prometheus(text: &str) -> Option<Snapshot> {
+    let mut snap = Snapshot::default();
+    // name -> declared type, from `# TYPE` comments.
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, ty) = rest.split_once(' ')?;
+            types.insert(name.to_string(), ty.to_string());
+            if ty == "summary" {
+                snap.histograms
+                    .insert(name.to_string(), HistogramSnapshot::default());
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ')?;
+        if let Some((name, labels)) = series.split_once('{') {
+            let q = labels
+                .strip_suffix("\"}")?
+                .strip_prefix("quantile=\"")?
+                .to_string();
+            let h = snap.histograms.get_mut(name)?;
+            let v = parse_f64(value)?;
+            match q.as_str() {
+                "0.5" => h.p50 = v,
+                "0.95" => h.p95 = v,
+                "0.99" => h.p99 = v,
+                _ => return None,
+            }
+            continue;
+        }
+        // Histogram component series or a plain counter/gauge.
+        if let Some(name) = series.strip_suffix("_count") {
+            if let Some(h) = snap.histograms.get_mut(name) {
+                h.count = value.parse().ok()?;
+                continue;
+            }
+        }
+        if let Some(name) = series.strip_suffix("_sum") {
+            if let Some(h) = snap.histograms.get_mut(name) {
+                h.sum = parse_f64(value)?;
+                continue;
+            }
+        }
+        if let Some(name) = series.strip_suffix("_max") {
+            if let Some(h) = snap.histograms.get_mut(name) {
+                h.max = parse_f64(value)?;
+                continue;
+            }
+        }
+        match types.get(series).map(String::as_str) {
+            Some("counter") => {
+                snap.counters
+                    .insert(series.to_string(), value.parse().ok()?);
+            }
+            Some("gauge") => {
+                snap.gauges.insert(series.to_string(), parse_f64(value)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(snap)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        fmt_f64(v)
+    } else {
+        format!("\"{}\"", fmt_f64(v))
+    }
+}
+
+/// Render `snap` as a JSON object with `counters`, `gauges`, and
+/// `histograms` members.
+pub fn to_json(snap: &Snapshot) -> String {
+    let mut out = String::from("{\"counters\":{");
+    let mut first = true;
+    for (name, v) in &snap.counters {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\"{}\":{v}", json_escape(name)));
+    }
+    out.push_str("},\"gauges\":{");
+    first = true;
+    for (name, v) in &snap.gauges {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\"{}\":{}", json_escape(name), json_f64(*v)));
+    }
+    out.push_str("},\"histograms\":{");
+    first = true;
+    for (name, h) in &snap.histograms {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\"{}\":{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            json_escape(name),
+            h.count,
+            json_f64(h.sum),
+            json_f64(h.max),
+            json_f64(h.p50),
+            json_f64(h.p95),
+            json_f64(h.p99),
+        ));
+    }
+    out.push_str("}}");
+    out
+}
+
+// --- A minimal JSON reader sufficient for `to_json` output. ---
+
+struct JsonReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonReader<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Option<()> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos)?;
+            self.pos += 1;
+            match b {
+                b'"' => return Some(out),
+                b'\\' => {
+                    let e = *self.bytes.get(self.pos)?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos..self.pos + 4)?;
+                            self.pos += 4;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                        }
+                        _ => return None,
+                    }
+                }
+                b => out.push(b as char),
+            }
+        }
+    }
+
+    /// A number, or one of the quoted non-finite markers.
+    fn number(&mut self) -> Option<f64> {
+        if self.peek() == Some(b'"') {
+            return parse_f64(&self.string()?);
+        }
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+    }
+
+    /// Visit each `"key": value` pair of an object, with `value` parsed by
+    /// `f`.
+    fn object(&mut self, mut f: impl FnMut(&mut Self, String) -> Option<()>) -> Option<()> {
+        self.eat(b'{')?;
+        if self.peek() == Some(b'}') {
+            return self.eat(b'}');
+        }
+        loop {
+            let key = self.string()?;
+            self.eat(b':')?;
+            f(self, key)?;
+            match self.peek()? {
+                b',' => self.eat(b',')?,
+                b'}' => return self.eat(b'}'),
+                _ => return None,
+            }
+        }
+    }
+}
+
+/// Parse JSON produced by [`to_json`] back into a [`Snapshot`]. Returns
+/// `None` on malformed input.
+pub fn from_json(text: &str) -> Option<Snapshot> {
+    let mut snap = Snapshot::default();
+    let mut r = JsonReader::new(text);
+    r.object(|r, section| match section.as_str() {
+        "counters" => r.object(|r, name| {
+            let v = r.number()?;
+            snap.counters.insert(name, v as u64);
+            Some(())
+        }),
+        "gauges" => r.object(|r, name| {
+            let v = r.number()?;
+            snap.gauges.insert(name, v);
+            Some(())
+        }),
+        "histograms" => r.object(|r, name| {
+            let mut h = HistogramSnapshot::default();
+            r.object(|r, field| {
+                let v = r.number()?;
+                match field.as_str() {
+                    "count" => h.count = v as u64,
+                    "sum" => h.sum = v,
+                    "max" => h.max = v,
+                    "p50" => h.p50 = v,
+                    "p95" => h.p95 = v,
+                    "p99" => h.p99 = v,
+                    _ => return None,
+                }
+                Some(())
+            })?;
+            snap.histograms.insert(name, h);
+            Some(())
+        }),
+        _ => None,
+    })?;
+    Some(snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_snapshot() -> Snapshot {
+        let r = Registry::new();
+        r.counter("aequus_uss_records_ingested_total").add(42);
+        r.counter("aequus_fcs_queries_total").add(7);
+        r.gauge("aequus_tracer_active").set(3.0);
+        let h = r.histogram("aequus_fcs_refresh_full_s");
+        h.record(0.5);
+        h.record(1.5);
+        h.record(4.0);
+        // An overflowing histogram exercises the inf paths.
+        r.histogram("aequus_overflow_s").record(1e12);
+        r.snapshot()
+    }
+
+    #[test]
+    fn prometheus_round_trips() {
+        let snap = sample_snapshot();
+        let text = to_prometheus(&snap);
+        assert!(text.contains("# TYPE aequus_fcs_queries_total counter"));
+        assert!(text.contains("aequus_fcs_refresh_full_s{quantile=\"0.99\"}"));
+        assert!(text.contains("aequus_overflow_s{quantile=\"0.5\"} inf"));
+        let back = from_prometheus(&text).expect("parse own output");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let snap = sample_snapshot();
+        let json = to_json(&snap);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"p99\":\"inf\""));
+        let back = from_json(&json).expect("parse own output");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = Snapshot::default();
+        assert_eq!(from_prometheus(&to_prometheus(&snap)).unwrap(), snap);
+        assert_eq!(from_json(&to_json(&snap)).unwrap(), snap);
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        assert!(from_prometheus("garbage with no type\n").is_none());
+        assert!(from_json("{\"counters\":").is_none());
+        assert!(from_json("not json").is_none());
+    }
+
+    #[test]
+    fn json_escapes_special_keys() {
+        let r = Registry::new();
+        r.counter("weird\"name\\with\nstuff").add(1);
+        let snap = r.snapshot();
+        let back = from_json(&to_json(&snap)).expect("escaped key round-trips");
+        assert_eq!(back, snap);
+    }
+}

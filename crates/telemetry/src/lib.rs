@@ -1,0 +1,283 @@
+//! Grid-wide telemetry for the Aequus stack.
+//!
+//! One [`Telemetry`] handle is threaded through every service of a site
+//! (USS, UMS, FCS, IRS, PDS, libaequus, the RMS scheduler) and through the
+//! sim engine. It bundles three facilities:
+//!
+//! * a lock-free **metric registry** ([`Registry`]) of named counters,
+//!   gauges, and log-bucketed histograms, snapshot-able at any time and
+//!   exportable as Prometheus text or JSON ([`export`]);
+//! * a bounded **event ring** ([`EventRing`]) holding the last N notable
+//!   events (cache evictions, forced full rebuilds, gossip merges);
+//! * the **pipeline-delay tracer** ([`tracer::PipelineTracer`]) measuring
+//!   the empirical §IV-A-2 usage-to-fairshare delay per stage.
+//!
+//! A disabled handle ([`Telemetry::disabled`]) reduces every operation to
+//! an `Option` check — no allocation, no clock reads, no locks — so
+//! instrumentation can stay unconditionally in place on hot paths.
+
+#![warn(missing_docs)]
+
+mod events;
+pub mod export;
+mod hist;
+mod registry;
+pub mod tracer;
+
+pub use events::{EventRing, TelemetryEvent};
+pub use hist::{Histogram, HistogramSnapshot, SpanTimer};
+pub use registry::{Counter, Gauge, Registry, Snapshot};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use tracer::{PipelineTracer, TracerConfig};
+
+#[derive(Debug)]
+struct Inner {
+    registry: Registry,
+    events: EventRing,
+    tracer: Mutex<PipelineTracer>,
+    /// Number of in-flight traces; lets the per-query `trace_*` fast paths
+    /// skip the tracer mutex entirely while nothing is being traced.
+    tracer_active: AtomicU64,
+}
+
+/// The cheap, cloneable telemetry handle. See the crate docs.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Telemetry {
+    /// A disabled handle: every operation is a no-op behind one branch.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// An enabled handle with default tracer sampling and event capacity.
+    pub fn enabled() -> Self {
+        Self::with_config(TracerConfig::default(), 256)
+    }
+
+    /// An enabled handle with explicit tracer configuration and event-ring
+    /// capacity.
+    pub fn with_config(cfg: TracerConfig, event_capacity: usize) -> Self {
+        let registry = Registry::new();
+        let tracer = PipelineTracer::new(cfg, &registry);
+        Self {
+            inner: Some(Arc::new(Inner {
+                registry,
+                events: EventRing::new(event_capacity),
+                tracer: Mutex::new(tracer),
+                tracer_active: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Get or create the counter `name` (a disabled handle on a disabled
+    /// `Telemetry`).
+    pub fn counter(&self, name: &str) -> Counter {
+        self.inner
+            .as_ref()
+            .map_or_else(Counter::default, |i| i.registry.counter(name))
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.inner
+            .as_ref()
+            .map_or_else(Gauge::default, |i| i.registry.gauge(name))
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.inner
+            .as_ref()
+            .map_or_else(Histogram::default, |i| i.registry.histogram(name))
+    }
+
+    /// Record a notable event. `detail` is only invoked when enabled, so
+    /// callers pay no formatting cost on disabled handles. `t_s` is the
+    /// domain time, or `-1.0` where the call site has no clock.
+    pub fn event(&self, t_s: f64, kind: &'static str, detail: impl FnOnce() -> String) {
+        if let Some(i) = &self.inner {
+            i.events.push(TelemetryEvent {
+                t_s,
+                kind,
+                detail: detail(),
+            });
+        }
+    }
+
+    /// The retained events, oldest first (empty when disabled).
+    pub fn recent_events(&self) -> Vec<TelemetryEvent> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |i| i.events.recent())
+    }
+
+    /// Events evicted from the ring so far.
+    pub fn events_dropped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.events.dropped())
+    }
+
+    /// Snapshot every registered metric; `None` when disabled.
+    pub fn snapshot(&self) -> Option<Snapshot> {
+        self.inner.as_ref().map(|i| i.registry.snapshot())
+    }
+
+    fn with_tracer(&self, f: impl FnOnce(&mut PipelineTracer)) {
+        if let Some(i) = &self.inner {
+            let mut tracer = i.tracer.lock().expect("tracer poisoned");
+            f(&mut tracer);
+            i.tracer_active
+                .store(tracer.active_count() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether any trace is currently in flight (always `false` when
+    /// disabled). The per-query tracer hooks use this to skip the mutex.
+    fn tracer_is_idle(&self) -> bool {
+        match &self.inner {
+            None => true,
+            Some(i) => i.tracer_active.load(Ordering::Relaxed) == 0,
+        }
+    }
+
+    /// Tracer stage 0: the RMS reported job `job` of `user` at `now_s`.
+    pub fn trace_report(&self, job: u64, user: &str, now_s: f64) {
+        self.with_tracer(|t| {
+            t.on_report(job, user, now_s);
+        });
+    }
+
+    /// Tracer stage I: job `job`'s record was ingested by the USS; its
+    /// charge ends in histogram slot `end_slot`.
+    pub fn trace_ingest(&self, job: u64, end_slot: u64, now_s: f64) {
+        if self.tracer_is_idle() {
+            return;
+        }
+        self.with_tracer(|t| t.on_ingest(job, end_slot, now_s));
+    }
+
+    /// Tracer stage II-a: the USS published a summary for `users` while in
+    /// slot `current_slot`.
+    pub fn trace_publish(&self, users: &[&str], current_slot: u64, now_s: f64) {
+        if self.tracer_is_idle() {
+            return;
+        }
+        self.with_tracer(|t| t.on_publish(users, current_slot, now_s));
+    }
+
+    /// Tracer stage II-b: a UMS refresh actually ran at `now_s`.
+    pub fn trace_ums_refresh(&self, now_s: f64) {
+        if self.tracer_is_idle() {
+            return;
+        }
+        self.with_tracer(|t| t.on_ums_refresh(now_s));
+    }
+
+    /// Tracer stage II-c: an FCS refresh actually ran at `now_s`.
+    pub fn trace_fcs_refresh(&self, now_s: f64) {
+        if self.tracer_is_idle() {
+            return;
+        }
+        self.with_tracer(|t| t.on_fcs_refresh(now_s));
+    }
+
+    /// Tracer stage III: a libaequus query for `user` was answered with a
+    /// value fetched from the FCS at `served_fetch_s`.
+    pub fn trace_lib_query(&self, user: &str, served_fetch_s: f64, now_s: f64) {
+        if self.tracer_is_idle() {
+            return;
+        }
+        self.with_tracer(|t| t.on_lib_query(user, served_fetch_s, now_s));
+    }
+
+    /// Number of traces currently in flight.
+    pub fn traces_active(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.tracer_active.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        t.counter("c").inc();
+        t.gauge("g").set(1.0);
+        t.histogram("h").record(1.0);
+        t.event(0.0, "x", || unreachable!("detail closure must not run"));
+        t.trace_report(1, "u", 0.0);
+        t.trace_ingest(1, 0, 1.0);
+        assert!(t.snapshot().is_none());
+        assert!(t.recent_events().is_empty());
+        assert_eq!(t.traces_active(), 0);
+    }
+
+    #[test]
+    fn enabled_handle_records_and_snapshots() {
+        let t = Telemetry::enabled();
+        t.counter("aequus_test_total").add(3);
+        t.histogram("aequus_test_s").record(0.25);
+        t.event(12.0, "test.ev", || "hello".into());
+        let snap = t.snapshot().expect("enabled");
+        assert_eq!(snap.counters["aequus_test_total"], 3);
+        assert_eq!(snap.histograms["aequus_test_s"].count, 1);
+        assert_eq!(t.recent_events().len(), 1);
+        assert_eq!(t.recent_events()[0].kind, "test.ev");
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = Telemetry::enabled();
+        let u = t.clone();
+        t.counter("shared").inc();
+        u.counter("shared").inc();
+        assert_eq!(t.snapshot().unwrap().counters["shared"], 2);
+    }
+
+    #[test]
+    fn trace_chain_through_the_facade() {
+        let t = Telemetry::with_config(
+            TracerConfig {
+                sample_every: 1,
+                max_active: 8,
+            },
+            16,
+        );
+        t.trace_report(7, "alice", 100.0);
+        assert_eq!(t.traces_active(), 1);
+        t.trace_ingest(7, 1, 110.0);
+        t.trace_ums_refresh(160.0);
+        t.trace_fcs_refresh(170.0);
+        t.trace_lib_query("alice", 175.0, 180.0);
+        t.trace_publish(&["alice"], 2, 190.0);
+        assert_eq!(t.traces_active(), 0, "finished trace retired");
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.histograms["aequus_tracer_end_to_end_s"].count, 1);
+        assert_eq!(snap.histograms["aequus_tracer_end_to_end_s"].max, 80.0);
+        assert_eq!(snap.counters["aequus_tracer_completed_total"], 1);
+    }
+
+    #[test]
+    fn idle_fast_path_skips_marking() {
+        let t = Telemetry::enabled();
+        // No trace in flight: stage marks are cheap no-ops.
+        t.trace_ums_refresh(10.0);
+        t.trace_lib_query("nobody", 0.0, 10.0);
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.histograms["aequus_tracer_ums_delay_s"].count, 0);
+    }
+}

@@ -11,6 +11,8 @@
 //!   synthetic trace generation.
 //! * [`aequus_stats`] — the statistics substrate (18 distributions, BIC,
 //!   KS, ACF).
+//! * [`aequus_telemetry`] — metric registry, stage spans, event ring, and
+//!   the empirical pipeline-delay tracer (see DESIGN.md, Observability).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -21,4 +23,5 @@ pub use aequus_rms as rms;
 pub use aequus_services as services;
 pub use aequus_sim as sim;
 pub use aequus_stats as stats;
+pub use aequus_telemetry as telemetry;
 pub use aequus_workload as workload;

@@ -1,0 +1,116 @@
+//! End-to-end observability: an instrumented grid run must produce a
+//! registry snapshot covering every service boundary, the pipeline-delay
+//! tracer must respect the configured §IV-A-2 worst case, and both
+//! exporters must round-trip the full snapshot losslessly.
+
+use aequus::sim::{GridScenario, GridSimulation};
+use aequus::telemetry::export;
+use aequus::workload::users::baseline_policy_shares;
+use aequus::workload::{Trace, TraceJob};
+
+fn sustained_trace(n: usize) -> Trace {
+    Trace::new(
+        (0..n)
+            .map(|i| TraceJob {
+                user: ["U65", "U30", "U3", "Uoth"][i % 4].to_string(),
+                submit_s: i as f64 * 10.0,
+                duration_s: 30.0,
+                cores: 1,
+            })
+            .collect(),
+    )
+}
+
+fn small_instrumented_scenario() -> GridScenario {
+    let mut sc = GridScenario::national_testbed(&baseline_policy_shares(), 7).with_telemetry();
+    sc.clusters.truncate(2);
+    for c in &mut sc.clusters {
+        c.nodes = 4;
+    }
+    sc
+}
+
+#[test]
+fn instrumented_run_covers_every_stage_and_exporters_round_trip() {
+    let sc = small_instrumented_scenario();
+    let bound = sc.timings.worst_case_pipeline_s();
+    let result = GridSimulation::new(sc).run(&sustained_trace(160), 2000.0);
+
+    assert_eq!(result.site_telemetry.len(), 2);
+    let snap = &result.site_telemetry[0];
+
+    // Every instrumented service boundary appears in the snapshot.
+    for counter in [
+        "aequus_uss_records_ingested_total",
+        "aequus_uss_summaries_published_total",
+        "aequus_uss_summaries_received_total",
+        "aequus_ums_refreshes_total",
+        "aequus_fcs_refreshes_total",
+        "aequus_fcs_queries_total",
+        "aequus_irs_lookups_total",
+        "aequus_lib_fairshare_hits_total",
+        "aequus_lib_identity_hits_total",
+        "aequus_rms_submitted_total",
+        "aequus_rms_started_total",
+        "aequus_tracer_sampled_total",
+    ] {
+        assert!(snap.counters.contains_key(counter), "missing {counter}");
+    }
+    for hist in [
+        "aequus_uss_ingest_s",
+        "aequus_uss_publish_s",
+        "aequus_uss_receive_s",
+        "aequus_ums_refresh_s",
+        "aequus_fcs_refresh_full_s",
+        "aequus_fcs_refresh_incremental_s",
+        "aequus_fcs_query_s",
+        "aequus_irs_resolve_s",
+        "aequus_rms_reprioritize_s",
+        "aequus_rms_dispatch_s",
+        "aequus_tracer_end_to_end_s",
+    ] {
+        assert!(snap.histograms.contains_key(hist), "missing {hist}");
+    }
+
+    // Work actually flowed through the pipeline.
+    assert!(snap.counters["aequus_uss_records_ingested_total"] > 0);
+    assert!(snap.counters["aequus_tracer_completed_total"] > 0);
+
+    // The measured end-to-end delay respects the configured worst case
+    // (quantiles overestimate by at most one sub-bucket, 6.25%).
+    let e2e = &snap.histograms["aequus_tracer_end_to_end_s"];
+    assert!(e2e.count > 0);
+    assert!(
+        e2e.p99 <= bound * 1.0625 + 1e-9,
+        "e2e p99 {} vs bound {bound}",
+        e2e.p99
+    );
+
+    // Both exporters round-trip the full snapshot.
+    let prom = snap.to_prometheus();
+    assert_eq!(export::from_prometheus(&prom).as_ref(), Some(snap));
+    let json = snap.to_json();
+    assert_eq!(export::from_json(&json).as_ref(), Some(snap));
+
+    // The rendered forms actually carry the stage metrics by name.
+    assert!(prom.contains("aequus_tracer_end_to_end_s{quantile=\"0.99\"}"));
+    assert!(json.contains("\"aequus_fcs_refresh_full_s\""));
+}
+
+#[test]
+fn disabled_telemetry_yields_nothing_and_changes_nothing() {
+    let mut sc = small_instrumented_scenario();
+    sc.telemetry = false;
+    let on = GridSimulation::new(small_instrumented_scenario()).run(&sustained_trace(40), 1500.0);
+    let off = GridSimulation::new(sc).run(&sustained_trace(40), 1500.0);
+
+    assert!(off.site_telemetry.is_empty());
+    assert!(off.engine_telemetry.is_none());
+    // Observation must not perturb the simulation itself.
+    assert_eq!(on.total_completed(), off.total_completed());
+    assert_eq!(on.metrics.samples().len(), off.metrics.samples().len());
+    for (a, b) in on.metrics.samples().iter().zip(off.metrics.samples()) {
+        assert_eq!(a.utilization, b.utilization);
+        assert_eq!(a.users, b.users);
+    }
+}
