@@ -5,7 +5,12 @@ cd "$(dirname "$0")"
 
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
-cargo test -q --workspace
+# Tier-1 tests under a 3-seed matrix: AEQUUS_TEST_SEED shifts every seeded
+# suite — the chaos fault matrix's base seed and all property-test case
+# generation — so the gate covers three seed families per run.
+for seed in 1 2 3; do
+  AEQUUS_TEST_SEED="$seed" cargo test -q --workspace
+done
 
 # Docs must build warning-free for the first-party crates (vendored shims
 # are exempt — they mirror external APIs we don't own).

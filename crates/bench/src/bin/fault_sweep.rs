@@ -1,0 +1,43 @@
+//! Reliability fault sweep: convergence of cross-site usage views vs the
+//! exchange drop rate. For each drop probability the run measures when every
+//! site's per-user view of grid usage settles to the same values (within
+//! 1e-6 core-seconds) and how much retry / gap / resync / snapshot traffic
+//! the reliability layer spent getting there. The 0% row doubles as the
+//! regression baseline: it must show zero protocol traffic.
+
+use aequus_bench::{jobs_arg, run_fault_sweep};
+
+fn main() {
+    let jobs = jobs_arg(4000);
+    let drops = [0.0, 0.05, 0.10, 0.20, 0.30];
+    let points = run_fault_sweep(jobs, &drops, 42);
+
+    println!("# Fault sweep: view convergence vs exchange drop rate ({jobs} jobs, seed 42)");
+    println!(
+        "{:<8} {:>14} {:>10} {:>10} {:>10} {:>10} {:>16}",
+        "drop", "converged_at_s", "retries", "seq_gaps", "resyncs", "snapshots", "final_div_cs"
+    );
+    for p in &points {
+        let conv = p
+            .convergence_s
+            .map(|t| format!("{t:.0}"))
+            .unwrap_or_else(|| "never".to_string());
+        println!(
+            "{:<8} {:>14} {:>10} {:>10} {:>10} {:>10} {:>16.3e}",
+            format!("{:.0}%", p.drop_probability * 100.0),
+            conv,
+            p.retries,
+            p.seq_gaps,
+            p.resyncs,
+            p.snapshots,
+            p.final_divergence,
+        );
+    }
+    if let Some(clean) = points.first() {
+        assert_eq!(
+            (clean.retries, clean.resyncs, clean.snapshots),
+            (0, 0, 0),
+            "faults-disabled run must show zero reliability traffic"
+        );
+    }
+}

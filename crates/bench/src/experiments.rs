@@ -147,6 +147,7 @@ pub fn run_with_faults(jobs: usize, drop_probability: f64, seed: u64) -> SimResu
             from_s: 3600.0,
             to_s: 7200.0,
         }],
+        crashes: vec![],
     };
     let trace = baseline_trace(jobs, seed);
     GridSimulation::new(scenario).run(&trace, 1800.0)
@@ -170,6 +171,89 @@ pub fn steady_utilization(result: &SimResult, lo_frac: f64, hi_frac: f64) -> f64
     } else {
         in_window.iter().sum::<f64>() / in_window.len() as f64
     }
+}
+
+/// One measured point of the reliability fault sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSweepPoint {
+    /// Per-delivery drop probability injected into the exchange transport.
+    pub drop_probability: f64,
+    /// Earliest time from which all site usage views stay within 1e-6 of
+    /// each other through the end of the run (`None` = never converged).
+    pub convergence_s: Option<f64>,
+    /// Run end (submit horizon + drain).
+    pub end_s: f64,
+    /// Total reliability-layer retransmissions across all sites.
+    pub retries: u64,
+    /// Sequence gaps receivers detected.
+    pub seq_gaps: u64,
+    /// Anti-entropy range pulls issued.
+    pub resyncs: u64,
+    /// Cumulative-snapshot fallbacks (history compacted past the gap).
+    pub snapshots: u64,
+    /// Cross-site view divergence at the final sample (core-seconds).
+    pub final_divergence: f64,
+}
+
+/// Sweep the exchange drop rate and measure how long the reliability layer
+/// (ack/retry/backoff + anti-entropy) takes to re-converge every site's view
+/// of grid usage, plus the protocol traffic it took to get there.
+///
+/// The workload is bounded on purpose: views can only fully agree once the
+/// grid quiesces, so — unlike the paper-trace baselines with their
+/// heavy-tailed durations — the sweep uses fixed-length jobs over a 3 h
+/// horizon and drains long past the last completion, publish interval, and
+/// retry backoff. Convergence time then measures the *protocol*, not
+/// workload stragglers.
+pub fn run_fault_sweep(jobs: usize, drop_rates: &[f64], seed: u64) -> Vec<FaultSweepPoint> {
+    use aequus_workload::TraceJob;
+    let horizon_s = 10_800.0;
+    let users = ["U65", "U30", "U3", "Uoth"];
+    let trace = Trace::new(
+        (0..jobs)
+            .map(|i| TraceJob {
+                user: users[i % users.len()].to_string(),
+                submit_s: i as f64 * horizon_s / jobs.max(1) as f64,
+                duration_s: 180.0 + 60.0 * (i % 4) as f64,
+                cores: 1,
+            })
+            .collect(),
+    );
+    drop_rates
+        .iter()
+        .map(|&drop_probability| {
+            let mut scenario =
+                GridScenario::national_testbed(&baseline_policy_shares(), seed).with_telemetry();
+            scenario.faults = FaultPlan {
+                drop_probability,
+                outages: vec![],
+                crashes: vec![],
+            };
+            let result = GridSimulation::new(scenario).run(&trace, 3600.0);
+            let total = |name: &str| -> u64 {
+                result
+                    .site_telemetry
+                    .iter()
+                    .map(|s| s.counters.get(name).copied().unwrap_or(0))
+                    .sum()
+            };
+            FaultSweepPoint {
+                drop_probability,
+                convergence_s: result.metrics.view_convergence_time(1e-6),
+                end_s: result.end_s,
+                retries: total("aequus_uss_retries_total"),
+                seq_gaps: total("aequus_uss_seq_gaps_total"),
+                resyncs: total("aequus_uss_resyncs_total"),
+                snapshots: total("aequus_uss_snapshots_total"),
+                final_divergence: result
+                    .metrics
+                    .samples()
+                    .last()
+                    .map(|s| s.usage_view_divergence)
+                    .unwrap_or(f64::NAN),
+            }
+        })
+        .collect()
 }
 
 /// Parse the first CLI argument as a job count, defaulting to `default`

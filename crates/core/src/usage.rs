@@ -91,6 +91,24 @@ impl UsageHistogram {
         }
     }
 
+    /// Add `charge` core-seconds to one (user, slot) cell. This is the
+    /// receiver-side primitive of the reliable exchange: the USS computes the
+    /// positive delta of an incoming cell against its per-peer mirror and
+    /// applies exactly that, so duplicated or reordered deliveries never
+    /// double-count. Non-positive charges are ignored.
+    pub fn add_charge(&mut self, user: &GridUser, slot: u64, charge: f64) {
+        if charge <= 0.0 {
+            return;
+        }
+        *self
+            .slots
+            .entry(user.clone())
+            .or_default()
+            .entry(slot)
+            .or_insert(0.0) += charge;
+        self.total += charge;
+    }
+
     /// Merge a compact per-user summary from another site.
     pub fn merge_summary(&mut self, summary: &UsageSummary) {
         for (user, slots) in &summary.per_user {
@@ -167,6 +185,7 @@ impl UsageHistogram {
     pub fn summary(&self, site: SiteId, since_slot: u64) -> UsageSummary {
         UsageSummary {
             site,
+            seq: 0,
             slot_s: self.slot_s,
             per_user: self
                 .slots
@@ -192,13 +211,25 @@ impl UsageHistogram {
 }
 
 /// Compact per-user usage totals exchanged between sites' USS services.
+///
+/// Summaries produced by the reliable exchange carry **absolute** cumulative
+/// charge per included (user, slot) cell — not deltas. Per-cell charge is
+/// monotone non-decreasing at the publisher, so receivers merge by taking
+/// the positive difference against a per-peer mirror, which makes retries,
+/// duplicates, reordering, and snapshot catch-up all idempotent.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct UsageSummary {
     /// Originating site.
     pub site: SiteId,
+    /// Per-publisher monotonically increasing sequence number, 1-based.
+    /// `0` marks an unsequenced summary (ad-hoc construction outside the
+    /// reliable exchange, e.g. [`UsageHistogram::summary`]); receivers merge
+    /// it but skip gap tracking.
+    pub seq: u64,
     /// Slot duration the totals are binned with.
     pub slot_s: f64,
-    /// Per-user charge per slot index.
+    /// Per-user charge per slot index (absolute cumulative values in the
+    /// reliable exchange; see the struct docs).
     pub per_user: BTreeMap<GridUser, BTreeMap<u64, f64>>,
 }
 
@@ -324,5 +355,16 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_slot_panics() {
         UsageHistogram::new(0.0);
+    }
+
+    #[test]
+    fn add_charge_updates_cell_and_total() {
+        let mut h = UsageHistogram::new(60.0);
+        h.add_charge(&GridUser::new("a"), 3, 25.0);
+        h.add_charge(&GridUser::new("a"), 3, 5.0);
+        h.add_charge(&GridUser::new("a"), 4, -1.0); // ignored
+        h.add_charge(&GridUser::new("a"), 4, 0.0); // ignored
+        assert!((h.raw_usage(&GridUser::new("a")) - 30.0).abs() < 1e-12);
+        assert!((h.total_recorded() - 30.0).abs() < 1e-12);
     }
 }

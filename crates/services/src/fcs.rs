@@ -146,6 +146,20 @@ impl Fcs {
         self.force_full = true;
     }
 
+    /// Site crash: drop the volatile fairshare state — the precomputed tree
+    /// and every projected factor. The user interner survives (ids are
+    /// handed out to the RMS and must stay stable across restarts; on a real
+    /// deployment it would be persisted alongside the accounting database),
+    /// as do the monotone refresh counters. The next refresh rebuilds from
+    /// scratch.
+    pub fn reset(&mut self) {
+        self.tree = None;
+        self.factors.clear();
+        self.factor_slots.iter_mut().for_each(|v| *v = f64::NAN);
+        self.last_refresh_s = None;
+        self.force_full = true;
+    }
+
     /// The active projection algorithm.
     pub fn projection_kind(&self) -> ProjectionKind {
         self.projection_kind

@@ -29,6 +29,7 @@ pub mod irs;
 pub mod libaequus;
 pub mod participation;
 pub mod pds;
+pub mod reliability;
 pub mod site;
 pub mod timings;
 pub mod ums;
@@ -39,6 +40,7 @@ pub use irs::Irs;
 pub use libaequus::LibAequus;
 pub use participation::ParticipationMode;
 pub use pds::Pds;
+pub use reliability::{JitterRng, RetryPolicy, StalePolicy, UssMessage};
 pub use site::AequusSite;
 pub use timings::ServiceTimings;
 pub use ums::Ums;

@@ -77,6 +77,12 @@ pub struct LibAequus {
     /// the scheduler hot path. Slots are `(value, fetched_at)`.
     fairshare_id_cache: Vec<Option<(f64, f64)>>,
     identity_cache: BTreeMap<SystemUser, (Option<GridUser>, f64)>,
+    /// Degraded mode (backing services crashed or unreachable): cached
+    /// values are served past their TTL instead of querying out. This is the
+    /// client library's graceful-degradation half of the stale-data policy —
+    /// the library lives inside the RMS process and keeps answering from
+    /// whatever it has.
+    degraded: bool,
     /// Fairshare query cache statistics.
     pub fairshare_stats: CacheStats,
     /// Identity resolution cache statistics.
@@ -94,6 +100,7 @@ impl LibAequus {
             fairshare_cache: BTreeMap::new(),
             fairshare_id_cache: Vec::new(),
             identity_cache: BTreeMap::new(),
+            degraded: false,
             fairshare_stats: CacheStats::default(),
             identity_stats: CacheStats::default(),
             metrics: LibMetrics::default(),
@@ -106,12 +113,25 @@ impl LibAequus {
         self.metrics = LibMetrics::wire(t);
     }
 
+    /// Enter or leave degraded mode. While degraded, fairshare and identity
+    /// queries serve cached entries regardless of TTL (stale answers beat no
+    /// answers during a site crash); cold misses still fall through to the
+    /// (possibly reset) services.
+    pub fn set_degraded(&mut self, degraded: bool) {
+        self.degraded = degraded;
+    }
+
+    /// Whether degraded (serve-past-TTL) mode is active.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
     /// Fetch the global fairshare factor for `user`, serving from the cache
     /// when fresh. Users unknown to the policy get the neutral factor 0.5
     /// (the balance point) so other priority factors still apply.
     pub fn get_fairshare(&mut self, fcs: &Fcs, user: &GridUser, now_s: f64) -> f64 {
         if let Some(&(value, at)) = self.fairshare_cache.get(user) {
-            if now_s - at < self.fairshare_ttl_s {
+            if self.degraded || now_s - at < self.fairshare_ttl_s {
                 self.fairshare_stats.hits += 1;
                 self.metrics.fs_hits.inc();
                 self.metrics
@@ -143,7 +163,7 @@ impl LibAequus {
     /// hot path. Same TTL-cache semantics, same neutral-factor fallback.
     pub fn get_fairshare_by_id(&mut self, fcs: &Fcs, id: UserId, now_s: f64) -> f64 {
         if let Some(Some((value, at))) = self.fairshare_id_cache.get(id.index()) {
-            if now_s - at < self.fairshare_ttl_s {
+            if self.degraded || now_s - at < self.fairshare_ttl_s {
                 let (value, at) = (*value, *at);
                 self.fairshare_stats.hits += 1;
                 self.metrics.fs_hits.inc();
@@ -190,7 +210,7 @@ impl LibAequus {
         now_s: f64,
     ) -> Option<GridUser> {
         if let Some((cached, at)) = self.identity_cache.get(system) {
-            if now_s - at < self.identity_ttl_s {
+            if self.degraded || now_s - at < self.identity_ttl_s {
                 self.identity_stats.hits += 1;
                 self.metrics.id_hits.inc();
                 return cached.clone();
@@ -367,6 +387,22 @@ mod tests {
         assert_eq!(snap.counters["aequus_lib_identity_misses_total"], 1);
         assert_eq!(snap.counters["aequus_lib_identity_hits_total"], 0);
         assert_eq!(snap.counters["aequus_lib_fairshare_evictions_total"], 0);
+    }
+
+    #[test]
+    fn degraded_mode_serves_expired_entries() {
+        let fcs = fcs_fixture();
+        let mut lib = LibAequus::new(10.0, 60.0);
+        let v = lib.get_fairshare(&fcs, &GridUser::new("a"), 0.0);
+        // Far past the TTL, a healthy library re-fetches — a degraded one
+        // keeps serving the stale value without touching the FCS.
+        lib.set_degraded(true);
+        assert_eq!(lib.get_fairshare(&fcs, &GridUser::new("a"), 1e6), v);
+        assert_eq!(lib.fairshare_stats.hits, 1, "served from stale cache");
+        // Leaving degraded mode restores normal TTL behavior.
+        lib.set_degraded(false);
+        lib.get_fairshare(&fcs, &GridUser::new("a"), 1e6);
+        assert_eq!(lib.fairshare_stats.misses, 2);
     }
 
     #[test]

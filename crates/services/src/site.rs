@@ -8,6 +8,7 @@ use crate::irs::Irs;
 use crate::libaequus::LibAequus;
 use crate::participation::ParticipationMode;
 use crate::pds::Pds;
+use crate::reliability::{RetryPolicy, StalePolicy, UssMessage};
 use crate::timings::ServiceTimings;
 use crate::ums::Ums;
 use crate::uss::Uss;
@@ -120,6 +121,63 @@ impl AequusSite {
         self.lib.resolve_identity(&mut self.irs, system, now_s)
     }
 
+    /// Register the site's exchange peers and reliability configuration
+    /// (see [`Uss::set_peers`]). `jitter_seed` decorrelates retry timing
+    /// across sites deterministically.
+    pub fn configure_exchange(
+        &mut self,
+        tx_peers: &[SiteId],
+        rx_peers: &[SiteId],
+        retry: RetryPolicy,
+        stale_policy: StalePolicy,
+        jitter_seed: u64,
+    ) {
+        self.uss.set_peers(tx_peers, rx_peers);
+        self.uss.configure_reliability(retry, jitter_seed);
+        self.uss.set_stale_policy(stale_policy);
+    }
+
+    /// Drain every reliable-exchange message due at `now_s` (fresh sends,
+    /// backoff-expired retries, crash catch-up requests), addressed per peer.
+    pub fn poll_messages(&mut self, now_s: f64) -> Vec<(SiteId, UssMessage)> {
+        self.uss.poll(now_s)
+    }
+
+    /// Deliver one reliable-exchange message, returning the responses to
+    /// route back (acks, resync pulls, resync answers, snapshots).
+    pub fn deliver_message(&mut self, msg: &UssMessage, now_s: f64) -> Vec<(SiteId, UssMessage)> {
+        self.uss.receive_message(msg, now_s)
+    }
+
+    /// Site crash: wipe all volatile service state — the USS exchange state
+    /// and remote view, the UMS usage cache, and the FCS fairshare tree. The
+    /// USS local histogram survives (accounting database), as do in-flight
+    /// usage reports (the RMS-side spool redelivers them) and the libaequus
+    /// client caches (the library lives inside the RMS process, which is
+    /// modeled as staying up and serving stale values while degraded).
+    pub fn crash(&mut self, now_s: f64) {
+        self.uss.crash();
+        self.ums.reset();
+        self.fcs.reset();
+        self.lib.set_degraded(true);
+        self.outbox.clear();
+        self.telemetry.event(now_s, "site.crash", || {
+            format!("site {} crashed", self.id.0)
+        });
+    }
+
+    /// Crash recovery: request snapshot catch-up from every expected
+    /// publisher and lift the client library's degraded mode. Publication
+    /// resumes on the next tick.
+    pub fn recover(&mut self, now_s: f64) {
+        self.uss.request_catchup();
+        self.lib.set_degraded(false);
+        self.last_publish_s = f64::NEG_INFINITY;
+        self.telemetry.event(now_s, "site.recover", || {
+            format!("site {} recovered", self.id.0)
+        });
+    }
+
     /// Deliver a usage summary from a peer site.
     pub fn receive_summary(&mut self, summary: &UsageSummary) {
         self.uss.receive(summary);
@@ -159,10 +217,18 @@ impl AequusSite {
                     let current_slot = (now_s / self.uss.slot_duration()).floor().max(0.0) as u64;
                     self.telemetry.trace_publish(&users, current_slot, now_s);
                 }
-                self.outbox.push(summary);
+                if self.uss.peer_count() == 0 {
+                    // Legacy broadcast mode: no registered peers, the caller
+                    // distributes summaries itself. With peers registered the
+                    // reliable exchange owns delivery via `poll_messages`.
+                    self.outbox.push(summary);
+                }
             }
             self.last_publish_s = now_s;
         }
+        // Peer staleness drives the stale-data policy before the UMS reads
+        // the (possibly suppressed) remote usage.
+        self.uss.update_staleness(now_s);
         // Stage II-b and II-c: UMS and FCS cache refreshes — the dirty-set
         // flow USS → UMS → FCS drains here. Only *actual* refreshes mark
         // tracer visibility (a cache-valid no-op reveals nothing new).
@@ -289,6 +355,52 @@ mod tests {
         assert_eq!(
             s.resolve_identity(&SystemUser::new("grid7"), 0.0),
             Some(GridUser::new("a"))
+        );
+    }
+
+    #[test]
+    fn crash_wipes_volatile_state_and_recovery_catches_up() {
+        let mut s0 = site(0, ParticipationMode::Full);
+        let mut s1 = site(1, ParticipationMode::Full);
+        let peers = [SiteId(0), SiteId(1)];
+        let retry = RetryPolicy::default();
+        s0.configure_exchange(&peers, &peers, retry, StalePolicy::ServeStale, 1);
+        s1.configure_exchange(&peers, &peers, retry, StalePolicy::ServeStale, 2);
+        // s0 runs a job; the exchange carries it to s1.
+        s0.report_completion(record(0, "a", 0.0, 300.0), 300.0);
+        s0.tick(310.0);
+        s0.tick(400.0);
+        let mut msgs = s0.poll_messages(400.0);
+        while !msgs.is_empty() {
+            let mut next = Vec::new();
+            for (dest, msg) in msgs {
+                let target = if dest == SiteId(0) { &mut s0 } else { &mut s1 };
+                next.extend(target.deliver_message(&msg, 400.0));
+            }
+            msgs = next;
+        }
+        assert!((s1.uss.remote_usage_of(&GridUser::new("a")) - 300.0).abs() < 1e-9);
+        // s1 crashes: remote view and caches are gone, local data survives.
+        s1.report_completion(record(1, "b", 0.0, 100.0), 300.0);
+        s1.tick(310.0);
+        s1.crash(500.0);
+        assert_eq!(s1.uss.remote_usage_of(&GridUser::new("a")), 0.0);
+        assert!((s1.uss.local_usage_of(&GridUser::new("b")) - 100.0).abs() < 1e-9);
+        assert!(s1.fairshare_tree().is_none(), "FCS tree wiped");
+        // Recovery pulls a snapshot from s0.
+        s1.recover(600.0);
+        let mut msgs = s1.poll_messages(600.0);
+        while !msgs.is_empty() {
+            let mut next = Vec::new();
+            for (dest, msg) in msgs {
+                let target = if dest == SiteId(0) { &mut s0 } else { &mut s1 };
+                next.extend(target.deliver_message(&msg, 600.0));
+            }
+            msgs = next;
+        }
+        assert!(
+            (s1.uss.remote_usage_of(&GridUser::new("a")) - 300.0).abs() < 1e-9,
+            "snapshot catch-up restored the remote view"
         );
     }
 

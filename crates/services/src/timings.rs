@@ -80,6 +80,15 @@ impl ServiceTimings {
         ]
     }
 
+    /// How long a publisher should wait for a delivery acknowledgment before
+    /// retrying: the exchange round trip (summary out, ack back) plus one
+    /// extra latency of scheduling slack, floored at one second. The
+    /// reliability layer uses this as its default backoff base
+    /// (`RetryPolicy::from_timings` in `aequus-services`).
+    pub fn ack_deadline_s(&self) -> f64 {
+        (3.0 * self.exchange_latency_s).max(1.0)
+    }
+
     /// Scale every delay by `factor` (used by delay-sensitivity ablations).
     pub fn scaled(&self, factor: f64) -> Self {
         Self {
@@ -142,6 +151,14 @@ mod tests {
         let t = ServiceTimings::default().scaled(0.0);
         assert_eq!(t.worst_case_pipeline_s(), 0.0);
         assert!(t.stage_caps().iter().all(|(_, s)| *s == 0.0));
+    }
+
+    #[test]
+    fn ack_deadline_covers_the_round_trip() {
+        let t = ServiceTimings::default();
+        assert!(t.ack_deadline_s() > 2.0 * t.exchange_latency_s);
+        // Degenerate zero-latency deployments still get a positive deadline.
+        assert_eq!(ServiceTimings::default().scaled(0.0).ack_deadline_s(), 1.0);
     }
 
     #[test]

@@ -191,6 +191,18 @@ impl Ums {
         }
     }
 
+    /// Site crash: drop the volatile usage cache. The next refresh is a full
+    /// rebuild at a fresh epoch, repopulated from the (durable) USS local
+    /// histogram plus whatever remote state catch-up restores. Refresh
+    /// counters survive — they are monotone sampled series, and a reset
+    /// would read as telemetry going backwards.
+    pub fn reset(&mut self) {
+        self.cached.clear();
+        self.epoch_s = None;
+        self.dirty = DirtySet::new();
+        self.last_refresh_s = None;
+    }
+
     /// Force an immediate refresh regardless of staleness.
     pub fn force_refresh(&mut self, uss: &mut Uss, now_s: f64) {
         self.last_refresh_s = None;

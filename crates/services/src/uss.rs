@@ -4,13 +4,43 @@
 //! per-user summaries — this is the *only* cross-site communication channel
 //! in the system ("they communicate only by exchanging data through the USS
 //! services", §IV-A).
+//!
+//! ## Reliable exchange
+//!
+//! The exchange is fault-tolerant (see [`crate::reliability`]):
+//!
+//! * [`Uss::publish`] assigns each summary a monotonically increasing
+//!   sequence number, retains it in a bounded history, and queues it in a
+//!   bounded per-peer outbox. The outbox entry survives until the peer
+//!   acknowledges delivery — a dropped summary is *re-sent*, never lost.
+//! * [`Uss::poll`] drains due sends, retrying unacked summaries with
+//!   exponential backoff plus deterministic seeded jitter.
+//! * [`Uss::receive_message`] merges incoming data idempotently (summary
+//!   cells are absolute cumulative values, merged as positive deltas against
+//!   a per-peer mirror), acknowledges it, detects sequence gaps, and issues
+//!   anti-entropy [`UssMessage::Resync`] pulls — answered from the retained
+//!   history, or with a cumulative snapshot when history was compacted.
+//! * [`Uss::crash`]/[`Uss::request_catchup`] model site failure: volatile
+//!   exchange state (remote histogram, mirrors, outboxes, sequence counter)
+//!   is wiped, while the local histogram survives (it is backed by the
+//!   site's accounting database); recovery pulls peer snapshots and
+//!   republishes local history, both of which are idempotent at receivers.
+//! * [`Uss::update_staleness`] tracks how old each peer's data is, exports
+//!   it as the `aequus_uss_peer_staleness_s` gauge, and enforces the
+//!   configured [`StalePolicy`] (serve-stale vs. local-only weighting).
 
 use crate::participation::ParticipationMode;
+use crate::reliability::{JitterRng, RetryPolicy, StalePolicy, UssMessage};
 use aequus_core::arena::DirtySet;
 use aequus_core::ids::SiteId;
 use aequus_core::usage::{UsageHistogram, UsageRecord, UsageSummary};
 use aequus_core::GridUser;
-use aequus_telemetry::{Counter, Histogram, Telemetry};
+use aequus_telemetry::{Counter, Gauge, Histogram, Telemetry};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Minimum per-cell charge difference considered a real change; smaller
+/// residues are floating-point noise and are neither published nor merged.
+const CELL_EPS: f64 = 1e-12;
 
 /// Pre-registered USS metric handles (all no-ops until
 /// [`Uss::set_telemetry`] wires an enabled registry).
@@ -20,6 +50,12 @@ struct UssMetrics {
     ingested: Counter,
     published: Counter,
     received: Counter,
+    retries: Counter,
+    gaps: Counter,
+    resyncs: Counter,
+    snapshots: Counter,
+    duplicates: Counter,
+    staleness: Gauge,
     h_ingest: Histogram,
     h_publish: Histogram,
     h_receive: Histogram,
@@ -32,9 +68,63 @@ impl UssMetrics {
             ingested: t.counter("aequus_uss_records_ingested_total"),
             published: t.counter("aequus_uss_summaries_published_total"),
             received: t.counter("aequus_uss_summaries_received_total"),
+            retries: t.counter("aequus_uss_retries_total"),
+            gaps: t.counter("aequus_uss_seq_gaps_total"),
+            resyncs: t.counter("aequus_uss_resyncs_total"),
+            snapshots: t.counter("aequus_uss_snapshots_total"),
+            duplicates: t.counter("aequus_uss_duplicates_total"),
+            staleness: t.gauge("aequus_uss_peer_staleness_s"),
             h_ingest: t.histogram("aequus_uss_ingest_s"),
             h_publish: t.histogram("aequus_uss_publish_s"),
             h_receive: t.histogram("aequus_uss_receive_s"),
+        }
+    }
+}
+
+/// Publisher-side per-peer delivery state.
+#[derive(Debug, Clone)]
+struct PeerTx {
+    /// Unacked published sequence numbers, oldest first.
+    outbox: VecDeque<u64>,
+    /// Earliest time the outbox may be (re)flushed.
+    next_attempt_s: f64,
+    /// Completed sends of the current outbox without a full ack — drives the
+    /// exponential backoff; reset to zero once the outbox drains.
+    attempts: u32,
+}
+
+impl PeerTx {
+    fn new() -> Self {
+        Self {
+            outbox: VecDeque::new(),
+            next_attempt_s: f64::NEG_INFINITY,
+            attempts: 0,
+        }
+    }
+}
+
+/// Receiver-side per-peer merge and gap-tracking state.
+#[derive(Debug, Clone)]
+struct PeerRx {
+    /// Lowest sequence number not yet seen from this peer.
+    next_expected: u64,
+    /// Sequence numbers received above `next_expected` (out-of-order).
+    seen_above: BTreeSet<u64>,
+    /// Cumulative absolute charge already merged per (user, slot) — the
+    /// mirror the positive-delta merge compares against.
+    seen_cells: BTreeMap<GridUser, BTreeMap<u64, f64>>,
+    /// Last time any data message from this peer arrived (staleness anchor);
+    /// `NEG_INFINITY` until the first one.
+    last_heard_s: f64,
+}
+
+impl PeerRx {
+    fn new() -> Self {
+        Self {
+            next_expected: 1,
+            seen_above: BTreeSet::new(),
+            seen_cells: BTreeMap::new(),
+            last_heard_s: f64::NEG_INFINITY,
         }
     }
 }
@@ -44,19 +134,46 @@ impl UssMetrics {
 pub struct Uss {
     site: SiteId,
     mode: ParticipationMode,
-    /// Usage executed on this site.
+    /// Usage executed on this site. Durable: survives [`Uss::crash`] — the
+    /// paper's USS fronts the site's accounting database.
     local: UsageHistogram,
-    /// Usage merged in from other sites' summaries.
+    /// Usage merged in from other sites' summaries. Volatile.
     remote: UsageHistogram,
-    /// Charge already published per (user, slot) — publications send the
-    /// *delta* against this mirror, so charge landing in old slots (a long
-    /// job completing spreads usage back over its whole runtime) is still
-    /// exchanged exactly once.
-    published: std::collections::BTreeMap<GridUser, std::collections::BTreeMap<u64, f64>>,
+    /// Absolute charge already published per (user, slot) — publications
+    /// carry the absolute values of cells that changed against this mirror,
+    /// so charge landing in old slots (a long job completing spreads usage
+    /// back over its whole runtime) is still exchanged, and retransmissions
+    /// are idempotent at receivers.
+    published: BTreeMap<GridUser, BTreeMap<u64, f64>>,
+    /// Sequence number the next published summary gets (1-based).
+    next_seq: u64,
+    /// Retained published summaries for anti-entropy resync (bounded by
+    /// [`RetryPolicy::history_cap`]).
+    history: VecDeque<UsageSummary>,
+    /// Peers we deliver summaries to (sites that read global data).
+    peers: Vec<SiteId>,
+    /// Peers we expect summaries from (sites that contribute data) — the
+    /// staleness and catch-up set.
+    rx_peers: Vec<SiteId>,
+    tx: BTreeMap<SiteId, PeerTx>,
+    rx: BTreeMap<SiteId, PeerRx>,
+    /// Peers owed a [`UssMessage::SnapshotRequest`] on the next poll
+    /// (crash-recovery catch-up).
+    catchup_pending: BTreeSet<SiteId>,
+    retry: RetryPolicy,
+    stale_policy: StalePolicy,
+    jitter: JitterRng,
+    /// Whether the stale-data policy currently suppresses remote usage.
+    remote_suppressed: bool,
     /// Count of records ingested (observability).
     records_ingested: u64,
     /// Count of summaries received from peers.
     summaries_received: u64,
+    retries: u64,
+    seq_gaps: u64,
+    resyncs: u64,
+    snapshots_sent: u64,
+    duplicates: u64,
     /// Users whose usage changed since the UMS last drained this service —
     /// the head of the incremental dirty-set flow USS → UMS → FCS.
     dirty: DirtySet,
@@ -73,8 +190,24 @@ impl Uss {
             local: UsageHistogram::new(slot_s),
             remote: UsageHistogram::new(slot_s),
             published: Default::default(),
+            next_seq: 1,
+            history: VecDeque::new(),
+            peers: Vec::new(),
+            rx_peers: Vec::new(),
+            tx: BTreeMap::new(),
+            rx: BTreeMap::new(),
+            catchup_pending: BTreeSet::new(),
+            retry: RetryPolicy::default(),
+            stale_policy: StalePolicy::default(),
+            jitter: JitterRng::new(site.0 as u64),
+            remote_suppressed: false,
             records_ingested: 0,
             summaries_received: 0,
+            retries: 0,
+            seq_gaps: 0,
+            resyncs: 0,
+            snapshots_sent: 0,
+            duplicates: 0,
             dirty: DirtySet::new(),
             metrics: UssMetrics::default(),
         }
@@ -101,6 +234,48 @@ impl Uss {
         self.mode
     }
 
+    /// Register exchange peers: `tx_peers` receive this site's summaries,
+    /// `rx_peers` are expected to publish to this site (staleness tracking
+    /// and crash catch-up). The own site id is filtered from both. Without
+    /// registered peers the USS runs in legacy broadcast mode: `publish`
+    /// hands the summary to the caller and no retry state is kept.
+    pub fn set_peers(&mut self, tx_peers: &[SiteId], rx_peers: &[SiteId]) {
+        self.peers = tx_peers
+            .iter()
+            .copied()
+            .filter(|p| *p != self.site)
+            .collect();
+        self.rx_peers = rx_peers
+            .iter()
+            .copied()
+            .filter(|p| *p != self.site)
+            .collect();
+        for p in &self.peers {
+            self.tx.entry(*p).or_insert_with(PeerTx::new);
+        }
+    }
+
+    /// Number of registered delivery peers.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Configure retry/backoff/retention and reseed the jitter source.
+    pub fn configure_reliability(&mut self, retry: RetryPolicy, jitter_seed: u64) {
+        self.retry = retry;
+        self.jitter = JitterRng::new(jitter_seed ^ ((self.site.0 as u64) << 32));
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// Configure the stale-data policy.
+    pub fn set_stale_policy(&mut self, policy: StalePolicy) {
+        self.stale_policy = policy;
+    }
+
     /// Ingest a locally completed job's usage record.
     pub fn ingest(&mut self, rec: &UsageRecord) {
         let _span = self.metrics.h_ingest.start_timer();
@@ -113,11 +288,13 @@ impl Uss {
         self.metrics.ingested.inc();
     }
 
-    /// Produce the next incremental summary for exchange: the *delta*
-    /// between the local histogram and what was already published, over all
-    /// closed slots (the slot containing `now_s` stays open and is held back
-    /// until it closes). Returns `None` when this site does not contribute
-    /// usage data (read-only participation) or nothing new exists.
+    /// Produce the next sequenced summary for exchange: the cells whose
+    /// charge changed against the published mirror, carried as **absolute**
+    /// cumulative values, over all closed slots (the slot containing `now_s`
+    /// stays open and is held back until it closes). The summary is retained
+    /// in the resync history and queued in every peer's outbox until that
+    /// peer acknowledges it. Returns `None` when this site does not
+    /// contribute usage data (read-only participation) or nothing changed.
     pub fn publish(&mut self, now_s: f64) -> Option<UsageSummary> {
         let _span = self.metrics.h_publish.start_timer();
         if !self.mode.contributes() {
@@ -125,41 +302,137 @@ impl Uss {
         }
         let current_slot = (now_s / self.local.slot_duration()).floor().max(0.0) as u64;
         let full = self.local.summary(self.site, 0);
-        let mut per_user: std::collections::BTreeMap<
-            GridUser,
-            std::collections::BTreeMap<u64, f64>,
-        > = Default::default();
+        let mut per_user: BTreeMap<GridUser, BTreeMap<u64, f64>> = Default::default();
         for (user, slots) in &full.per_user {
             let sent = self.published.entry(user.clone()).or_default();
-            let mut deltas = std::collections::BTreeMap::new();
+            let mut cells = BTreeMap::new();
             for (&slot, &value) in slots {
                 if slot >= current_slot {
                     continue; // open slot: held back until closed
                 }
                 let already = sent.get(&slot).copied().unwrap_or(0.0);
-                let delta = value - already;
-                if delta > 1e-12 {
-                    deltas.insert(slot, delta);
+                if value - already > CELL_EPS {
+                    cells.insert(slot, value);
                     sent.insert(slot, value);
                 }
             }
-            if !deltas.is_empty() {
-                per_user.insert(user.clone(), deltas);
+            if !cells.is_empty() {
+                per_user.insert(user.clone(), cells);
             }
         }
         if per_user.is_empty() {
             return None;
         }
-        self.metrics.published.inc();
-        Some(UsageSummary {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let summary = UsageSummary {
             site: self.site,
+            seq,
             slot_s: self.local.slot_duration(),
             per_user,
-        })
+        };
+        self.history.push_back(summary.clone());
+        while self.history.len() > self.retry.history_cap.max(1) {
+            self.history.pop_front();
+        }
+        for peer in &self.peers {
+            let tx = self.tx.entry(*peer).or_insert_with(PeerTx::new);
+            tx.outbox.push_back(seq);
+            while tx.outbox.len() > self.retry.outbox_cap.max(1) {
+                // Oldest unacked entry overflows; the receiver recovers it
+                // through gap detection → resync (→ snapshot fallback).
+                tx.outbox.pop_front();
+            }
+            if tx.attempts == 0 {
+                // Nothing awaiting backoff: fresh data goes out immediately.
+                tx.next_attempt_s = f64::NEG_INFINITY;
+            }
+        }
+        self.metrics.published.inc();
+        Some(summary)
+    }
+
+    /// Drain every message due for sending at `now_s`: pending crash
+    /// catch-up requests, first sends of freshly published summaries, and
+    /// backoff-expired retries of unacked ones. Each flush of a peer's
+    /// outbox advances that peer's exponential backoff (with deterministic
+    /// jitter); an ack resets it.
+    pub fn poll(&mut self, now_s: f64) -> Vec<(SiteId, UssMessage)> {
+        let mut out = Vec::new();
+        for peer in std::mem::take(&mut self.catchup_pending) {
+            out.push((peer, UssMessage::SnapshotRequest { from: self.site }));
+        }
+        let peers: Vec<SiteId> = self.peers.clone();
+        for peer in peers {
+            let Some(tx) = self.tx.get(&peer) else {
+                continue;
+            };
+            if tx.outbox.is_empty() || now_s < tx.next_attempt_s {
+                continue;
+            }
+            let seqs: Vec<u64> = tx.outbox.iter().copied().collect();
+            let retrying = tx.attempts > 0;
+            let mut sent = 0u64;
+            let mut evicted: Vec<u64> = Vec::new();
+            for seq in seqs {
+                match self.history.iter().find(|s| s.seq == seq) {
+                    Some(s) => {
+                        out.push((peer, UssMessage::Summary(s.clone())));
+                        sent += 1;
+                    }
+                    None => evicted.push(seq),
+                }
+            }
+            if !evicted.is_empty() {
+                // History compacted past unacked entries: replace them with
+                // one cumulative snapshot (idempotent, covers everything).
+                out.push((peer, UssMessage::Snapshot(self.snapshot_summary())));
+                self.snapshots_sent += 1;
+                self.metrics.snapshots.inc();
+                sent += 1;
+            }
+            if retrying {
+                self.retries += sent;
+                self.metrics.retries.add(sent);
+            }
+            let unit = self.jitter.next_unit();
+            let tx = self.tx.get_mut(&peer).expect("peer tx exists");
+            tx.outbox.retain(|seq| !evicted.contains(seq));
+            tx.attempts += 1;
+            tx.next_attempt_s = now_s + self.retry.backoff_s(tx.attempts, unit);
+        }
+        out
+    }
+
+    /// Handle one incoming protocol message, returning the responses to
+    /// route back (acks, resync pulls, resync answers, snapshots).
+    pub fn receive_message(&mut self, msg: &UssMessage, now_s: f64) -> Vec<(SiteId, UssMessage)> {
+        match msg {
+            UssMessage::Summary(s) => self.apply_data(s, false, now_s),
+            UssMessage::Snapshot(s) => self.apply_data(s, true, now_s),
+            UssMessage::Ack { from, seq } => {
+                self.on_ack(*from, *seq);
+                Vec::new()
+            }
+            UssMessage::Resync {
+                from,
+                from_seq,
+                to_seq,
+            } => self.on_resync(*from, *from_seq, *to_seq),
+            UssMessage::SnapshotRequest { from } => {
+                if !self.mode.contributes() {
+                    return Vec::new();
+                }
+                self.snapshots_sent += 1;
+                self.metrics.snapshots.inc();
+                vec![(*from, UssMessage::Snapshot(self.snapshot_summary()))]
+            }
+        }
     }
 
     /// Merge a summary received from a peer site. Ignored when this site does
     /// not read global data (contribute-only / local-only participation).
+    /// Legacy broadcast entry point: protocol responses are discarded.
     pub fn receive(&mut self, summary: &UsageSummary) {
         self.receive_at(summary, -1.0);
     }
@@ -167,37 +440,262 @@ impl Uss {
     /// [`Uss::receive`] with a domain timestamp for the gossip-merge event
     /// (the sim engine knows the delivery time; plain `receive` does not).
     pub fn receive_at(&mut self, summary: &UsageSummary, now_s: f64) {
+        let _ = self.apply_data(summary, false, now_s);
+    }
+
+    fn apply_data(
+        &mut self,
+        s: &UsageSummary,
+        is_snapshot: bool,
+        now_s: f64,
+    ) -> Vec<(SiteId, UssMessage)> {
         let _span = self.metrics.h_receive.start_timer();
+        if s.site == self.site {
+            return Vec::new(); // never double-count our own data
+        }
+        let mut responses = Vec::new();
+        if !is_snapshot && s.seq > 0 {
+            // Acknowledge regardless of participation mode, so publishers
+            // don't retry forever at sites that discard global data.
+            responses.push((
+                s.site,
+                UssMessage::Ack {
+                    from: self.site,
+                    seq: s.seq,
+                },
+            ));
+        }
         if !self.mode.reads_global() {
-            return;
+            return responses;
         }
-        if summary.site == self.site {
-            return; // never double-count our own data
+        let rx = self.rx.entry(s.site).or_insert_with(PeerRx::new);
+        rx.last_heard_s = rx.last_heard_s.max(now_s);
+        // Idempotent merge: apply the positive delta of each absolute cell
+        // against the per-peer mirror. Duplicates, reordering, overlapping
+        // resyncs, and snapshots all collapse to no-ops here.
+        let mut merged_cells = 0usize;
+        for (user, slots) in &s.per_user {
+            let seen = rx.seen_cells.entry(user.clone()).or_default();
+            let mut user_changed = false;
+            for (&slot, &value) in slots {
+                let prev = seen.get(&slot).copied().unwrap_or(0.0);
+                let delta = value - prev;
+                if delta > CELL_EPS {
+                    seen.insert(slot, value);
+                    self.remote.add_charge(user, slot, delta);
+                    user_changed = true;
+                    merged_cells += 1;
+                }
+            }
+            if user_changed {
+                self.dirty.mark_user(user.clone());
+            }
         }
-        for user in summary.per_user.keys() {
-            self.dirty.mark_user(user.clone());
+        if merged_cells == 0 && !s.per_user.is_empty() {
+            self.duplicates += 1;
+            self.metrics.duplicates.inc();
         }
-        self.remote.merge_summary(summary);
+        // Sequence bookkeeping: gap detection and anti-entropy pulls.
+        if is_snapshot {
+            // A snapshot covers everything up to its seq.
+            if s.seq + 1 > rx.next_expected {
+                rx.next_expected = s.seq + 1;
+            }
+            rx.seen_above.retain(|&q| q >= rx.next_expected);
+            while rx.seen_above.remove(&rx.next_expected) {
+                rx.next_expected += 1;
+            }
+        } else if s.seq > 0 {
+            if s.seq >= rx.next_expected {
+                rx.seen_above.insert(s.seq);
+                while rx.seen_above.remove(&rx.next_expected) {
+                    rx.next_expected += 1;
+                }
+                if rx.next_expected <= s.seq {
+                    // Sequence gap: pull the missing range. Requesting a seq
+                    // twice is harmless (merges are idempotent), so repeated
+                    // gap hits double as resync retries.
+                    let (from_seq, to_seq) = (rx.next_expected, s.seq - 1);
+                    self.seq_gaps += 1;
+                    self.metrics.gaps.inc();
+                    self.resyncs += 1;
+                    self.metrics.resyncs.inc();
+                    responses.push((
+                        s.site,
+                        UssMessage::Resync {
+                            from: self.site,
+                            from_seq,
+                            to_seq,
+                        },
+                    ));
+                }
+            } else if s.seq == 1 && rx.next_expected > 2 {
+                // The publisher restarted its numbering from scratch (crash
+                // recovery); adopt it. The cell mirror is untouched, so the
+                // republished history merges as no-ops.
+                rx.next_expected = 2;
+                rx.seen_above.clear();
+            }
+        }
         self.summaries_received += 1;
         self.metrics.received.inc();
         self.metrics.telemetry.event(now_s, "uss.gossip_merge", || {
             format!(
-                "merged summary from site {} ({} users)",
-                summary.site.0,
-                summary.per_user.len()
+                "merged {} from site {} seq {} ({} users, {merged_cells} new cells)",
+                if is_snapshot { "snapshot" } else { "summary" },
+                s.site.0,
+                s.seq,
+                s.per_user.len()
             )
         });
+        responses
+    }
+
+    fn on_ack(&mut self, from: SiteId, seq: u64) {
+        if let Some(tx) = self.tx.get_mut(&from) {
+            if let Some(pos) = tx.outbox.iter().position(|&q| q == seq) {
+                tx.outbox.remove(pos);
+            }
+            if tx.outbox.is_empty() {
+                tx.attempts = 0;
+                tx.next_attempt_s = f64::NEG_INFINITY;
+            }
+        }
+    }
+
+    fn on_resync(&mut self, from: SiteId, from_seq: u64, to_seq: u64) -> Vec<(SiteId, UssMessage)> {
+        if !self.mode.contributes() || to_seq < from_seq {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut missing = to_seq - from_seq + 1 > self.retry.history_cap.max(1) as u64;
+        if !missing {
+            for seq in from_seq..=to_seq {
+                match self.history.iter().find(|s| s.seq == seq) {
+                    Some(s) => out.push((from, UssMessage::Summary(s.clone()))),
+                    None => missing = true,
+                }
+            }
+        }
+        if missing {
+            // History compacted past the requested range: cumulative
+            // snapshot fallback.
+            out.clear();
+            out.push((from, UssMessage::Snapshot(self.snapshot_summary())));
+            self.snapshots_sent += 1;
+            self.metrics.snapshots.inc();
+        }
+        out
+    }
+
+    /// Cumulative snapshot of everything published so far, carrying the
+    /// latest sequence number (0 before any publication).
+    fn snapshot_summary(&self) -> UsageSummary {
+        UsageSummary {
+            site: self.site,
+            seq: self.next_seq - 1,
+            slot_s: self.local.slot_duration(),
+            per_user: self
+                .published
+                .iter()
+                .filter(|(_, slots)| !slots.is_empty())
+                .map(|(u, slots)| (u.clone(), slots.clone()))
+                .collect(),
+        }
+    }
+
+    /// Refresh per-peer staleness (seconds since the freshest peer data,
+    /// maxed over expected publishers), export it as the
+    /// `aequus_uss_peer_staleness_s` gauge, and enforce the stale-data
+    /// policy. Returns the maximum staleness. Users affected by a policy
+    /// transition are marked dirty so the UMS/FCS pick the change up.
+    pub fn update_staleness(&mut self, now_s: f64) -> f64 {
+        if !self.mode.reads_global() || self.rx_peers.is_empty() {
+            self.metrics.staleness.set(0.0);
+            return 0.0;
+        }
+        let mut max_stale = 0.0f64;
+        for peer in &self.rx_peers {
+            let last = self
+                .rx
+                .get(peer)
+                .map(|r| r.last_heard_s)
+                .unwrap_or(f64::NEG_INFINITY);
+            let stale = if last.is_finite() {
+                (now_s - last).max(0.0)
+            } else {
+                // Never heard from this peer: stale since the epoch.
+                now_s.max(0.0)
+            };
+            max_stale = max_stale.max(stale);
+        }
+        self.metrics.staleness.set(max_stale);
+        let suppress = match self.stale_policy {
+            StalePolicy::ServeStale => false,
+            StalePolicy::LocalOnly { max_staleness_s } => max_stale > max_staleness_s,
+        };
+        if suppress != self.remote_suppressed {
+            self.remote_suppressed = suppress;
+            let users: Vec<GridUser> = self.remote.users().cloned().collect();
+            for user in users {
+                self.dirty.mark_user(user);
+            }
+            self.metrics.telemetry.event(now_s, "uss.stale_policy", || {
+                if suppress {
+                    format!("remote usage suppressed (peer staleness {max_stale:.0}s)")
+                } else {
+                    "remote usage restored".to_string()
+                }
+            });
+        }
+        max_stale
+    }
+
+    /// Whether the stale-data policy currently suppresses remote usage.
+    pub fn remote_suppressed(&self) -> bool {
+        self.remote_suppressed
+    }
+
+    /// Site crash: wipe all volatile exchange state. The local histogram
+    /// (backed by the accounting database), the publish cursor (stored
+    /// alongside it — reusing sequence numbers after a crash would let a
+    /// stale in-flight ack from the old numbering cancel a new unacked
+    /// summary, silently losing the republished history), the participation
+    /// config, and the peer registration survive. The cleared published
+    /// mirror makes the next publication re-emit all closed slots as
+    /// absolute values — idempotent at receivers thanks to their cell
+    /// mirrors, and any seq gap peers see across the crash resolves through
+    /// resync → snapshot fallback (the retained history is volatile).
+    pub fn crash(&mut self) {
+        self.remote = UsageHistogram::new(self.local.slot_duration());
+        self.published.clear();
+        self.history.clear();
+        self.rx.clear();
+        for tx in self.tx.values_mut() {
+            *tx = PeerTx::new();
+        }
+        self.catchup_pending.clear();
+        self.dirty = DirtySet::new();
+        self.remote_suppressed = false;
+    }
+
+    /// Crash recovery: schedule a [`UssMessage::SnapshotRequest`] to every
+    /// expected publisher on the next poll, pulling back the remote state
+    /// lost in the crash. Self-healing even if a request is dropped — the
+    /// next regular summary from that peer trips gap detection instead.
+    pub fn request_catchup(&mut self) {
+        self.catchup_pending = self.rx_peers.iter().copied().collect();
     }
 
     /// Per-user decayed usage as the UMS consumes it: local plus (when the
-    /// mode reads global data) remote.
+    /// mode reads global data and the stale policy permits) remote.
     pub fn decayed_usage(
         &self,
         now_s: f64,
         decay: aequus_core::DecayPolicy,
     ) -> std::collections::BTreeMap<GridUser, f64> {
         let mut usage = self.local.decayed_all(now_s, decay);
-        if self.mode.reads_global() {
+        if self.mode.reads_global() && !self.remote_suppressed {
             for (user, value) in self.remote.decayed_all(now_s, decay) {
                 *usage.entry(user).or_insert(0.0) += value;
             }
@@ -207,7 +705,8 @@ impl Uss {
 
     /// Usage of one user weighted relative to a fixed reference epoch
     /// (separable decays; see [`aequus_core::DecayPolicy::epoch_weight`]):
-    /// local plus, when the mode reads global data, remote.
+    /// local plus, when the mode reads global data and the stale policy
+    /// permits, remote.
     pub fn epoch_usage_of(
         &self,
         user: &GridUser,
@@ -215,20 +714,48 @@ impl Uss {
         decay: aequus_core::DecayPolicy,
     ) -> f64 {
         let mut value = self.local.epoch_usage(user, epoch_s, decay);
-        if self.mode.reads_global() {
+        if self.mode.reads_global() && !self.remote_suppressed {
             value += self.remote.epoch_usage(user, epoch_s, decay);
         }
         value
     }
 
     /// All users with any recorded usage (local, plus remote when the mode
-    /// reads global data).
+    /// reads global data and the stale policy permits).
     pub fn known_users(&self) -> std::collections::BTreeSet<GridUser> {
         let mut users: std::collections::BTreeSet<GridUser> = self.local.users().cloned().collect();
-        if self.mode.reads_global() {
+        if self.mode.reads_global() && !self.remote_suppressed {
             users.extend(self.remote.users().cloned());
         }
         users
+    }
+
+    /// This site's raw (undecayed) per-user view of grid usage: local charge
+    /// plus, when the mode reads global data and the stale policy permits,
+    /// merged remote charge. The chaos suite's convergence invariant
+    /// compares these views across sites.
+    pub fn grid_view(&self) -> BTreeMap<GridUser, f64> {
+        let mut view: BTreeMap<GridUser, f64> = self
+            .local
+            .users()
+            .map(|u| (u.clone(), self.local.raw_usage(u)))
+            .collect();
+        if self.mode.reads_global() && !self.remote_suppressed {
+            for user in self.remote.users() {
+                *view.entry(user.clone()).or_insert(0.0) += self.remote.raw_usage(user);
+            }
+        }
+        view
+    }
+
+    /// Raw local charge of one user (test/metrics access).
+    pub fn local_usage_of(&self, user: &GridUser) -> f64 {
+        self.local.raw_usage(user)
+    }
+
+    /// Raw merged remote charge of one user (test/metrics access).
+    pub fn remote_usage_of(&self, user: &GridUser) -> f64 {
+        self.remote.raw_usage(user)
     }
 
     /// Drain the set of users whose usage changed since the last drain.
@@ -260,6 +787,36 @@ impl Uss {
     pub fn summaries_received(&self) -> u64 {
         self.summaries_received
     }
+
+    /// Summaries re-sent after a missing ack.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Sequence gaps detected in peers' summary streams.
+    pub fn seq_gaps(&self) -> u64 {
+        self.seq_gaps
+    }
+
+    /// Anti-entropy resync pulls issued.
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
+    }
+
+    /// Cumulative snapshots sent (resync fallback + catch-up answers).
+    pub fn snapshots_sent(&self) -> u64 {
+        self.snapshots_sent
+    }
+
+    /// Incoming data messages that merged nothing new.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Unacked summaries queued for `peer` (test inspection).
+    pub fn outbox_depth(&self, peer: SiteId) -> usize {
+        self.tx.get(&peer).map_or(0, |t| t.outbox.len())
+    }
 }
 
 #[cfg(test)]
@@ -286,9 +843,11 @@ mod tests {
         uss.ingest(&rec(0, "a", 110.0, 120.0)); // slot 1 (open at t=150)
         let s = uss.publish(150.0).unwrap();
         assert!((s.total() - 50.0).abs() < 1e-9, "only slot 0 published");
+        assert_eq!(s.seq, 1);
         // Slot 1 closes once now_s reaches slot 2.
         let s2 = uss.publish(250.0).unwrap();
         assert!((s2.total() - 10.0).abs() < 1e-9);
+        assert_eq!(s2.seq, 2);
         // Nothing further.
         assert!(uss.publish(300.0).is_none());
     }
@@ -300,6 +859,22 @@ mod tests {
         let s1 = uss.publish(200.0).unwrap();
         assert!((s1.total() - 80.0).abs() < 1e-9);
         assert!(uss.publish(200.0).is_none(), "cursor advanced");
+    }
+
+    #[test]
+    fn late_charge_republishes_absolute_cell() {
+        // A long job completing spreads charge back into an already
+        // published slot; the next summary carries the new absolute value
+        // and a receiver merges exactly the delta.
+        let mut a = Uss::new(SiteId(0), ParticipationMode::Full, 100.0);
+        let mut b = Uss::new(SiteId(1), ParticipationMode::Full, 100.0);
+        a.ingest(&rec(0, "u", 0.0, 50.0));
+        b.receive(&a.publish(200.0).unwrap());
+        a.ingest(&rec(0, "u", 50.0, 90.0)); // lands in the published slot 0
+        let s = a.publish(200.0).unwrap();
+        assert!((s.total() - 90.0).abs() < 1e-9, "absolute cell value");
+        b.receive(&s);
+        assert!((b.remote_usage_of(&GridUser::new("u")) - 90.0).abs() < 1e-9);
     }
 
     #[test]
@@ -336,6 +911,28 @@ mod tests {
     }
 
     #[test]
+    fn local_only_site_still_acknowledges() {
+        let mut uss = Uss::new(SiteId(0), ParticipationMode::LocalOnly, 100.0);
+        let mut peer = Uss::new(SiteId(1), ParticipationMode::Full, 100.0);
+        peer.ingest(&rec(1, "b", 0.0, 40.0));
+        let s = peer.publish(500.0).unwrap();
+        let responses = uss.receive_message(&UssMessage::Summary(s), 500.0);
+        assert!(
+            matches!(
+                responses.as_slice(),
+                [(
+                    SiteId(1),
+                    UssMessage::Ack {
+                        from: SiteId(0),
+                        seq: 1
+                    }
+                )]
+            ),
+            "{responses:?}"
+        );
+    }
+
+    #[test]
     fn own_summaries_never_double_counted() {
         let mut uss = Uss::new(SiteId(0), ParticipationMode::Full, 100.0);
         uss.ingest(&rec(0, "a", 0.0, 80.0));
@@ -343,6 +940,19 @@ mod tests {
         uss.receive(&s); // echoed back (e.g. broadcast bus)
         let usage = uss.decayed_usage(500.0, DecayPolicy::None);
         assert!((usage[&GridUser::new("a")] - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_deliveries_merge_once() {
+        let mut a = Uss::new(SiteId(0), ParticipationMode::Full, 100.0);
+        let mut b = Uss::new(SiteId(1), ParticipationMode::Full, 100.0);
+        a.ingest(&rec(0, "u", 0.0, 80.0));
+        let s = a.publish(500.0).unwrap();
+        b.receive(&s);
+        b.receive(&s);
+        b.receive(&s);
+        assert!((b.remote_usage_of(&GridUser::new("u")) - 80.0).abs() < 1e-9);
+        assert_eq!(b.duplicates(), 2);
     }
 
     #[test]
@@ -355,5 +965,258 @@ mod tests {
         let fresh = uss.decayed_usage(10.0, DecayPolicy::Exponential { half_life_s: 20.0 });
         let stale = uss.decayed_usage(1000.0, DecayPolicy::Exponential { half_life_s: 20.0 });
         assert!(fresh[&GridUser::new("a")] > stale[&GridUser::new("a")]);
+    }
+
+    // --- reliability layer ---
+
+    fn reliable_pair() -> (Uss, Uss) {
+        let mut a = Uss::new(SiteId(0), ParticipationMode::Full, 100.0);
+        let mut b = Uss::new(SiteId(1), ParticipationMode::Full, 100.0);
+        let peers = [SiteId(0), SiteId(1)];
+        a.set_peers(&peers, &peers);
+        b.set_peers(&peers, &peers);
+        let retry = RetryPolicy {
+            ack_timeout_s: 10.0,
+            max_backoff_s: 40.0,
+            jitter_frac: 0.0,
+            history_cap: 8,
+            outbox_cap: 8,
+        };
+        a.configure_reliability(retry, 1);
+        b.configure_reliability(retry, 2);
+        (a, b)
+    }
+
+    /// Deliver `msgs` to whichever of the two ends each is addressed to,
+    /// feeding responses back until the exchange is quiet.
+    fn drain(a: &mut Uss, b: &mut Uss, mut msgs: Vec<(SiteId, UssMessage)>, now_s: f64) {
+        while !msgs.is_empty() {
+            let mut next = Vec::new();
+            for (dest, msg) in msgs {
+                let target: &mut Uss = if dest == a.site() { a } else { b };
+                next.extend(target.receive_message(&msg, now_s));
+            }
+            msgs = next;
+        }
+    }
+
+    #[test]
+    fn dropped_summary_is_retried_not_lost() {
+        // The silent-loss regression: a published-but-dropped summary must
+        // be re-sent after the ack timeout, not forgotten.
+        let (mut a, mut b) = reliable_pair();
+        a.ingest(&rec(0, "u", 0.0, 80.0));
+        assert!(a.publish(200.0).is_some());
+        let first = a.poll(200.0);
+        assert_eq!(first.len(), 1, "initial send");
+        // Drop it on the floor. Before the ack timeout nothing is re-sent.
+        assert!(a.poll(205.0).is_empty(), "backoff holds");
+        assert_eq!(a.outbox_depth(SiteId(1)), 1, "still owed");
+        // After the timeout the retry fires and the data arrives intact.
+        let retry = a.poll(211.0);
+        assert_eq!(retry.len(), 1, "retried");
+        assert!(a.retries() >= 1);
+        drain(&mut a, &mut b, retry, 211.0);
+        assert!((b.remote_usage_of(&GridUser::new("u")) - 80.0).abs() < 1e-9);
+        // The ack cleared the outbox; nothing further is sent.
+        assert_eq!(a.outbox_depth(SiteId(1)), 0);
+        assert!(a.poll(500.0).is_empty());
+    }
+
+    #[test]
+    fn backoff_grows_until_ack_then_resets() {
+        let (mut a, mut b) = reliable_pair();
+        a.ingest(&rec(0, "u", 0.0, 50.0));
+        a.publish(200.0);
+        assert_eq!(a.poll(200.0).len(), 1); // attempt 1 → next at +10
+        assert_eq!(a.poll(210.0).len(), 1); // attempt 2 → next at +20
+        assert!(a.poll(225.0).is_empty(), "within doubled backoff");
+        let third = a.poll(230.0);
+        assert_eq!(third.len(), 1); // attempt 3
+        drain(&mut a, &mut b, third, 230.0);
+        // Fresh data after the ack goes out immediately again.
+        a.ingest(&rec(0, "u", 110.0, 150.0));
+        a.publish(400.0);
+        assert_eq!(a.poll(400.0).len(), 1, "backoff reset by ack");
+    }
+
+    #[test]
+    fn gap_triggers_resync_and_recovers() {
+        let (mut a, mut b) = reliable_pair();
+        a.ingest(&rec(0, "u", 0.0, 80.0));
+        let s1 = a.publish(200.0).unwrap();
+        a.ingest(&rec(0, "u", 110.0, 160.0));
+        let s2 = a.publish(300.0).unwrap();
+        assert_eq!((s1.seq, s2.seq), (1, 2));
+        // s1 is lost; s2 arrives and exposes the gap.
+        let responses = b.receive_message(&UssMessage::Summary(s2), 300.0);
+        assert_eq!(b.seq_gaps(), 1);
+        let resync = responses
+            .iter()
+            .find(|(_, m)| matches!(m, UssMessage::Resync { .. }))
+            .expect("gap must trigger a resync pull");
+        assert!(matches!(
+            resync.1,
+            UssMessage::Resync {
+                from_seq: 1,
+                to_seq: 1,
+                ..
+            }
+        ));
+        // The pull re-syncs the missing range from a's history.
+        drain(&mut a, &mut b, responses, 300.0);
+        assert!((b.remote_usage_of(&GridUser::new("u")) - 130.0).abs() < 1e-9);
+        assert_eq!(b.resyncs(), 1);
+    }
+
+    #[test]
+    fn compacted_history_falls_back_to_snapshot() {
+        let (mut a, mut b) = reliable_pair();
+        let retry = RetryPolicy {
+            history_cap: 1,
+            jitter_frac: 0.0,
+            ..*a.retry_policy()
+        };
+        a.configure_reliability(retry, 1);
+        // Three publishes; history retains only the last.
+        for (i, t) in [200.0, 300.0, 400.0].into_iter().enumerate() {
+            a.ingest(&rec(0, "u", i as f64 * 100.0, i as f64 * 100.0 + 50.0));
+            a.publish(t).unwrap();
+        }
+        // b sees only seq 3 → gap [1,2]; a's history lost seqs 1-2, so the
+        // pull is answered with a cumulative snapshot.
+        let s3 = a.history.back().unwrap().clone();
+        let responses = b.receive_message(&UssMessage::Summary(s3), 400.0);
+        drain(&mut a, &mut b, responses, 400.0);
+        assert!(a.snapshots_sent() >= 1, "snapshot fallback used");
+        assert!((b.remote_usage_of(&GridUser::new("u")) - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crash_recovery_converges_via_catchup() {
+        let (mut a, mut b) = reliable_pair();
+        a.ingest(&rec(0, "u", 0.0, 80.0));
+        b.ingest(&rec(1, "v", 0.0, 60.0));
+        a.publish(200.0);
+        b.publish(200.0);
+        let mut msgs = a.poll(200.0);
+        msgs.extend(b.poll(200.0));
+        drain(&mut a, &mut b, msgs, 200.0);
+        assert!((b.remote_usage_of(&GridUser::new("u")) - 80.0).abs() < 1e-9);
+        // b crashes: remote view wiped, then recovery pulls a snapshot.
+        b.crash();
+        assert_eq!(b.remote_usage_of(&GridUser::new("u")), 0.0);
+        b.request_catchup();
+        let msgs = b.poll(300.0);
+        assert!(
+            matches!(
+                msgs.as_slice(),
+                [(SiteId(0), UssMessage::SnapshotRequest { .. })]
+            ),
+            "{msgs:?}"
+        );
+        drain(&mut a, &mut b, msgs, 300.0);
+        assert!((b.remote_usage_of(&GridUser::new("u")) - 80.0).abs() < 1e-9);
+        // b's own durable local data republishes under fresh seqs; a's cell
+        // mirror makes the re-publication a no-op.
+        assert!(b.publish(300.0).is_some(), "published mirror was wiped");
+        let msgs = b.poll(300.0);
+        drain(&mut a, &mut b, msgs, 300.0);
+        assert!((a.remote_usage_of(&GridUser::new("v")) - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stale_ack_across_crash_cannot_cancel_republication() {
+        // Regression: the publish cursor must survive a crash. If seqs
+        // restarted at 1, an ack for the *old* seq 1 still in flight at
+        // crash time would cancel the *new* seq-1 summary (the full
+        // republished history) while the network drops it — and with the
+        // published mirror already advanced, that data would never be sent
+        // again.
+        let (mut a, mut b) = reliable_pair();
+        a.ingest(&rec(0, "u", 0.0, 80.0));
+        let pre = a.publish(200.0).expect("summary");
+        assert_eq!(pre.seq, 1);
+        a.poll(200.0); // old seq-1 summary leaves; its ack will arrive late
+        a.crash();
+        a.ingest(&rec(0, "u", 210.0, 250.0));
+        let post = a.publish(300.0).expect("republication");
+        assert!(post.seq > pre.seq, "crash must not reuse sequence numbers");
+        a.poll(300.0); // post-crash summary leaves and is dropped
+                       // The stale ack from the pre-crash numbering lands now.
+        a.receive_message(
+            &UssMessage::Ack {
+                from: SiteId(1),
+                seq: pre.seq,
+            },
+            310.0,
+        );
+        assert_eq!(
+            a.outbox_depth(SiteId(1)),
+            1,
+            "stale ack must not cancel the unacked republication"
+        );
+        // The retry (after backoff) really does re-deliver everything.
+        let msgs = a.poll(400.0);
+        assert!(!msgs.is_empty(), "republication retried");
+        drain(&mut a, &mut b, msgs, 400.0);
+        assert!((b.remote_usage_of(&GridUser::new("u")) - 120.0).abs() < 1e-9);
+        assert!(a.retries() > 0);
+    }
+
+    #[test]
+    fn stale_policy_degrades_to_local_only_and_restores() {
+        let (mut a, mut b) = reliable_pair();
+        b.set_stale_policy(StalePolicy::LocalOnly {
+            max_staleness_s: 100.0,
+        });
+        b.ingest(&rec(1, "v", 0.0, 30.0));
+        a.ingest(&rec(0, "u", 0.0, 80.0));
+        a.publish(200.0);
+        let msgs = a.poll(200.0);
+        drain(&mut a, &mut b, msgs, 200.0);
+        b.update_staleness(250.0);
+        assert!(!b.remote_suppressed());
+        assert!(b.grid_view().contains_key(&GridUser::new("u")));
+        // Peer goes silent past the threshold: remote weighting suppressed.
+        b.update_staleness(400.0);
+        assert!(b.remote_suppressed());
+        assert!(!b.grid_view().contains_key(&GridUser::new("u")));
+        assert!(
+            !b.decayed_usage(400.0, DecayPolicy::None)
+                .contains_key(&GridUser::new("u")),
+            "UMS-facing usage is local-only while degraded"
+        );
+        // Fresh data from the peer restores the global view.
+        a.ingest(&rec(0, "u", 110.0, 150.0));
+        a.publish(500.0);
+        let msgs = a.poll(500.0);
+        drain(&mut a, &mut b, msgs, 500.0);
+        b.update_staleness(505.0);
+        assert!(!b.remote_suppressed());
+        assert!((b.grid_view()[&GridUser::new("u")] - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outbox_overflow_drops_oldest_but_converges_via_resync() {
+        let (mut a, mut b) = reliable_pair();
+        let retry = RetryPolicy {
+            outbox_cap: 2,
+            history_cap: 2,
+            jitter_frac: 0.0,
+            ..*a.retry_policy()
+        };
+        a.configure_reliability(retry, 1);
+        for i in 0..5 {
+            a.ingest(&rec(0, "u", i as f64 * 100.0, i as f64 * 100.0 + 50.0));
+            a.publish(100.0 * (i + 2) as f64).unwrap();
+        }
+        assert_eq!(a.outbox_depth(SiteId(1)), 2, "bounded outbox");
+        let msgs = a.poll(700.0);
+        drain(&mut a, &mut b, msgs, 700.0);
+        assert!(
+            (b.remote_usage_of(&GridUser::new("u")) - 250.0).abs() < 1e-9,
+            "gap → resync → snapshot recovered the overflowed entries"
+        );
     }
 }

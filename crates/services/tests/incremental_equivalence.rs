@@ -141,6 +141,7 @@ fn run_interleaving(kind: ProjectionKind, decay_sel: u8, ops: &[Op]) -> Result<(
                 per_user.insert(user, BTreeMap::from([(slot, x * 300.0)]));
                 uss.receive(&UsageSummary {
                     site: SiteId(1),
+                    seq: 0, // unsequenced ad-hoc summary (absolute cells)
                     slot_s: 60.0,
                     per_user,
                 });

@@ -1,0 +1,248 @@
+//! Property tests of the USS reliability protocol: under arbitrary
+//! interleavings of publish, drop, reorder, duplication, and resync, no
+//! (user, slot) charge is ever double-counted, and once the network stops
+//! misbehaving every site converges to exactly the sum of the charges its
+//! peers published.
+
+use aequus_core::usage::UsageRecord;
+use aequus_core::{GridUser, JobId, SiteId};
+use aequus_services::{ParticipationMode, RetryPolicy, Uss, UssMessage};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const SITES: usize = 3;
+const USERS: [&str; 3] = ["alice", "bob", "carol"];
+const SLOT_S: f64 = 100.0;
+
+/// An in-flight message: (destination, payload).
+type Wire = Vec<(SiteId, UssMessage)>;
+
+struct Grid {
+    sites: Vec<Uss>,
+    wire: Wire,
+    now_s: f64,
+}
+
+impl Grid {
+    fn new(seed: u64) -> Self {
+        let peers: Vec<SiteId> = (0..SITES as u32).map(SiteId).collect();
+        let retry = RetryPolicy {
+            ack_timeout_s: 20.0,
+            max_backoff_s: 80.0,
+            jitter_frac: 0.1,
+            history_cap: 4, // tiny retention: resyncs often fall back to snapshots
+            outbox_cap: 4,
+        };
+        let sites = (0..SITES as u32)
+            .map(|i| {
+                let mut u = Uss::new(SiteId(i), ParticipationMode::Full, SLOT_S);
+                u.set_peers(&peers, &peers);
+                u.configure_reliability(retry, seed.wrapping_add(i as u64));
+                u
+            })
+            .collect();
+        Self {
+            sites,
+            wire: Vec::new(),
+            // Start past the largest single charge so records never reach
+            // back before t = 0 (the histogram clamps there).
+            now_s: 200.0,
+        }
+    }
+
+    fn ingest(&mut self, site: usize, user: usize, charge_s: f64) {
+        let rec = UsageRecord {
+            job: JobId((site as u64) << 32 | self.now_s as u64),
+            user: GridUser::new(USERS[user]),
+            site: SiteId(site as u32),
+            cores: 1,
+            start_s: self.now_s - charge_s,
+            end_s: self.now_s,
+        };
+        self.sites[site].ingest(&rec);
+    }
+
+    /// Advance time and let every site publish + flush its retry queue onto
+    /// the wire.
+    fn tick(&mut self, dt: f64) {
+        self.now_s += dt;
+        for i in 0..SITES {
+            let now = self.now_s;
+            self.sites[i].publish(now);
+            let out = self.sites[i].poll(now);
+            self.wire.extend(out);
+        }
+    }
+
+    /// Deliver the wire message at `idx`, feeding any responses (acks,
+    /// resync pulls, snapshots) back onto the wire.
+    fn deliver(&mut self, idx: usize) {
+        if self.wire.is_empty() {
+            return;
+        }
+        let (to, msg) = self.wire.remove(idx % self.wire.len());
+        let responses = self.sites[to.0 as usize].receive_message(&msg, self.now_s);
+        self.wire.extend(responses);
+    }
+
+    /// Re-deliver a message without consuming it (network duplication).
+    fn duplicate(&mut self, idx: usize) {
+        if self.wire.is_empty() {
+            return;
+        }
+        let (to, msg) = self.wire[idx % self.wire.len()].clone();
+        let responses = self.sites[to.0 as usize].receive_message(&msg, self.now_s);
+        self.wire.extend(responses);
+    }
+
+    fn drop_message(&mut self, idx: usize) {
+        if !self.wire.is_empty() {
+            let i = idx % self.wire.len();
+            self.wire.remove(i);
+        }
+    }
+
+    fn reorder(&mut self, idx: usize) {
+        if self.wire.len() > 1 {
+            let i = idx % self.wire.len();
+            let m = self.wire.remove(i);
+            self.wire.push(m);
+        }
+    }
+
+    /// What each user's fully-merged grid view must converge to: the sum of
+    /// local charges across all sites.
+    fn published_truth(&self) -> BTreeMap<GridUser, f64> {
+        let mut truth = BTreeMap::new();
+        for site in &self.sites {
+            for user in USERS {
+                let u = GridUser::new(user);
+                *truth.entry(u.clone()).or_insert(0.0) += site.local_usage_of(&u);
+            }
+        }
+        truth
+    }
+
+    /// The no-double-count invariant, checkable at ANY point: a site's
+    /// merged remote usage for a user never exceeds what its peers actually
+    /// accrued locally — retries, duplicates, snapshots, and overlapping
+    /// resync ranges must never inflate a charge.
+    fn assert_never_overcounts(&self) {
+        for (i, site) in self.sites.iter().enumerate() {
+            for user in USERS {
+                let u = GridUser::new(user);
+                let remote = site.remote_usage_of(&u);
+                let peers_local: f64 = self
+                    .sites
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, s)| s.local_usage_of(&u))
+                    .sum();
+                assert!(
+                    remote <= peers_local + 1e-9,
+                    "site {i} overcounts {user}: remote {remote} > peers' local {peers_local}"
+                );
+            }
+        }
+    }
+
+    /// Faults stop: run publish/poll/deliver-everything rounds until the
+    /// wire drains and views stop changing.
+    fn quiesce(&mut self) {
+        for _ in 0..200 {
+            self.tick(SLOT_S);
+            while !self.wire.is_empty() {
+                self.deliver(0);
+            }
+        }
+    }
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8, u16)>> {
+    // (op, site, user, magnitude): op 0 = ingest, 1 = tick, 2 = deliver,
+    // 3 = drop, 4 = reorder, 5 = duplicate.
+    proptest::collection::vec((0u8..6, 0u8..SITES as u8, 0u8..3, 0u16..1000), 10..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_interleavings_never_double_count_and_converge(
+        ops in ops_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let mut grid = Grid::new(seed);
+        for (op, site, user, mag) in ops {
+            match op {
+                0 => grid.ingest(site as usize, user as usize, 1.0 + mag as f64 / 10.0),
+                1 => grid.tick(10.0 + (mag % 50) as f64),
+                2 => grid.deliver(mag as usize),
+                3 => grid.drop_message(mag as usize),
+                4 => grid.reorder(mag as usize),
+                5 => grid.duplicate(mag as usize),
+                _ => unreachable!(),
+            }
+            grid.assert_never_overcounts();
+        }
+        grid.quiesce();
+        grid.assert_never_overcounts();
+        // Convergence: every site's merged view equals the sum of published
+        // charges, exactly (within float tolerance) — dropped summaries were
+        // retried, gaps resynced, nothing lost, nothing duplicated.
+        let truth = grid.published_truth();
+        for (i, site) in grid.sites.iter().enumerate() {
+            let view = site.grid_view();
+            for (user, want) in &truth {
+                let got = view.get(user).copied().unwrap_or(0.0);
+                prop_assert!(
+                    (got - want).abs() < 1e-9,
+                    "site {} view of {:?}: {} vs published {}",
+                    i, user, got, want
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crash_amid_chaos_still_converges(
+        ops in ops_strategy(),
+        crash_at in 5usize..40,
+        seed in 0u64..1000,
+    ) {
+        // One site crashes mid-interleaving (volatile exchange state wiped,
+        // local accounting survives); on recovery it requests snapshot
+        // catch-up. The same convergence bound must hold.
+        let mut grid = Grid::new(seed);
+        for (step, (op, site, user, mag)) in ops.into_iter().enumerate() {
+            if step == crash_at {
+                grid.sites[1].crash();
+                grid.sites[1].request_catchup();
+            }
+            match op {
+                0 => grid.ingest(site as usize, user as usize, 1.0 + mag as f64 / 10.0),
+                1 => grid.tick(10.0 + (mag % 50) as f64),
+                2 => grid.deliver(mag as usize),
+                3 => grid.drop_message(mag as usize),
+                4 => grid.reorder(mag as usize),
+                5 => grid.duplicate(mag as usize),
+                _ => unreachable!(),
+            }
+        }
+        grid.quiesce();
+        grid.assert_never_overcounts();
+        let truth = grid.published_truth();
+        for (i, site) in grid.sites.iter().enumerate() {
+            let view = site.grid_view();
+            for (user, want) in &truth {
+                let got = view.get(user).copied().unwrap_or(0.0);
+                prop_assert!(
+                    (got - want).abs() < 1e-9,
+                    "post-crash site {} view of {:?}: {} vs {}",
+                    i, user, got, want
+                );
+            }
+        }
+    }
+}

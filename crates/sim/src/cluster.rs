@@ -8,7 +8,7 @@ use aequus_rms::{
     FactorConfig, FairshareSource, Job, MauiConfig, MauiScheduler, NodePool, SchedulerStats,
     SlurmConfig, SlurmScheduler,
 };
-use aequus_services::AequusSite;
+use aequus_services::{AequusSite, UssMessage};
 use aequus_telemetry::Telemetry;
 use aequus_workload::TraceJob;
 
@@ -167,6 +167,14 @@ impl SimCluster {
         self.rms.advance(&mut self.site, now_s);
     }
 
+    /// Advance only the RMS while the Aequus stack is crashed: jobs keep
+    /// running and completing (their usage reports spool in the site's
+    /// pending queue), scheduling continues on the library's degraded
+    /// stale-cache priorities.
+    pub fn step_rms_only(&mut self, now_s: f64) {
+        self.rms.advance(&mut self.site, now_s);
+    }
+
     /// Drain summaries the site produced for its peers.
     pub fn take_outbox(&mut self) -> Vec<UsageSummary> {
         self.site.take_outbox()
@@ -176,6 +184,16 @@ impl SimCluster {
     /// carries the delivery time).
     pub fn deliver(&mut self, summary: &UsageSummary, now_s: f64) {
         self.site.receive_summary_at(summary, now_s);
+    }
+
+    /// Drain every reliable-exchange message the site owes its peers.
+    pub fn poll_messages(&mut self, now_s: f64) -> Vec<(SiteId, UssMessage)> {
+        self.site.poll_messages(now_s)
+    }
+
+    /// Deliver one reliable-exchange message; returns response messages.
+    pub fn deliver_msg(&mut self, msg: &UssMessage, now_s: f64) -> Vec<(SiteId, UssMessage)> {
+        self.site.deliver_message(msg, now_s)
     }
 }
 

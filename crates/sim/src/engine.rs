@@ -8,9 +8,10 @@ use crate::event::{Event, EventQueue};
 use crate::faults::FaultRng;
 use crate::metrics::{MetricsLog, Sample, UserSample};
 use crate::scenario::GridScenario;
-use aequus_core::GridUser;
+use aequus_core::{GridUser, SiteId};
 use aequus_rms::SchedulerStats;
-use aequus_telemetry::{Snapshot, Telemetry};
+use aequus_services::UssMessage;
+use aequus_telemetry::{Counter, Snapshot, Telemetry};
 use aequus_workload::Trace;
 use std::collections::BTreeMap;
 
@@ -33,6 +34,10 @@ pub struct SimResult {
     /// Final snapshot of the engine's own registry (event-loop spans).
     /// `None` when the scenario ran without telemetry.
     pub engine_telemetry: Option<Snapshot>,
+    /// Each site's final raw per-user view of grid usage (local + merged
+    /// remote), in cluster order — what the chaos suite's convergence
+    /// invariant compares against a fault-free run.
+    pub site_usage_views: Vec<BTreeMap<GridUser, f64>>,
 }
 
 impl SimResult {
@@ -74,6 +79,8 @@ pub struct GridSimulation {
     clusters: Vec<SimCluster>,
     dispatcher: Dispatcher,
     faults: FaultRng,
+    /// Per-cluster crash state (edge detection for crash/recovery windows).
+    crashed: Vec<bool>,
     /// The engine's own telemetry domain: event-loop spans and counters,
     /// separate from the per-site registries.
     telemetry: Telemetry,
@@ -82,12 +89,33 @@ pub struct GridSimulation {
 impl GridSimulation {
     /// Build the grid from a scenario.
     pub fn new(scenario: GridScenario) -> Self {
-        let clusters: Vec<SimCluster> = scenario
+        let mut clusters: Vec<SimCluster> = scenario
             .clusters
             .iter()
             .enumerate()
             .map(|(i, spec)| SimCluster::new(i, spec, &scenario))
             .collect();
+        // Register the reliable-exchange topology: each site delivers to the
+        // peers that read global data and expects summaries from the peers
+        // that contribute it (participation modes, §IV-A-4).
+        let n = clusters.len();
+        for (i, cluster) in clusters.iter_mut().enumerate() {
+            let tx: Vec<SiteId> = (0..n)
+                .filter(|&j| j != i && scenario.clusters[j].participation.reads_global())
+                .map(|j| SiteId(j as u32))
+                .collect();
+            let rx: Vec<SiteId> = (0..n)
+                .filter(|&j| j != i && scenario.clusters[j].participation.contributes())
+                .map(|j| SiteId(j as u32))
+                .collect();
+            cluster.site.configure_exchange(
+                &tx,
+                &rx,
+                scenario.retry,
+                scenario.stale_policy,
+                scenario.seed,
+            );
+        }
         let dispatcher = Dispatcher::new(scenario.dispatch, &scenario.capacities(), scenario.seed);
         let faults = FaultRng::new(scenario.seed.wrapping_add(0x5EED));
         let telemetry = if scenario.telemetry {
@@ -100,6 +128,7 @@ impl GridSimulation {
             clusters,
             dispatcher,
             faults,
+            crashed: vec![false; n],
             telemetry,
         }
     }
@@ -121,9 +150,11 @@ impl GridSimulation {
         let c_arrivals = self.telemetry.counter("aequus_sim_job_arrivals_total");
         let c_ticks = self.telemetry.counter("aequus_sim_cluster_ticks_total");
         let c_gossip = self.telemetry.counter("aequus_sim_gossip_deliveries_total");
-        let c_dropped = self
+        let c_partitioned = self
             .telemetry
             .counter("aequus_sim_gossip_partitioned_total");
+        let c_dropped = self.telemetry.counter("aequus_sim_gossip_dropped_total");
+        let c_crashes = self.telemetry.counter("aequus_sim_crashes_total");
         let c_samples = self.telemetry.counter("aequus_sim_metrics_samples_total");
 
         while let Some((now, event)) = queue.pop() {
@@ -141,18 +172,26 @@ impl GridSimulation {
                 }
                 Event::ClusterTick => {
                     c_ticks.inc();
-                    self.tick_clusters(now, &mut queue);
+                    self.tick_clusters(now, &mut queue, &c_dropped, &c_crashes);
                     let next = now + self.scenario.tick_interval_s;
                     if next <= end_s {
                         queue.push(next, Event::ClusterTick);
                     }
                 }
-                Event::GossipDeliver { to, summary } => {
-                    if !self.scenario.faults.is_partitioned(to, now) {
-                        c_gossip.inc();
-                        self.clusters[to].deliver(&summary, now);
+                Event::UssDeliver { to, msg } => {
+                    if self.crashed[to] || self.scenario.faults.is_partitioned(to, now) {
+                        // Undeliverable: the publisher's outbox keeps the
+                        // data and the retry/anti-entropy layer re-syncs it
+                        // once the site is back.
+                        c_partitioned.inc();
                     } else {
-                        c_dropped.inc();
+                        if msg.is_data() {
+                            c_gossip.inc();
+                        }
+                        let responses = self.clusters[to].deliver_msg(&msg, now);
+                        for (dest, response) in responses {
+                            self.route(dest.0 as usize, response, now, &mut queue, &c_dropped);
+                        }
                     }
                 }
                 Event::MetricsSample => {
@@ -189,36 +228,110 @@ impl GridSimulation {
                 .filter_map(|c| c.telemetry.snapshot())
                 .collect(),
             engine_telemetry: self.telemetry.snapshot(),
+            site_usage_views: self
+                .clusters
+                .iter()
+                .map(|c| c.site.uss.grid_view())
+                .collect(),
         }
     }
 
-    fn tick_clusters(&mut self, now: f64, queue: &mut EventQueue) {
+    fn tick_clusters(
+        &mut self,
+        now: f64,
+        queue: &mut EventQueue,
+        c_dropped: &Counter,
+        c_crashes: &Counter,
+    ) {
         let n = self.clusters.len();
         for i in 0..n {
-            self.clusters[i].step(now);
-            let partitioned_src = self.scenario.faults.is_partitioned(i, now);
-            let summaries = self.clusters[i].take_outbox();
-            if partitioned_src {
-                continue; // summaries lost to the partition
-            }
-            for summary in summaries {
-                for j in 0..n {
-                    if j == i {
-                        continue;
-                    }
-                    if self.faults.should_drop(&self.scenario.faults) {
-                        continue;
-                    }
-                    queue.push(
-                        now + self.scenario.timings.exchange_latency_s,
-                        Event::GossipDeliver {
-                            to: j,
-                            summary: summary.clone(),
-                        },
-                    );
+            // Crash-window edges: entering wipes the site's volatile Aequus
+            // state, leaving triggers snapshot catch-up from peers.
+            let crashed_now = self.scenario.faults.is_crashed(i, now);
+            if crashed_now != self.crashed[i] {
+                if crashed_now {
+                    self.clusters[i].site.crash(now);
+                    c_crashes.inc();
+                } else {
+                    self.clusters[i].site.recover(now);
                 }
+                self.crashed[i] = crashed_now;
+            }
+            if crashed_now {
+                // The RMS keeps scheduling (degraded, stale-cache priorities)
+                // and completed jobs spool their usage reports for replay,
+                // but the Aequus services are down.
+                self.clusters[i].step_rms_only(now);
+                continue;
+            }
+            self.clusters[i].step(now);
+            // With peers registered the legacy broadcast outbox stays empty
+            // and the reliable exchange drains through poll_messages. A
+            // peerless site (single-cluster scenario) still fills it — and
+            // has nowhere to send, so discard.
+            let _ = self.clusters[i].take_outbox();
+            let msgs = self.clusters[i].poll_messages(now);
+            if self.scenario.faults.is_partitioned(i, now) {
+                // Transport cut at the source. The retry state has already
+                // advanced, so the lost sends retry after their backoff.
+                continue;
+            }
+            for (dest, msg) in msgs {
+                self.route(dest.0 as usize, msg, now, queue, c_dropped);
             }
         }
+    }
+
+    /// Route one exchange message toward `dest` with network latency,
+    /// subject to the random-drop fault (control messages are as droppable
+    /// as data — the protocol tolerates either).
+    fn route(
+        &mut self,
+        dest: usize,
+        msg: UssMessage,
+        now: f64,
+        queue: &mut EventQueue,
+        c_dropped: &Counter,
+    ) {
+        if self.faults.should_drop(&self.scenario.faults) {
+            c_dropped.inc();
+            return;
+        }
+        queue.push(
+            now + self.scenario.timings.exchange_latency_s,
+            Event::UssDeliver { to: dest, msg },
+        );
+    }
+
+    /// The raw per-user grid-usage views held by global-reading, non-crashed
+    /// sites, and the largest per-user spread between them.
+    fn view_divergence(&self) -> f64 {
+        let views: Vec<BTreeMap<GridUser, f64>> = self
+            .clusters
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                !self.crashed[*i] && self.scenario.clusters[*i].participation.reads_global()
+            })
+            .map(|(_, c)| c.site.uss.grid_view())
+            .collect();
+        if views.len() < 2 {
+            return 0.0;
+        }
+        let mut divergence = 0.0f64;
+        let users: std::collections::BTreeSet<&GridUser> =
+            views.iter().flat_map(|v| v.keys()).collect();
+        for user in users {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for view in &views {
+                let v = view.get(user).copied().unwrap_or(0.0);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            divergence = divergence.max(hi - lo);
+        }
+        divergence
     }
 
     fn sample(&mut self, now: f64) -> Sample {
@@ -294,6 +407,7 @@ impl GridSimulation {
                 .iter()
                 .map(|c| c.site.fcs.nodes_recomputed())
                 .sum(),
+            usage_view_divergence: self.view_divergence(),
             site_telemetry: self
                 .clusters
                 .iter()

@@ -2,7 +2,7 @@
 //! tie-breaking (insertion sequence), so simulations are exactly
 //! reproducible given a seed.
 
-use aequus_core::usage::UsageSummary;
+use aequus_services::UssMessage;
 use aequus_workload::TraceJob;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -14,12 +14,13 @@ pub enum Event {
     JobArrival(TraceJob),
     /// Periodic cluster advance (site tick + scheduler iteration).
     ClusterTick,
-    /// A usage summary reaches a destination site after network latency.
-    GossipDeliver {
+    /// A reliable-exchange message reaches a destination site after network
+    /// latency (summaries, acks, resync pulls, snapshots).
+    UssDeliver {
         /// Destination cluster index.
         to: usize,
-        /// The summary being delivered.
-        summary: UsageSummary,
+        /// The message being delivered.
+        msg: UssMessage,
     },
     /// Periodic metrics sample.
     MetricsSample,

@@ -25,6 +25,12 @@ pub struct FaultPlan {
     pub drop_probability: f64,
     /// Site network outage windows.
     pub outages: Vec<Outage>,
+    /// Site crash windows: while active, the site's volatile Aequus state
+    /// (USS exchange state and remote view, UMS cache, FCS tree) is wiped
+    /// and its services stop ticking; the RMS keeps running on degraded
+    /// (stale-cache) priorities. Leaving the window triggers recovery:
+    /// snapshot catch-up from peers and republication of local history.
+    pub crashes: Vec<Outage>,
 }
 
 impl FaultPlan {
@@ -33,12 +39,20 @@ impl FaultPlan {
         Self {
             drop_probability: 0.0,
             outages: Vec::new(),
+            crashes: Vec::new(),
         }
     }
 
     /// Whether `cluster` is partitioned from the exchange at `now_s`.
     pub fn is_partitioned(&self, cluster: usize, now_s: f64) -> bool {
         self.outages
+            .iter()
+            .any(|o| o.cluster == cluster && now_s >= o.from_s && now_s < o.to_s)
+    }
+
+    /// Whether `cluster` is crashed at `now_s`.
+    pub fn is_crashed(&self, cluster: usize, now_s: f64) -> bool {
+        self.crashes
             .iter()
             .any(|o| o.cluster == cluster && now_s >= o.from_s && now_s < o.to_s)
     }
@@ -85,6 +99,7 @@ mod tests {
                 from_s: 100.0,
                 to_s: 200.0,
             }],
+            crashes: vec![],
         };
         assert!(!plan.is_partitioned(2, 99.9));
         assert!(plan.is_partitioned(2, 100.0));
@@ -94,10 +109,31 @@ mod tests {
     }
 
     #[test]
+    fn crash_windows_are_independent_of_outages() {
+        let plan = FaultPlan {
+            drop_probability: 0.0,
+            outages: vec![Outage {
+                cluster: 0,
+                from_s: 0.0,
+                to_s: 50.0,
+            }],
+            crashes: vec![Outage {
+                cluster: 1,
+                from_s: 100.0,
+                to_s: 200.0,
+            }],
+        };
+        assert!(plan.is_partitioned(0, 10.0) && !plan.is_crashed(0, 10.0));
+        assert!(plan.is_crashed(1, 150.0) && !plan.is_partitioned(1, 150.0));
+        assert!(!plan.is_crashed(1, 200.0), "end exclusive");
+    }
+
+    #[test]
     fn drop_rate_approximates_probability() {
         let plan = FaultPlan {
             drop_probability: 0.3,
             outages: vec![],
+            crashes: vec![],
         };
         let mut rng = FaultRng::new(7);
         let drops = (0..10_000).filter(|_| rng.should_drop(&plan)).count();

@@ -40,6 +40,12 @@ pub struct Sample {
     /// Cumulative subtree-aggregate recomputations across all sites — the
     /// work metric the incremental engine minimizes.
     pub fcs_nodes_recomputed: u64,
+    /// Maximum over users of the spread (max − min) of raw per-user grid
+    /// usage across the global-reading, non-crashed sites' USS views — the
+    /// fault-recovery metric: `0` means every site agrees on everyone's
+    /// usage, and after faults clear the anti-entropy layer must drive it
+    /// back toward `0`. `0` when fewer than two sites hold comparable views.
+    pub usage_view_divergence: f64,
     /// Per-site telemetry registry snapshots, in cluster order. Empty when
     /// the scenario runs without telemetry.
     pub site_telemetry: Vec<aequus_telemetry::Snapshot>,
@@ -257,6 +263,30 @@ impl MetricsLog {
     pub fn total_completed(&self) -> u64 {
         self.samples.last().map(|s| s.completed).unwrap_or(0)
     }
+
+    /// Time series of the cross-site usage-view divergence.
+    pub fn view_divergence_series(&self) -> Vec<(f64, f64)> {
+        self.samples
+            .iter()
+            .map(|s| (s.t_s, s.usage_view_divergence))
+            .collect()
+    }
+
+    /// Earliest sample time from which the cross-site usage views stay
+    /// within `eps` of each other through the end of the run — the
+    /// convergence-after-fault time the chaos suite and fault-sweep bench
+    /// report. `None` if even the final sample diverges.
+    pub fn view_convergence_time(&self, eps: f64) -> Option<f64> {
+        let mut from = None;
+        for s in self.samples.iter().rev() {
+            if s.usage_view_divergence < eps {
+                from = Some(s.t_s);
+            } else {
+                break;
+            }
+        }
+        from
+    }
 }
 
 #[cfg(test)]
@@ -284,6 +314,7 @@ mod tests {
             fcs_full_refreshes: 0,
             fcs_incremental_refreshes: 0,
             fcs_nodes_recomputed: 0,
+            usage_view_divergence: 0.0,
             site_telemetry: vec![],
         }
     }
@@ -378,6 +409,7 @@ mod tests {
             fcs_full_refreshes: 0,
             fcs_incremental_refreshes: 0,
             fcs_nodes_recomputed: 0,
+            usage_view_divergence: 0.0,
             site_telemetry: vec![],
         });
         assert!(log.balance_windows(0.1).is_empty());

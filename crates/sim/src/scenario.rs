@@ -5,7 +5,7 @@ use aequus_core::fairshare::FairshareConfig;
 use aequus_core::policy::{flat_policy, PolicyTree};
 use aequus_core::projection::ProjectionKind;
 use aequus_rms::PriorityWeights;
-use aequus_services::{ParticipationMode, ServiceTimings};
+use aequus_services::{ParticipationMode, RetryPolicy, ServiceTimings, StalePolicy};
 
 use crate::dispatch::DispatchPolicy;
 use crate::faults::FaultPlan;
@@ -77,6 +77,10 @@ pub struct GridScenario {
     pub seed: u64,
     /// Failure injection.
     pub faults: FaultPlan,
+    /// Reliable-exchange retry/backoff/retention configuration.
+    pub retry: RetryPolicy,
+    /// What sites serve while peer data goes stale (outages, crashes).
+    pub stale_policy: StalePolicy,
     /// Enable telemetry: per-site metric registries, stage spans, structured
     /// events, and the end-to-end pipeline-delay tracer. Off by default —
     /// disabled telemetry compiles to no-op handles on every hot path.
@@ -89,6 +93,7 @@ impl GridScenario {
     /// national grid capacity"), SLURM on every site, percental projection,
     /// fairshare-only priority, k = 0.5.
     pub fn national_testbed(policy_shares: &[(&str, f64)], seed: u64) -> Self {
+        let timings = ServiceTimings::default();
         Self {
             clusters: (0..6)
                 .map(|_| ClusterSpec {
@@ -108,7 +113,7 @@ impl GridScenario {
                 ..FairshareConfig::default()
             },
             projection: ProjectionKind::Percental,
-            timings: ServiceTimings::default(),
+            timings,
             weights: PriorityWeights::fairshare_only(),
             dispatch: DispatchPolicy::Stochastic,
             tick_interval_s: 5.0,
@@ -116,6 +121,8 @@ impl GridScenario {
             usage_slot_s: 60.0,
             seed,
             faults: FaultPlan::none(),
+            retry: RetryPolicy::from_timings(&timings),
+            stale_policy: StalePolicy::ServeStale,
             telemetry: false,
         }
     }

@@ -82,6 +82,7 @@ proptest! {
         sc.faults = FaultPlan {
             drop_probability: drop,
             outages: vec![Outage { cluster: 1, from_s: outage_start, to_s: outage_start + outage_len }],
+            crashes: vec![],
         };
         let result = GridSimulation::new(sc).run(&trace, 30_000.0);
         // Faults affect *information flow*, never the jobs themselves.

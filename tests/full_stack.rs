@@ -117,6 +117,7 @@ fn gossip_drops_degrade_gracefully() {
     faulty_sc.faults = FaultPlan {
         drop_probability: 0.5,
         outages: vec![],
+        crashes: vec![],
     };
     let faulty = GridSimulation::new(faulty_sc).run(&trace, 2400.0);
     // Work still completes despite losing half the exchange traffic.
@@ -134,6 +135,7 @@ fn site_outage_does_not_stall_grid() {
             from_s: 1800.0,
             to_s: 10_800.0,
         }],
+        crashes: vec![],
     };
     let result = GridSimulation::new(sc).run(&trace, 3600.0);
     assert!(result.total_completed() as f64 > 0.97 * 6000.0);

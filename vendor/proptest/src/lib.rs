@@ -230,12 +230,20 @@ pub mod test_runner {
     }
 
     /// Stable per-test seed so failures reproduce across runs (FNV-1a of the
-    /// test path).
+    /// test path). `AEQUUS_TEST_SEED` shifts the whole seed family, letting
+    /// CI sweep a matrix of generated cases without editing any suite; a
+    /// failure still reproduces by re-running with the same value.
     pub fn seed_for(test_name: &str) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in test_name.bytes() {
             h ^= b as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        if let Some(shift) = std::env::var("AEQUUS_TEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            h ^= shift.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         }
         h
     }
