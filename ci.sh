@@ -20,5 +20,12 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
   -p aequus-bench
 
 # Telemetry overhead smoke check: the instrumented dispatch hot path must
-# stay within 5% of the disabled-telemetry baseline.
+# stay within 5% of its baseline in all three modes — metrics-only vs
+# disabled, and tracing+provenance enabled-but-unsampled / full-capture vs
+# metrics-only.
 cargo run -q --release -p aequus-bench --bin telemetry_overhead -- --check
+
+# Benchmark snapshot + regression gate: writes BENCH_PR4.json and compares
+# against the most recent previous BENCH_*.json within tolerance (passes
+# with a note when none exists yet).
+cargo run -q --release -p aequus-bench --bin bench_snapshot -- 1500 --check

@@ -1,0 +1,161 @@
+//! Machine-readable benchmark snapshot: writes `BENCH_PR4.json` with the
+//! headline numbers of this revision (fairshare refresh latency, query p99,
+//! gossip convergence under faults, and causal-tracing overhead), then —
+//! with `--check` — compares each key against the most recent previous
+//! `BENCH_*.json` in the working directory and exits non-zero on a
+//! regression beyond tolerance. A missing previous snapshot passes with a
+//! note, so the gate bootstraps cleanly on first run.
+//!
+//! Usage: `bench_snapshot [JOBS] [--check]` (default 4,000 jobs).
+
+use aequus_bench::{baseline_trace, jobs_arg, run_with_faults};
+use aequus_sim::{GridScenario, GridSimulation, SimResult};
+use aequus_workload::users::baseline_policy_shares;
+use std::time::Instant;
+
+const OUT: &str = "BENCH_PR4.json";
+
+/// The compact two-cluster testbed used for the timing ratios, so the
+/// untraced / unsampled / fully-traced runs are strictly comparable.
+fn two_cluster_scenario(seed: u64) -> GridScenario {
+    let mut sc = GridScenario::national_testbed(&baseline_policy_shares(), seed);
+    sc.clusters.truncate(2);
+    sc
+}
+
+fn timed_run(scenario: GridScenario, jobs: usize, seed: u64) -> (f64, SimResult) {
+    let trace = baseline_trace(jobs, seed);
+    let start = Instant::now();
+    let result = GridSimulation::new(scenario).run(&trace, 1800.0);
+    (start.elapsed().as_secs_f64(), result)
+}
+
+/// Merge the FCS refresh histograms (full + incremental) across all sites
+/// into (mean, max p99); query p99 is the max across sites.
+fn refresh_and_query_stats(result: &SimResult) -> (f64, f64, f64) {
+    let (mut sum, mut count, mut refresh_p99, mut query_p99) = (0.0, 0u64, 0.0f64, 0.0f64);
+    for snap in &result.site_telemetry {
+        for name in [
+            "aequus_fcs_refresh_full_s",
+            "aequus_fcs_refresh_incremental_s",
+        ] {
+            if let Some(h) = snap.histograms.get(name) {
+                sum += h.sum;
+                count += h.count;
+                refresh_p99 = refresh_p99.max(h.p99);
+            }
+        }
+        if let Some(h) = snap.histograms.get("aequus_fcs_query_s") {
+            query_p99 = query_p99.max(h.p99);
+        }
+    }
+    let mean = if count > 0 { sum / count as f64 } else { 0.0 };
+    (mean, refresh_p99, query_p99)
+}
+
+/// Pull the numeric value of `"key": <number>` out of a flat JSON document
+/// without a parser; every snapshot key is globally unique by construction.
+fn extract(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Newest previous snapshot (`BENCH_*.json` other than this PR's output).
+fn previous_snapshot() -> Option<(String, String)> {
+    let mut candidates: Vec<(std::time::SystemTime, String)> = std::fs::read_dir(".")
+        .ok()?
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name().into_string().ok()?;
+            if name.starts_with("BENCH_") && name.ends_with(".json") && name != OUT {
+                Some((e.metadata().ok()?.modified().ok()?, name))
+            } else {
+                None
+            }
+        })
+        .collect();
+    candidates.sort();
+    let (_, name) = candidates.pop()?;
+    let body = std::fs::read_to_string(&name).ok()?;
+    Some((name, body))
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let jobs = jobs_arg(4_000);
+    let seed = 42;
+
+    let (base_wall, _) = timed_run(two_cluster_scenario(seed), jobs, seed);
+    let (telem_wall, telem) = timed_run(two_cluster_scenario(seed).with_telemetry(), jobs, seed);
+    let (full_wall, _) = timed_run(two_cluster_scenario(seed).with_full_tracing(), jobs, seed);
+    let (refresh_mean, refresh_p99, query_p99) = refresh_and_query_stats(&telem);
+    // Gossip convergence under a 10% drop fault plan: total seconds the
+    // cross-site usage views spent divergent (> 1e-6). Lower means the
+    // reliability layer reconverges the views faster.
+    let faulted = run_with_faults(jobs, 0.1, seed);
+    let series = faulted.metrics.view_divergence_series();
+    let mut divergent_s = 0.0;
+    for w in series.windows(2) {
+        if w[0].1 >= 1e-6 {
+            divergent_s += w[1].0 - w[0].0;
+        }
+    }
+    let unsampled_ratio = telem_wall / base_wall;
+    let full_ratio = full_wall / base_wall;
+
+    let json = format!(
+        "{{\n  \"pr\": 4,\n  \"jobs\": {jobs},\n  \"refresh_mean_s\": {refresh_mean:?},\n  \
+         \"refresh_p99_s\": {refresh_p99:?},\n  \"query_p99_s\": {query_p99:?},\n  \
+         \"gossip_divergent_s\": {divergent_s:?},\n  \
+         \"tracing_unsampled_ratio\": {unsampled_ratio:?},\n  \
+         \"tracing_full_ratio\": {full_ratio:?}\n}}\n"
+    );
+    std::fs::write(OUT, &json).expect("write benchmark snapshot");
+    println!("wrote {OUT}:");
+    print!("{json}");
+
+    if !check {
+        return;
+    }
+    let Some((prev_name, prev)) = previous_snapshot() else {
+        println!("OK: no previous BENCH_*.json to compare against; gate passes");
+        return;
+    };
+    println!("comparing against {prev_name}");
+    // (key, relative tolerance, absolute slack) — a regression must exceed
+    // both `prev * tol` and `prev + slack`, so noise near zero never trips.
+    let gates = [
+        ("refresh_mean_s", 1.5, 0.005),
+        ("refresh_p99_s", 1.5, 0.005),
+        ("query_p99_s", 1.5, 0.005),
+        ("gossip_divergent_s", 1.25, 300.0),
+        ("tracing_unsampled_ratio", 1.5, 0.25),
+        ("tracing_full_ratio", 1.5, 0.25),
+    ];
+    let mut failed = false;
+    for (key, tol, slack) in gates {
+        let (Some(prev_v), Some(cur_v)) = (extract(&prev, key), extract(&json, key)) else {
+            println!("  {key}: missing in previous snapshot, skipped");
+            continue;
+        };
+        if prev_v < 0.0 || cur_v < 0.0 {
+            println!("  {key}: not measured on one side ({prev_v:?} -> {cur_v:?}), skipped");
+            continue;
+        }
+        if cur_v > prev_v * tol && cur_v > prev_v + slack {
+            eprintln!("  FAIL {key}: {prev_v:?} -> {cur_v:?} exceeds tolerance x{tol}");
+            failed = true;
+        } else {
+            println!("  ok {key}: {prev_v:?} -> {cur_v:?}");
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("OK: within tolerance of {prev_name}");
+}

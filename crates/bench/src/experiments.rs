@@ -45,6 +45,18 @@ pub fn run_baseline_telemetry(jobs: usize, seed: u64) -> SimResult {
     GridSimulation::new(scenario).run(&trace, 1800.0)
 }
 
+/// Run a compact fully-traced scenario: every usage report roots a causal
+/// span tree, gossip hops carry the context across sites, and every traced
+/// served query captures replayable decision provenance. Two clusters keep
+/// the explain tool's replay fast while still exercising cross-site hops.
+pub fn run_traced(jobs: usize, seed: u64) -> SimResult {
+    let mut scenario =
+        GridScenario::national_testbed(&baseline_policy_shares(), seed).with_full_tracing();
+    scenario.clusters.truncate(2);
+    let trace = baseline_trace(jobs, seed);
+    GridSimulation::new(scenario).run(&trace, 1800.0)
+}
+
 /// Outcome of the update-delay experiment (Fig. 11).
 #[derive(Debug, Clone, Copy)]
 pub struct UpdateDelayOutcome {

@@ -544,6 +544,12 @@ impl FairshareTree {
     pub fn node_count(&self) -> usize {
         self.arena.len()
     }
+
+    /// The configuration this tree was computed with (provenance capture
+    /// records it so explanations can replay the distance formula exactly).
+    pub fn config(&self) -> &FairshareConfig {
+        &self.config
+    }
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@
 pub mod arena;
 pub mod combined;
 pub mod decay;
+pub mod explain;
 pub mod fairshare;
 pub mod ids;
 pub mod policy;
@@ -37,6 +38,7 @@ pub mod vector;
 pub use arena::{DirtySet, NodeId, PathInterner, RecomputeStats, UserId};
 pub use combined::{CombinedVector, VectorWeights};
 pub use decay::DecayPolicy;
+pub use explain::{Explanation, LevelExplanation, ProjectionExplanation};
 pub use fairshare::{FairshareConfig, FairshareTree, NodeShare};
 pub use ids::{EntityPath, GridUser, JobId, SiteId, SystemUser};
 pub use policy::{flat_policy, PolicyError, PolicyNode, PolicyNodeKind, PolicyTree};

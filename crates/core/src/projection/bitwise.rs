@@ -33,13 +33,16 @@ impl BitwiseVector {
         (Self::MANTISSA_BITS / self.bits_per_level) as usize
     }
 
-    /// Usable levels for a tree of the given depth.
-    fn levels_for(&self, tree: &FairshareTree) -> usize {
+    /// Usable levels for a tree of the given depth. Public so provenance
+    /// capture (the explain layer) can record the exact level count used.
+    pub fn levels_for(&self, tree: &FairshareTree) -> usize {
         tree.depth().min(self.max_levels()).max(1)
     }
 
-    /// Bit-merge one user's vector into a `[0, 1]` scalar.
-    fn merge_vector(&self, vec: &crate::vector::FairshareVector, levels: usize) -> f64 {
+    /// Bit-merge one user's vector into a `[0, 1]` scalar. Public so a
+    /// captured [`Explanation`](crate::explain::Explanation) can replay the
+    /// projection bit-for-bit from its recorded vector and level count.
+    pub fn merge_vector(&self, vec: &crate::vector::FairshareVector, levels: usize) -> f64 {
         let n = self.bits_per_level;
         let buckets = 1u64 << n;
         let max_merged = (1u64 << (n as u64 * levels as u64)) - 1;

@@ -13,6 +13,39 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DictionaryOrdering;
 
+/// Value assigned to the tie span `[i, j)` in a population of `n` ranked
+/// vectors: the average of `(n − r) / (n + 1)` over the span. Shared between
+/// [`DictionaryOrdering::project`] and the explain layer so a captured rank
+/// replays to the identical factor.
+pub fn rank_value(i: usize, j: usize, n: usize) -> f64 {
+    (i..j)
+        .map(|r| (n - r) as f64 / (n as f64 + 1.0))
+        .sum::<f64>()
+        / (j - i) as f64
+}
+
+impl DictionaryOrdering {
+    /// The rank span of `user` under the projection's descending sort:
+    /// `(rank_start, tie_count, population)`. `rank_start` is the 0-based
+    /// index of the first vector tied with the user's; the projected factor
+    /// is [`rank_value`]`(rank_start, rank_start + tie_count, population)`.
+    pub fn rank_of(&self, tree: &FairshareTree, user: &GridUser) -> Option<(usize, usize, usize)> {
+        let mut entries = tree.all_vectors();
+        entries.sort_by(|a, b| b.1.compare(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let n = entries.len();
+        let pos = entries.iter().position(|(u, _)| u == user)?;
+        let mut i = pos;
+        while i > 0 && entries[i - 1].1.compare(&entries[pos].1).is_eq() {
+            i -= 1;
+        }
+        let mut j = pos + 1;
+        while j < n && entries[j].1.compare(&entries[pos].1).is_eq() {
+            j += 1;
+        }
+        Some((i, j - i, n))
+    }
+}
+
 impl Projection for DictionaryOrdering {
     fn name(&self) -> &'static str {
         "dictionary"
@@ -36,10 +69,7 @@ impl Projection for DictionaryOrdering {
             while j < n && entries[j].1.compare(&entries[i].1).is_eq() {
                 j += 1;
             }
-            let avg: f64 = (i..j)
-                .map(|r| (n - r) as f64 / (n as f64 + 1.0))
-                .sum::<f64>()
-                / (j - i) as f64;
+            let avg = rank_value(i, j, n);
             for e in &entries[i..j] {
                 out.insert(e.0.clone(), avg);
             }
@@ -91,6 +121,25 @@ mod tests {
     fn empty_tree() {
         let tree = flat_tree(&[]);
         assert!(DictionaryOrdering.project(&tree).is_empty());
+    }
+
+    #[test]
+    fn rank_of_reproduces_projected_value() {
+        let tree = flat_tree(&[
+            ("a", 0.25, 100.0),
+            ("b", 0.25, 100.0),
+            ("c", 0.3, 800.0),
+            ("d", 0.2, 50.0),
+        ]);
+        let proj = DictionaryOrdering;
+        let v = proj.project(&tree);
+        for name in ["a", "b", "c", "d"] {
+            let user = GridUser::new(name);
+            let (i, ties, n) = proj.rank_of(&tree, &user).unwrap();
+            let replayed = rank_value(i, i + ties, n);
+            assert_eq!(replayed.to_bits(), v[&user].to_bits(), "{name}");
+        }
+        assert!(proj.rank_of(&tree, &GridUser::new("ghost")).is_none());
     }
 
     #[test]

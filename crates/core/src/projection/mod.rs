@@ -20,7 +20,7 @@ mod percental;
 pub mod properties;
 
 pub use bitwise::BitwiseVector;
-pub use dictionary::DictionaryOrdering;
+pub use dictionary::{rank_value, DictionaryOrdering};
 pub use percental::Percental;
 
 use crate::fairshare::FairshareTree;

@@ -27,7 +27,9 @@ pub mod slurm;
 
 pub use job::{Job, JobState};
 pub use maui::{MauiConfig, MauiScheduler};
-pub use multifactor::{FactorConfig, PriorityWeights};
+pub use multifactor::{
+    explain_combined, FactorConfig, FactorTerm, PriorityBreakdown, PriorityWeights,
+};
 pub use nodes::NodePool;
 pub use plugin::{FairshareSource, LocalFairshare};
 pub use scheduler::{ReprioritizePolicy, SchedulerCore, SchedulerStats};

@@ -104,6 +104,100 @@ pub fn combined_priority(
     weights.fairshare * fairshare + weights.age * age + weights.qos * qos + weights.size * size
 }
 
+/// One factor's contribution to a combined priority: the `[0, 1]` value it
+/// had at evaluation time and the weight it entered the combination with.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FactorTerm {
+    /// The factor value in `[0, 1]`.
+    pub value: f64,
+    /// The configured weight.
+    pub weight: f64,
+}
+
+/// The captured decomposition of one combined priority — the RMS-side tail
+/// of a decision's provenance. [`replay`](Self::replay) recombines the
+/// captured terms with the same expression `combined_priority` evaluates, so
+/// a faithful capture reproduces [`combined`](Self::combined) bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PriorityBreakdown {
+    /// The (possibly grid-global) fairshare factor and its weight.
+    pub fairshare: FactorTerm,
+    /// The queue-age factor and its weight.
+    pub age: FactorTerm,
+    /// The Quality-of-Service factor and its weight.
+    pub qos: FactorTerm,
+    /// The job-size factor and its weight.
+    pub size: FactorTerm,
+    /// The combined priority as computed at capture time.
+    pub combined: f64,
+}
+
+impl PriorityBreakdown {
+    /// Recombine the captured factors; bit-identical to
+    /// [`combined`](Self::combined) for a faithful capture.
+    pub fn replay(&self) -> f64 {
+        self.fairshare.weight * self.fairshare.value
+            + self.age.weight * self.age.value
+            + self.qos.weight * self.qos.value
+            + self.size.weight * self.size.value
+    }
+
+    /// Whether the captured decomposition still reproduces the combined
+    /// priority exactly (fails on any tampered component).
+    pub fn verify(&self) -> bool {
+        self.replay().to_bits() == self.combined.to_bits()
+    }
+
+    /// Human-readable one-screen rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("combined priority {:?}\n", self.combined));
+        for (name, t) in [
+            ("fairshare", &self.fairshare),
+            ("age", &self.age),
+            ("qos", &self.qos),
+            ("size", &self.size),
+        ] {
+            out.push_str(&format!(
+                "  {name:<9} {:>8.5} × weight {:>5.3} = {:?}\n",
+                t.value,
+                t.weight,
+                t.weight * t.value
+            ));
+        }
+        out
+    }
+}
+
+/// Evaluate [`combined_priority`] while capturing its full decomposition.
+pub fn explain_combined(
+    weights: &PriorityWeights,
+    fairshare: f64,
+    age: f64,
+    qos: f64,
+    size: f64,
+) -> PriorityBreakdown {
+    PriorityBreakdown {
+        fairshare: FactorTerm {
+            value: fairshare,
+            weight: weights.fairshare,
+        },
+        age: FactorTerm {
+            value: age,
+            weight: weights.age,
+        },
+        qos: FactorTerm {
+            value: qos,
+            weight: weights.qos,
+        },
+        size: FactorTerm {
+            value: size,
+            weight: weights.size,
+        },
+        combined: combined_priority(weights, fairshare, age, qos, size),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +248,30 @@ mod tests {
         let mut cfg = cfg;
         cfg.qos_levels.insert(GridUser::new("vip"), 0.9);
         assert_eq!(cfg.qos_factor(&j), 0.9);
+    }
+
+    #[test]
+    fn breakdown_replays_bit_for_bit() {
+        let w = PriorityWeights::mixed();
+        let b = explain_combined(&w, 0.123_456_789, 0.7, 0.31, 0.999);
+        assert_eq!(
+            b.combined,
+            combined_priority(&w, 0.123_456_789, 0.7, 0.31, 0.999)
+        );
+        assert_eq!(b.replay().to_bits(), b.combined.to_bits());
+        assert!(b.verify());
+        let mut tampered = b;
+        tampered.qos.value += 1e-9;
+        assert!(!tampered.verify(), "any component change breaks the replay");
+    }
+
+    #[test]
+    fn breakdown_render_names_every_factor() {
+        let b = explain_combined(&PriorityWeights::mixed(), 0.5, 0.5, 0.5, 0.5);
+        let text = b.render();
+        for name in ["combined", "fairshare", "age", "qos", "size"] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
     }
 
     #[test]

@@ -39,6 +39,15 @@ pub trait FairshareSource {
         0.5
     }
 
+    /// Capture the full decision provenance behind
+    /// [`fairshare_factor`](Self::fairshare_factor) for a user: policy path,
+    /// decayed usage, distance terms, fairshare vector, and projection, such
+    /// that replaying the capture reproduces the factor bit-for-bit. Sources
+    /// that cannot explain themselves return `None` (the default).
+    fn explain(&self, _user: &GridUser) -> Option<aequus_core::Explanation> {
+        None
+    }
+
     /// Supply usage information for a completed job (the SLURM job
     /// completion plugin / the Maui completion call site).
     fn report_usage(&mut self, record: UsageRecord, now_s: f64);
@@ -58,6 +67,10 @@ impl FairshareSource for AequusSite {
 
     fn fairshare_factor_by_id(&mut self, id: UserId, now_s: f64) -> f64 {
         self.fairshare_by_id(id, now_s)
+    }
+
+    fn explain(&self, user: &GridUser) -> Option<aequus_core::Explanation> {
+        self.fcs.explain(user)
     }
 
     fn report_usage(&mut self, record: UsageRecord, now_s: f64) {

@@ -4,7 +4,9 @@
 //! re-prioritization semantics and integration styles.
 
 use crate::job::{Job, JobState};
-use crate::multifactor::{combined_priority, FactorConfig, PriorityWeights};
+use crate::multifactor::{
+    combined_priority, explain_combined, FactorConfig, PriorityBreakdown, PriorityWeights,
+};
 use crate::nodes::NodePool;
 use crate::plugin::FairshareSource;
 use aequus_core::ids::{JobId, SiteId};
@@ -366,6 +368,31 @@ impl SchedulerCore {
     /// Pending jobs and their cached priorities (inspection/metrics).
     pub fn pending_jobs(&self) -> impl Iterator<Item = (&Job, f64)> {
         self.pending.iter().map(|e| (&e.job, e.prio))
+    }
+
+    /// Capture the multifactor decomposition of a pending job's priority as
+    /// the next re-prioritization pass would compute it: the same factor
+    /// evaluation as [`advance`](Self::advance), with every term recorded so
+    /// the combined priority replays bit-for-bit.
+    pub fn explain_priority(
+        &self,
+        id: JobId,
+        source: &mut dyn FairshareSource,
+        now_s: f64,
+    ) -> Option<PriorityBreakdown> {
+        let entry = self.pending.iter().find(|e| e.job.id == id)?;
+        let fairshare = match (entry.user_id, &entry.job.grid_user) {
+            (Some(uid), _) => source.fairshare_factor_by_id(uid, now_s),
+            (None, Some(u)) => source.fairshare_factor(u, now_s),
+            (None, None) => 0.5,
+        };
+        Some(explain_combined(
+            &self.weights,
+            fairshare,
+            self.factors.age_factor(&entry.job, now_s),
+            self.factors.qos_factor(&entry.job),
+            self.factors.size_factor(&entry.job),
+        ))
     }
 
     /// Running jobs (inspection/metrics).

@@ -352,6 +352,15 @@ impl Fcs {
         self.tree.as_ref()
     }
 
+    /// Capture the full decision provenance of `user`'s current factor under
+    /// the active projection (see [`aequus_core::explain`]): policy path with
+    /// per-level shares, distance decomposition, fairshare vector, and the
+    /// projection inputs, replayable bit-for-bit. `None` before the first
+    /// refresh or for users absent from the tree.
+    pub fn explain(&self, user: &GridUser) -> Option<aequus_core::Explanation> {
+        aequus_core::Explanation::capture(self.tree.as_ref()?, user, self.projection_kind)
+    }
+
     /// When the factors were last refreshed.
     pub fn last_refresh(&self) -> Option<f64> {
         self.last_refresh_s

@@ -26,17 +26,32 @@
 use crate::timings::ServiceTimings;
 use aequus_core::ids::SiteId;
 use aequus_core::usage::UsageSummary;
+use aequus_telemetry::TraceCtx;
 use serde::{Deserialize, Serialize};
 
 /// A message of the reliable USS↔USS exchange protocol.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum UssMessage {
     /// A sequenced incremental summary (absolute per-cell values).
-    Summary(UsageSummary),
+    Summary {
+        /// The summary payload.
+        summary: UsageSummary,
+        /// Causal trace context of the pipeline stage that produced this
+        /// publication, when the publishing site sampled it. Retries and
+        /// resyncs of the same sequence number resend the *original*
+        /// context, so a hop delayed by loss stays in its causal tree.
+        ctx: Option<TraceCtx>,
+    },
     /// A cumulative snapshot of everything the publisher has ever published;
     /// its `seq` is the publisher's latest sequence number, so applying it
     /// also closes every outstanding gap up to that point.
-    Snapshot(UsageSummary),
+    Snapshot {
+        /// The cumulative payload.
+        summary: UsageSummary,
+        /// Trace context of the latest traced publication folded into the
+        /// snapshot, if any — snapshot catch-ups stay causally linked.
+        ctx: Option<TraceCtx>,
+    },
     /// Receiver → publisher: the summary with `seq` was received and applied.
     Ack {
         /// The acknowledging site.
@@ -65,14 +80,25 @@ pub enum UssMessage {
 impl UssMessage {
     /// Whether this message carries usage data (as opposed to control flow).
     pub fn is_data(&self) -> bool {
-        matches!(self, UssMessage::Summary(_) | UssMessage::Snapshot(_))
+        matches!(
+            self,
+            UssMessage::Summary { .. } | UssMessage::Snapshot { .. }
+        )
+    }
+
+    /// The trace context carried by a data message, if any.
+    pub fn trace_ctx(&self) -> Option<TraceCtx> {
+        match self {
+            UssMessage::Summary { ctx, .. } | UssMessage::Snapshot { ctx, .. } => *ctx,
+            _ => None,
+        }
     }
 
     /// Short kind tag for telemetry events and logs.
     pub fn kind(&self) -> &'static str {
         match self {
-            UssMessage::Summary(_) => "summary",
-            UssMessage::Snapshot(_) => "snapshot",
+            UssMessage::Summary { .. } => "summary",
+            UssMessage::Snapshot { .. } => "snapshot",
             UssMessage::Ack { .. } => "ack",
             UssMessage::Resync { .. } => "resync",
             UssMessage::SnapshotRequest { .. } => "snapshot_request",
@@ -244,8 +270,21 @@ mod tests {
             slot_s: 60.0,
             per_user: Default::default(),
         };
-        assert!(UssMessage::Summary(s.clone()).is_data());
-        assert!(UssMessage::Snapshot(s).is_data());
+        let summary = UssMessage::Summary {
+            summary: s.clone(),
+            ctx: None,
+        };
+        assert!(summary.is_data());
+        assert_eq!(summary.trace_ctx(), None);
+        let traced = UssMessage::Snapshot {
+            summary: s,
+            ctx: Some(TraceCtx {
+                trace_id: 7,
+                span: 9,
+            }),
+        };
+        assert!(traced.is_data());
+        assert_eq!(traced.trace_ctx().unwrap().trace_id, 7);
         for (msg, kind) in [
             (
                 UssMessage::Ack {

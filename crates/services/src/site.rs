@@ -17,7 +17,7 @@ use aequus_core::policy::PolicyTree;
 use aequus_core::projection::ProjectionKind;
 use aequus_core::usage::{UsageRecord, UsageSummary};
 use aequus_core::{GridUser, SiteId, SystemUser};
-use aequus_telemetry::Telemetry;
+use aequus_telemetry::{Telemetry, TraceCtx};
 use std::collections::VecDeque;
 
 /// One site's complete Aequus stack.
@@ -37,11 +37,20 @@ pub struct AequusSite {
     pub irs: Irs,
     /// The client library the local RMS links against.
     pub lib: LibAequus,
-    /// Usage reports in flight from the RMS to the USS (reporting delay).
-    pending_reports: VecDeque<(f64, UsageRecord)>,
+    /// Usage reports in flight from the RMS to the USS (reporting delay),
+    /// each carrying the causal trace context of its `rms.report` root span
+    /// when the span layer sampled it.
+    pending_reports: VecDeque<(f64, UsageRecord, Option<TraceCtx>)>,
     /// Summaries produced but not yet delivered to peers.
     outbox: Vec<UsageSummary>,
     last_publish_s: f64,
+    /// Trace context of the latest traced UMS refresh, consumed by the next
+    /// FCS refresh (the two run on independent cadences).
+    refresh_trace: Option<TraceCtx>,
+    /// Trace context of the latest traced FCS refresh, consumed by the
+    /// first fairshare query served from it (`lib.query` leaf span plus
+    /// decision-provenance capture).
+    serving_trace: Option<TraceCtx>,
     /// Site-wide telemetry domain (disabled by default).
     telemetry: Telemetry,
 }
@@ -69,6 +78,8 @@ impl AequusSite {
             pending_reports: VecDeque::new(),
             outbox: Vec::new(),
             last_publish_s: f64::NEG_INFINITY,
+            refresh_trace: None,
+            serving_trace: None,
             timings,
             telemetry: Telemetry::disabled(),
         }
@@ -104,7 +115,36 @@ impl AequusSite {
     /// RMS-facing: query the fairshare factor of a grid user (libaequus
     /// cache → FCS precomputed values).
     pub fn fairshare(&mut self, user: &GridUser, now_s: f64) -> f64 {
-        self.lib.get_fairshare(&self.fcs, user, now_s)
+        let value = self.lib.get_fairshare(&self.fcs, user, now_s);
+        if self.serving_trace.is_some() {
+            self.trace_query(user.clone(), value, now_s);
+        }
+        value
+    }
+
+    /// Complete a sampled pipeline trace at the serving edge: a `lib.query`
+    /// leaf span plus (when capture is on) the full decision provenance —
+    /// recorded only when the served value is bit-identical to the current
+    /// FCS factor, so every captured explanation replays to the value the
+    /// RMS actually saw.
+    fn trace_query(&mut self, user: GridUser, value: f64, now_s: f64) {
+        let Some(fresh) = self.fcs.factors().get(&user).copied() else {
+            return;
+        };
+        if fresh.to_bits() != value.to_bits() {
+            return; // client cache served an older tree's value
+        }
+        let ctx = self.serving_trace.take();
+        let leaf = self.telemetry.child_span(ctx, "lib.query", now_s, || {
+            format!("served {value:?} for {user}")
+        });
+        if self.telemetry.provenance_enabled() {
+            if let Some(ex) = self.fcs.explain(&user) {
+                let trace_id = leaf.or(ctx).map_or(0, |c| c.trace_id);
+                self.telemetry
+                    .record_provenance(now_s, user.as_str(), trace_id, ex.factor, || ex.to_json());
+            }
+        }
     }
 
     /// RMS-facing: report a completed job's usage. The record reaches the
@@ -112,8 +152,11 @@ impl AequusSite {
     pub fn report_completion(&mut self, record: UsageRecord, now_s: f64) {
         self.telemetry
             .trace_report(record.job.0, record.user.as_str(), now_s);
+        let ctx = self.telemetry.start_trace("rms.report", now_s, || {
+            format!("job {} user {}", record.job.0, record.user)
+        });
         self.pending_reports
-            .push_back((now_s + self.timings.report_delay_s, record));
+            .push_back((now_s + self.timings.report_delay_s, record, ctx));
     }
 
     /// RMS-facing: resolve a system account to its grid identity.
@@ -161,6 +204,8 @@ impl AequusSite {
         self.fcs.reset();
         self.lib.set_degraded(true);
         self.outbox.clear();
+        self.refresh_trace = None;
+        self.serving_trace = None;
         self.telemetry.event(now_s, "site.crash", || {
             format!("site {} crashed", self.id.0)
         });
@@ -200,14 +245,20 @@ impl AequusSite {
     /// on their intervals. Idempotent within a timestep.
     pub fn tick(&mut self, now_s: f64) {
         // Stage I: reporting delay.
-        while let Some((due, _)) = self.pending_reports.front() {
+        while let Some((due, _, _)) = self.pending_reports.front() {
             if *due > now_s {
                 break;
             }
-            let (_, rec) = self.pending_reports.pop_front().expect("front checked");
+            let (_, rec, ctx) = self.pending_reports.pop_front().expect("front checked");
             self.uss.ingest(&rec);
             let end_slot = (rec.end_s / self.uss.slot_duration()).floor().max(0.0) as u64;
             self.telemetry.trace_ingest(rec.job.0, end_slot, now_s);
+            let job = rec.job.0;
+            if let Some(ingest_ctx) = self.telemetry.child_span(ctx, "uss.ingest", now_s, || {
+                format!("job {job} ingested into slot {end_slot}")
+            }) {
+                self.uss.note_ingest_trace(ingest_ctx);
+            }
         }
         // Stage II-a: USS publication.
         if now_s - self.last_publish_s >= self.timings.uss_publish_interval_s {
@@ -234,9 +285,25 @@ impl AequusSite {
         // tracer visibility (a cache-valid no-op reveals nothing new).
         if self.ums.refresh(&mut self.uss, now_s) {
             self.telemetry.trace_ums_refresh(now_s);
+            let pipe = self.uss.take_pipeline_trace();
+            let site_id = self.id.0;
+            self.refresh_trace = self
+                .telemetry
+                .child_span(pipe, "ums.refresh", now_s, || {
+                    format!("site {site_id} decay cache refreshed")
+                })
+                .or(self.refresh_trace);
         }
         if self.fcs.refresh(&mut self.pds, &mut self.ums, now_s) {
             self.telemetry.trace_fcs_refresh(now_s);
+            if let Some(rt) = self.refresh_trace.take() {
+                let users = self.fcs.factors().len();
+                self.serving_trace =
+                    self.telemetry
+                        .child_span(Some(rt), "fcs.refresh", now_s, || {
+                            format!("tree recomputed, {users} users projected")
+                        });
+            }
         }
     }
 
@@ -248,7 +315,13 @@ impl AequusSite {
 
     /// RMS-facing: query the fairshare factor by interned id.
     pub fn fairshare_by_id(&mut self, id: aequus_core::UserId, now_s: f64) -> f64 {
-        self.lib.get_fairshare_by_id(&self.fcs, id, now_s)
+        let value = self.lib.get_fairshare_by_id(&self.fcs, id, now_s);
+        if self.serving_trace.is_some() {
+            if let Some(user) = self.fcs.user_of(id).cloned() {
+                self.trace_query(user, value, now_s);
+            }
+        }
+        value
     }
 
     /// The current fairshare tree, if computed (metrics access).

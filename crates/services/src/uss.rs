@@ -35,7 +35,7 @@ use aequus_core::arena::DirtySet;
 use aequus_core::ids::SiteId;
 use aequus_core::usage::{UsageHistogram, UsageRecord, UsageSummary};
 use aequus_core::GridUser;
-use aequus_telemetry::{Counter, Gauge, Histogram, Telemetry};
+use aequus_telemetry::{Counter, Gauge, Histogram, Telemetry, TraceCtx};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Minimum per-cell charge difference considered a real change; smaller
@@ -179,6 +179,19 @@ pub struct Uss {
     dirty: DirtySet,
     /// Telemetry handles (no-ops until wired).
     metrics: UssMetrics,
+    /// Trace context of the latest traced local ingest, consumed by the next
+    /// publication so the outgoing summary joins the report's causal tree.
+    pending_publish_ctx: Option<TraceCtx>,
+    /// Per-sequence trace contexts of traced publications. Retries and
+    /// resync answers of a sequence resend its *original* context, keeping
+    /// delayed hops causally linked. Trimmed alongside the resync history.
+    publish_trace: BTreeMap<u64, TraceCtx>,
+    /// Context of the latest traced publication — stamped onto cumulative
+    /// snapshots so snapshot catch-ups stay in a causal tree.
+    latest_publish_ctx: Option<TraceCtx>,
+    /// Trace context of the latest traced data change (local ingest or
+    /// gossip merge), for the UMS→FCS→query pipeline to pick up.
+    pending_pipeline_trace: Option<TraceCtx>,
 }
 
 impl Uss {
@@ -210,7 +223,25 @@ impl Uss {
             duplicates: 0,
             dirty: DirtySet::new(),
             metrics: UssMetrics::default(),
+            pending_publish_ctx: None,
+            publish_trace: BTreeMap::new(),
+            latest_publish_ctx: None,
+            pending_pipeline_trace: None,
         }
+    }
+
+    /// Note the trace context of a just-ingested local record: the next
+    /// publication is stamped with it, and the refresh pipeline picks it up
+    /// through [`Uss::take_pipeline_trace`].
+    pub fn note_ingest_trace(&mut self, ctx: TraceCtx) {
+        self.pending_publish_ctx = Some(ctx);
+        self.pending_pipeline_trace = Some(ctx);
+    }
+
+    /// Drain the trace context of the latest traced data change (local
+    /// ingest or gossip merge) for the UMS/FCS refresh stages.
+    pub fn take_pipeline_trace(&mut self) -> Option<TraceCtx> {
+        self.pending_pipeline_trace.take()
     }
 
     /// Wire this service into a telemetry registry; pass
@@ -335,6 +366,23 @@ impl Uss {
         while self.history.len() > self.retry.history_cap.max(1) {
             self.history.pop_front();
         }
+        if let Some(ingest_ctx) = self.pending_publish_ctx.take() {
+            let site_id = self.site.0;
+            if let Some(pub_ctx) =
+                self.metrics
+                    .telemetry
+                    .child_span(Some(ingest_ctx), "uss.publish", now_s, || {
+                        format!("site {site_id} published seq {seq}")
+                    })
+            {
+                self.publish_trace.insert(seq, pub_ctx);
+                self.latest_publish_ctx = Some(pub_ctx);
+            }
+        }
+        if let Some(oldest) = self.history.front().map(|s| s.seq) {
+            // Contexts for compacted sequences can no longer be resent.
+            self.publish_trace.retain(|&q, _| q >= oldest);
+        }
         for peer in &self.peers {
             let tx = self.tx.entry(*peer).or_insert_with(PeerTx::new);
             tx.outbox.push_back(seq);
@@ -377,7 +425,13 @@ impl Uss {
             for seq in seqs {
                 match self.history.iter().find(|s| s.seq == seq) {
                     Some(s) => {
-                        out.push((peer, UssMessage::Summary(s.clone())));
+                        out.push((
+                            peer,
+                            UssMessage::Summary {
+                                summary: s.clone(),
+                                ctx: self.publish_trace.get(&seq).copied(),
+                            },
+                        ));
                         sent += 1;
                     }
                     None => evicted.push(seq),
@@ -386,7 +440,13 @@ impl Uss {
             if !evicted.is_empty() {
                 // History compacted past unacked entries: replace them with
                 // one cumulative snapshot (idempotent, covers everything).
-                out.push((peer, UssMessage::Snapshot(self.snapshot_summary())));
+                out.push((
+                    peer,
+                    UssMessage::Snapshot {
+                        summary: self.snapshot_summary(),
+                        ctx: self.latest_publish_ctx,
+                    },
+                ));
                 self.snapshots_sent += 1;
                 self.metrics.snapshots.inc();
                 sent += 1;
@@ -408,8 +468,8 @@ impl Uss {
     /// route back (acks, resync pulls, resync answers, snapshots).
     pub fn receive_message(&mut self, msg: &UssMessage, now_s: f64) -> Vec<(SiteId, UssMessage)> {
         match msg {
-            UssMessage::Summary(s) => self.apply_data(s, false, now_s),
-            UssMessage::Snapshot(s) => self.apply_data(s, true, now_s),
+            UssMessage::Summary { summary, ctx } => self.apply_data(summary, *ctx, false, now_s),
+            UssMessage::Snapshot { summary, ctx } => self.apply_data(summary, *ctx, true, now_s),
             UssMessage::Ack { from, seq } => {
                 self.on_ack(*from, *seq);
                 Vec::new()
@@ -425,7 +485,13 @@ impl Uss {
                 }
                 self.snapshots_sent += 1;
                 self.metrics.snapshots.inc();
-                vec![(*from, UssMessage::Snapshot(self.snapshot_summary()))]
+                vec![(
+                    *from,
+                    UssMessage::Snapshot {
+                        summary: self.snapshot_summary(),
+                        ctx: self.latest_publish_ctx,
+                    },
+                )]
             }
         }
     }
@@ -440,12 +506,13 @@ impl Uss {
     /// [`Uss::receive`] with a domain timestamp for the gossip-merge event
     /// (the sim engine knows the delivery time; plain `receive` does not).
     pub fn receive_at(&mut self, summary: &UsageSummary, now_s: f64) {
-        let _ = self.apply_data(summary, false, now_s);
+        let _ = self.apply_data(summary, None, false, now_s);
     }
 
     fn apply_data(
         &mut self,
         s: &UsageSummary,
+        ctx: Option<TraceCtx>,
         is_snapshot: bool,
         now_s: f64,
     ) -> Vec<(SiteId, UssMessage)> {
@@ -494,6 +561,22 @@ impl Uss {
         if merged_cells == 0 && !s.per_user.is_empty() {
             self.duplicates += 1;
             self.metrics.duplicates.inc();
+        }
+        if merged_cells > 0 {
+            if let Some(parent) = ctx {
+                // Cross-site causal link: the merge span's parent is the
+                // publisher's `uss.publish` span (retries/resyncs/snapshots
+                // all resend the original context, so the link survives
+                // loss). Duplicate deliveries merge nothing and add no span.
+                let (peer, seq) = (s.site.0, s.seq);
+                let merge_ctx =
+                    self.metrics
+                        .telemetry
+                        .child_span(Some(parent), "gossip.merge", now_s, || {
+                            format!("merged seq {seq} from site {peer} ({merged_cells} cells)")
+                        });
+                self.pending_pipeline_trace = merge_ctx.or(self.pending_pipeline_trace);
+            }
         }
         // Sequence bookkeeping: gap detection and anti-entropy pulls.
         if is_snapshot {
@@ -572,7 +655,13 @@ impl Uss {
         if !missing {
             for seq in from_seq..=to_seq {
                 match self.history.iter().find(|s| s.seq == seq) {
-                    Some(s) => out.push((from, UssMessage::Summary(s.clone()))),
+                    Some(s) => out.push((
+                        from,
+                        UssMessage::Summary {
+                            summary: s.clone(),
+                            ctx: self.publish_trace.get(&seq).copied(),
+                        },
+                    )),
                     None => missing = true,
                 }
             }
@@ -581,7 +670,13 @@ impl Uss {
             // History compacted past the requested range: cumulative
             // snapshot fallback.
             out.clear();
-            out.push((from, UssMessage::Snapshot(self.snapshot_summary())));
+            out.push((
+                from,
+                UssMessage::Snapshot {
+                    summary: self.snapshot_summary(),
+                    ctx: self.latest_publish_ctx,
+                },
+            ));
             self.snapshots_sent += 1;
             self.metrics.snapshots.inc();
         }
@@ -677,6 +772,10 @@ impl Uss {
         self.catchup_pending.clear();
         self.dirty = DirtySet::new();
         self.remote_suppressed = false;
+        self.pending_publish_ctx = None;
+        self.publish_trace.clear();
+        self.latest_publish_ctx = None;
+        self.pending_pipeline_trace = None;
     }
 
     /// Crash recovery: schedule a [`UssMessage::SnapshotRequest`] to every
@@ -916,7 +1015,13 @@ mod tests {
         let mut peer = Uss::new(SiteId(1), ParticipationMode::Full, 100.0);
         peer.ingest(&rec(1, "b", 0.0, 40.0));
         let s = peer.publish(500.0).unwrap();
-        let responses = uss.receive_message(&UssMessage::Summary(s), 500.0);
+        let responses = uss.receive_message(
+            &UssMessage::Summary {
+                summary: s,
+                ctx: None,
+            },
+            500.0,
+        );
         assert!(
             matches!(
                 responses.as_slice(),
@@ -1049,7 +1154,13 @@ mod tests {
         let s2 = a.publish(300.0).unwrap();
         assert_eq!((s1.seq, s2.seq), (1, 2));
         // s1 is lost; s2 arrives and exposes the gap.
-        let responses = b.receive_message(&UssMessage::Summary(s2), 300.0);
+        let responses = b.receive_message(
+            &UssMessage::Summary {
+                summary: s2,
+                ctx: None,
+            },
+            300.0,
+        );
         assert_eq!(b.seq_gaps(), 1);
         let resync = responses
             .iter()
@@ -1086,7 +1197,13 @@ mod tests {
         // b sees only seq 3 → gap [1,2]; a's history lost seqs 1-2, so the
         // pull is answered with a cumulative snapshot.
         let s3 = a.history.back().unwrap().clone();
-        let responses = b.receive_message(&UssMessage::Summary(s3), 400.0);
+        let responses = b.receive_message(
+            &UssMessage::Summary {
+                summary: s3,
+                ctx: None,
+            },
+            400.0,
+        );
         drain(&mut a, &mut b, responses, 400.0);
         assert!(a.snapshots_sent() >= 1, "snapshot fallback used");
         assert!((b.remote_usage_of(&GridUser::new("u")) - 150.0).abs() < 1e-9);

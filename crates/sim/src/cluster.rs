@@ -9,7 +9,8 @@ use aequus_rms::{
     SlurmConfig, SlurmScheduler,
 };
 use aequus_services::{AequusSite, UssMessage};
-use aequus_telemetry::Telemetry;
+use aequus_telemetry::tracer::TracerConfig;
+use aequus_telemetry::{SpanConfig, Telemetry};
 use aequus_workload::TraceJob;
 
 /// The RMS front end of a cluster.
@@ -109,10 +110,21 @@ impl SimCluster {
         }
         let nodes = NodePool::new(spec.nodes, spec.cores_per_node);
         let site_id = SiteId(index as u32);
-        let telemetry = if scenario.telemetry {
-            Telemetry::enabled()
-        } else {
+        let telemetry = if !scenario.telemetry {
             Telemetry::disabled()
+        } else if scenario.span_sample_every > 0 || scenario.capture_provenance {
+            Telemetry::with_full_config(
+                TracerConfig::default(),
+                256,
+                SpanConfig {
+                    sample_every: scenario.span_sample_every,
+                    site: index as u32,
+                    capture_provenance: scenario.capture_provenance,
+                    ..SpanConfig::default()
+                },
+            )
+        } else {
+            Telemetry::enabled()
         };
         site.set_telemetry(&telemetry);
         let mut rms = match spec.rms {

@@ -11,7 +11,9 @@ use crate::scenario::GridScenario;
 use aequus_core::{GridUser, SiteId};
 use aequus_rms::SchedulerStats;
 use aequus_services::UssMessage;
-use aequus_telemetry::{Counter, Snapshot, Telemetry};
+use aequus_telemetry::flight::{dump_jsonl, FlightRecorder};
+use aequus_telemetry::provenance::ProvenanceRecord;
+use aequus_telemetry::{Counter, Snapshot, SpanRecord, Telemetry};
 use aequus_workload::Trace;
 use std::collections::BTreeMap;
 
@@ -38,6 +40,16 @@ pub struct SimResult {
     /// remote), in cluster order — what the chaos suite's convergence
     /// invariant compares against a fault-free run.
     pub site_usage_views: Vec<BTreeMap<GridUser, f64>>,
+    /// Each site's bounded span store at the end of the run, in cluster
+    /// order. `SpanTree::assemble` merges them into end-to-end causal trees.
+    /// Empty per site unless the scenario enabled tracing.
+    pub site_spans: Vec<Vec<SpanRecord>>,
+    /// Each site's captured decision provenance, in cluster order. Empty
+    /// per site unless the scenario enabled provenance capture.
+    pub site_provenance: Vec<Vec<ProvenanceRecord>>,
+    /// JSONL flight records dumped by the anomaly detector, in detection
+    /// order. Empty without a configured flight recorder.
+    pub flight_records: Vec<String>,
 }
 
 impl SimResult {
@@ -84,6 +96,10 @@ pub struct GridSimulation {
     /// The engine's own telemetry domain: event-loop spans and counters,
     /// separate from the per-site registries.
     telemetry: Telemetry,
+    /// The anomaly detector, when the scenario configured one.
+    recorder: Option<FlightRecorder>,
+    /// JSONL dumps the recorder produced so far.
+    flight_records: Vec<String>,
 }
 
 impl GridSimulation {
@@ -123,6 +139,7 @@ impl GridSimulation {
         } else {
             Telemetry::disabled()
         };
+        let recorder = scenario.flight.map(FlightRecorder::new);
         Self {
             scenario,
             clusters,
@@ -130,6 +147,8 @@ impl GridSimulation {
             faults,
             crashed: vec![false; n],
             telemetry,
+            recorder,
+            flight_records: Vec::new(),
         }
     }
 
@@ -197,6 +216,7 @@ impl GridSimulation {
                 Event::MetricsSample => {
                     c_samples.inc();
                     let sample = self.sample(now);
+                    self.observe_anomalies(&sample, now);
                     metrics.record(sample);
                     let next = now + self.scenario.sample_interval_s;
                     if next <= end_s {
@@ -233,6 +253,13 @@ impl GridSimulation {
                 .iter()
                 .map(|c| c.site.uss.grid_view())
                 .collect(),
+            site_spans: self.clusters.iter().map(|c| c.telemetry.spans()).collect(),
+            site_provenance: self
+                .clusters
+                .iter()
+                .map(|c| c.telemetry.provenance_records())
+                .collect(),
+            flight_records: self.flight_records,
         }
     }
 
@@ -332,6 +359,31 @@ impl GridSimulation {
             divergence = divergence.max(hi - lo);
         }
         divergence
+    }
+
+    /// Feed the flight recorder one sampling tick's observations; any newly
+    /// fired anomaly dumps the reference site's retained telemetry as JSONL.
+    fn observe_anomalies(&mut self, sample: &Sample, now: f64) {
+        let Some(mut rec) = self.recorder.take() else {
+            return;
+        };
+        let mut anomalies = Vec::new();
+        for (name, target) in self.scenario.tracked_users() {
+            let achieved = sample
+                .users
+                .get(&name)
+                .map(|u| u.usage_share)
+                .unwrap_or(0.0);
+            anomalies.extend(rec.observe_user_share(&name, achieved, target, now));
+        }
+        let suppressed = self.clusters.iter().any(|c| c.site.uss.remote_suppressed());
+        anomalies.extend(rec.observe_degradation(suppressed, now));
+        anomalies.extend(rec.observe_divergence(sample.usage_view_divergence, now));
+        for a in anomalies {
+            self.flight_records
+                .push(dump_jsonl(&a, &self.clusters[0].telemetry));
+        }
+        self.recorder = Some(rec);
     }
 
     fn sample(&mut self, now: f64) -> Sample {
@@ -534,6 +586,89 @@ mod tests {
         // Per-sample snapshots ride along in the metrics log.
         let last = result.metrics.samples().last().unwrap();
         assert_eq!(last.site_telemetry.len(), 2);
+    }
+
+    #[test]
+    fn full_tracing_builds_cross_site_causal_trees() {
+        use aequus_core::Explanation;
+        use aequus_telemetry::SpanTree;
+        let sc = small_scenario().with_full_tracing();
+        let trace = uniform_trace(60, 10.0, 30.0);
+        let result = GridSimulation::new(sc).run(&trace, 2000.0);
+        // Every site holds a span store; merged, they form causal trees
+        // whose deepest chain crosses the whole pipeline.
+        assert_eq!(result.site_spans.len(), 2);
+        assert!(result.site_spans.iter().all(|s| !s.is_empty()));
+        let stores: Vec<&[aequus_telemetry::SpanRecord]> =
+            result.site_spans.iter().map(Vec::as_slice).collect();
+        let trees = SpanTree::assemble(&stores);
+        assert!(!trees.is_empty());
+        assert!(
+            trees.iter().any(|t| t.depth() >= 4),
+            "some trace reaches report → ingest → publish → … depth, got {:?}",
+            trees.iter().map(SpanTree::depth).max()
+        );
+        // Gossip linked at least one trace across sites.
+        fn sites_of(t: &SpanTree, out: &mut std::collections::BTreeSet<u32>) {
+            out.insert(t.record.site);
+            for c in &t.children {
+                sites_of(c, out);
+            }
+        }
+        let cross_site = trees.iter().any(|t| {
+            let mut sites = std::collections::BTreeSet::new();
+            sites_of(t, &mut sites);
+            sites.len() >= 2
+        });
+        assert!(cross_site, "no causal tree spans two sites");
+        // Every captured explanation replays its served factor bit-for-bit.
+        let mut replayed = 0;
+        for recs in &result.site_provenance {
+            for rec in recs {
+                let ex = Explanation::from_json(&rec.json).expect("parseable provenance");
+                assert!(ex.verify(), "tampered/lossy capture for {}", rec.user);
+                assert_eq!(
+                    ex.replay().to_bits(),
+                    rec.factor.to_bits(),
+                    "replay mismatch for {}",
+                    rec.user
+                );
+                replayed += 1;
+            }
+        }
+        assert!(replayed > 0, "provenance was captured");
+    }
+
+    #[test]
+    fn flight_recorder_dumps_on_divergence() {
+        use aequus_telemetry::flight::AnomalyConfig;
+        // One contributing site is partitioned long enough for views to
+        // diverge past a tiny threshold → the recorder must fire and the
+        // dump must carry events and spans.
+        let mut sc = small_scenario()
+            .with_full_tracing()
+            .with_flight_recorder(AnomalyConfig {
+                divergence_threshold: 1e-6,
+                ..AnomalyConfig::default()
+            });
+        sc.faults.outages.push(crate::faults::Outage {
+            cluster: 1,
+            from_s: 0.0,
+            to_s: 4000.0,
+        });
+        let trace = uniform_trace(40, 10.0, 30.0);
+        let result = GridSimulation::new(sc).run(&trace, 3000.0);
+        assert!(
+            !result.flight_records.is_empty(),
+            "divergence above threshold must dump a flight record"
+        );
+        let dump = &result.flight_records[0];
+        assert!(dump
+            .lines()
+            .next()
+            .unwrap()
+            .contains("\"type\":\"anomaly\""));
+        assert!(dump.contains("\"type\":\"span\""), "spans ride along");
     }
 
     #[test]

@@ -85,6 +85,17 @@ pub struct GridScenario {
     /// events, and the end-to-end pipeline-delay tracer. Off by default —
     /// disabled telemetry compiles to no-op handles on every hot path.
     pub telemetry: bool,
+    /// Causal-tracing sample rate layered on telemetry: every Nth usage
+    /// report roots a cross-site span tree (`0` leaves the span layer wired
+    /// but unsampled). Requires `telemetry`.
+    pub span_sample_every: u64,
+    /// Capture decision provenance (a replayable `Explanation` per traced
+    /// served query). Requires `telemetry`.
+    pub capture_provenance: bool,
+    /// Run a flight recorder over the metrics samples: anomalies (starvation,
+    /// stale-policy degradation, view divergence) dump the reference site's
+    /// events + spans + explanations as JSONL into the result.
+    pub flight: Option<aequus_telemetry::flight::AnomalyConfig>,
 }
 
 impl GridScenario {
@@ -124,6 +135,9 @@ impl GridScenario {
             retry: RetryPolicy::from_timings(&timings),
             stale_policy: StalePolicy::ServeStale,
             telemetry: false,
+            span_sample_every: 0,
+            capture_provenance: false,
+            flight: None,
         }
     }
 
@@ -162,6 +176,29 @@ impl GridScenario {
     /// pipeline-delay tracer).
     pub fn with_telemetry(mut self) -> Self {
         self.telemetry = true;
+        self
+    }
+
+    /// Enable causal tracing: every `sample_every`-th usage report roots a
+    /// span tree followed across sites. Implies telemetry.
+    pub fn with_tracing(mut self, sample_every: u64) -> Self {
+        self.telemetry = true;
+        self.span_sample_every = sample_every;
+        self
+    }
+
+    /// Full causal capture: every report traced and every traced served
+    /// query's decision provenance recorded. Implies telemetry.
+    pub fn with_full_tracing(mut self) -> Self {
+        self.telemetry = true;
+        self.span_sample_every = 1;
+        self.capture_provenance = true;
+        self
+    }
+
+    /// Attach a flight recorder with the given anomaly thresholds.
+    pub fn with_flight_recorder(mut self, cfg: aequus_telemetry::flight::AnomalyConfig) -> Self {
+        self.flight = Some(cfg);
         self
     }
 

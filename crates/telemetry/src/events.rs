@@ -13,8 +13,9 @@ pub struct TelemetryEvent {
     /// Simulated/domain time of the event in seconds; `-1.0` when the
     /// emitting call site has no clock (e.g. PDS policy edits).
     pub t_s: f64,
-    /// Dot-separated event kind, e.g. `"fcs.full_rebuild"`.
-    pub kind: &'static str,
+    /// Dot-separated event kind, e.g. `"fcs.full_rebuild"`. Owned (not
+    /// `&'static str`) so archived snapshots can be parsed back.
+    pub kind: String,
     /// Free-form human-readable detail.
     pub detail: String,
 }
@@ -76,7 +77,7 @@ mod tests {
     fn ev(i: usize) -> TelemetryEvent {
         TelemetryEvent {
             t_s: i as f64,
-            kind: "test.event",
+            kind: "test.event".to_string(),
             detail: format!("event {i}"),
         }
     }

@@ -7,6 +7,7 @@
 //! rendered as `inf` in Prometheus text (as the real exporter does) and as
 //! the JSON strings `"inf"` / `"-inf"` / `"nan"` so the JSON stays valid.
 
+use crate::events::TelemetryEvent;
 use crate::hist::HistogramSnapshot;
 use crate::registry::Snapshot;
 use std::collections::BTreeMap;
@@ -35,7 +36,8 @@ fn parse_f64(s: &str) -> Option<f64> {
 
 /// Render `snap` in the Prometheus text exposition format. Histograms are
 /// exported as summaries: `<name>{quantile="…"}` series plus `_count`,
-/// `_sum`, and `_max`.
+/// `_sum`, and `_max`. Events are *not* rendered — the exposition format
+/// has no place for them; use [`to_json`] for a lossless archive.
 pub fn to_prometheus(snap: &Snapshot) -> String {
     let mut out = String::new();
     for (name, v) in &snap.counters {
@@ -128,7 +130,7 @@ pub fn from_prometheus(text: &str) -> Option<Snapshot> {
     Some(snap)
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -150,8 +152,8 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-/// Render `snap` as a JSON object with `counters`, `gauges`, and
-/// `histograms` members.
+/// Render `snap` as a JSON object with `counters`, `gauges`, `histograms`,
+/// `events`, and `events_dropped` members.
 pub fn to_json(snap: &Snapshot) -> String {
     let mut out = String::from("{\"counters\":{");
     let mut first = true;
@@ -189,7 +191,21 @@ pub fn to_json(snap: &Snapshot) -> String {
             json_f64(h.p99),
         ));
     }
-    out.push_str("}}");
+    out.push_str("},\"events\":[");
+    first = true;
+    for ev in &snap.events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"t_s\":{},\"kind\":\"{}\",\"detail\":\"{}\"}}",
+            json_f64(ev.t_s),
+            json_escape(&ev.kind),
+            json_escape(&ev.detail),
+        ));
+    }
+    out.push_str(&format!("],\"events_dropped\":{}}}", snap.events_dropped));
     out
 }
 
@@ -258,7 +274,20 @@ impl<'a> JsonReader<'a> {
                         _ => return None,
                     }
                 }
-                b => out.push(b as char),
+                b => {
+                    // Re-assemble multi-byte UTF-8 sequences; pushing the
+                    // lead byte as a char would mangle non-ASCII text.
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let start = self.pos - 1;
+                    let seq = self.bytes.get(start..start + len)?;
+                    out.push_str(std::str::from_utf8(seq).ok()?);
+                    self.pos = start + len;
+                }
             }
         }
     }
@@ -281,6 +310,36 @@ impl<'a> JsonReader<'a> {
             .ok()?
             .parse()
             .ok()
+    }
+
+    /// An unsigned integer, parsed exactly (the `f64` path would lose
+    /// precision above 2^53 — counters are full-range `u64`).
+    fn integer(&mut self) -> Option<u64> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+    }
+
+    /// Visit each element of an array, with elements parsed by `f`.
+    fn array(&mut self, mut f: impl FnMut(&mut Self) -> Option<()>) -> Option<()> {
+        self.eat(b'[')?;
+        if self.peek() == Some(b']') {
+            return self.eat(b']');
+        }
+        loop {
+            f(self)?;
+            match self.peek()? {
+                b',' => self.eat(b',')?,
+                b']' => return self.eat(b']'),
+                _ => return None,
+            }
+        }
     }
 
     /// Visit each `"key": value` pair of an object, with `value` parsed by
@@ -310,8 +369,8 @@ pub fn from_json(text: &str) -> Option<Snapshot> {
     let mut r = JsonReader::new(text);
     r.object(|r, section| match section.as_str() {
         "counters" => r.object(|r, name| {
-            let v = r.number()?;
-            snap.counters.insert(name, v as u64);
+            let v = r.integer()?;
+            snap.counters.insert(name, v);
             Some(())
         }),
         "gauges" => r.object(|r, name| {
@@ -322,14 +381,13 @@ pub fn from_json(text: &str) -> Option<Snapshot> {
         "histograms" => r.object(|r, name| {
             let mut h = HistogramSnapshot::default();
             r.object(|r, field| {
-                let v = r.number()?;
                 match field.as_str() {
-                    "count" => h.count = v as u64,
-                    "sum" => h.sum = v,
-                    "max" => h.max = v,
-                    "p50" => h.p50 = v,
-                    "p95" => h.p95 = v,
-                    "p99" => h.p99 = v,
+                    "count" => h.count = r.integer()?,
+                    "sum" => h.sum = r.number()?,
+                    "max" => h.max = r.number()?,
+                    "p50" => h.p50 = r.number()?,
+                    "p95" => h.p95 = r.number()?,
+                    "p99" => h.p99 = r.number()?,
                     _ => return None,
                 }
                 Some(())
@@ -337,6 +395,28 @@ pub fn from_json(text: &str) -> Option<Snapshot> {
             snap.histograms.insert(name, h);
             Some(())
         }),
+        "events" => r.array(|r| {
+            let mut ev = TelemetryEvent {
+                t_s: 0.0,
+                kind: String::new(),
+                detail: String::new(),
+            };
+            r.object(|r, field| {
+                match field.as_str() {
+                    "t_s" => ev.t_s = r.number()?,
+                    "kind" => ev.kind = r.string()?,
+                    "detail" => ev.detail = r.string()?,
+                    _ => return None,
+                }
+                Some(())
+            })?;
+            snap.events.push(ev);
+            Some(())
+        }),
+        "events_dropped" => {
+            snap.events_dropped = r.integer()?;
+            Some(())
+        }
         _ => None,
     })?;
     Some(snap)
@@ -394,6 +474,30 @@ mod tests {
         assert!(from_prometheus("garbage with no type\n").is_none());
         assert!(from_json("{\"counters\":").is_none());
         assert!(from_json("not json").is_none());
+    }
+
+    #[test]
+    fn json_round_trips_events() {
+        let mut snap = sample_snapshot();
+        snap.events.push(TelemetryEvent {
+            t_s: 12.5,
+            kind: "uss.gossip_merge".to_string(),
+            detail: "peer 3, \"seq\" 7\nsecond line".to_string(),
+        });
+        snap.events.push(TelemetryEvent {
+            t_s: -1.0,
+            kind: "pds.policy_update".to_string(),
+            detail: String::new(),
+        });
+        snap.events_dropped = 9;
+        let json = to_json(&snap);
+        assert!(json.contains("\"events_dropped\":9"));
+        let back = from_json(&json).expect("events round-trip");
+        assert_eq!(back, snap);
+        // Prometheus deliberately omits events.
+        let prom_back = from_prometheus(&to_prometheus(&snap)).unwrap();
+        assert!(prom_back.events.is_empty());
+        assert_eq!(prom_back.counters, snap.counters);
     }
 
     #[test]

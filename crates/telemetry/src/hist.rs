@@ -160,6 +160,7 @@ impl Histogram {
     /// Start a wall-clock span; the guard records the elapsed seconds into
     /// this histogram when dropped. Disabled handles never call
     /// [`Instant::now`], so the disabled cost is a branch.
+    #[must_use = "dropping the guard immediately records a ~0 s span; bind it with `let _span = …`"]
     pub fn start_timer(&self) -> SpanTimer {
         SpanTimer(self.0.as_ref().map(|core| (core.clone(), Instant::now())))
     }
@@ -181,6 +182,7 @@ impl Histogram {
 
 /// RAII guard recording a span duration (seconds) on drop.
 #[derive(Debug)]
+#[must_use = "dropping the guard immediately records a ~0 s span; bind it with `let _span = …`"]
 pub struct SpanTimer(Option<(Arc<HistCore>, Instant)>);
 
 impl SpanTimer {

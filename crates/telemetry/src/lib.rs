@@ -10,24 +10,40 @@
 //! * a bounded **event ring** ([`EventRing`]) holding the last N notable
 //!   events (cache evictions, forced full rebuilds, gossip merges);
 //! * the **pipeline-delay tracer** ([`tracer::PipelineTracer`]) measuring
-//!   the empirical §IV-A-2 usage-to-fairshare delay per stage.
+//!   the empirical §IV-A-2 usage-to-fairshare delay per stage;
+//! * **causal spans** ([`span`]) propagating a [`TraceCtx`] through the
+//!   whole report→gossip→refresh→query pipeline, across sites, into a
+//!   per-site bounded [`span::SpanStore`];
+//! * **decision provenance** ([`provenance`]): type-erased, replayable
+//!   explanations of served priorities;
+//! * the **flight recorder** ([`flight`]): anomaly detection plus a JSONL
+//!   dump of recent events, spans, and explanations.
 //!
 //! A disabled handle ([`Telemetry::disabled`]) reduces every operation to
 //! an `Option` check — no allocation, no clock reads, no locks — so
-//! instrumentation can stay unconditionally in place on hot paths.
+//! instrumentation can stay unconditionally in place on hot paths. The
+//! span layer adds a second tier: *enabled but unsampled*
+//! ([`SpanConfig::sample_every`] = 0), where trace starts are a branch and
+//! every downstream stage short-circuits on a `None` context.
 
 #![warn(missing_docs)]
 
 mod events;
 pub mod export;
+pub mod flight;
 mod hist;
+pub mod provenance;
 mod registry;
+pub mod span;
 pub mod tracer;
 
 pub use events::{EventRing, TelemetryEvent};
 pub use hist::{Histogram, HistogramSnapshot, SpanTimer};
 pub use registry::{Counter, Gauge, Registry, Snapshot};
+pub use span::{SpanConfig, SpanRecord, SpanTree, TraceCtx};
 
+use provenance::{ProvenanceRecord, ProvenanceStore};
+use span::SpanStore;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use tracer::{PipelineTracer, TracerConfig};
@@ -40,6 +56,15 @@ struct Inner {
     /// Number of in-flight traces; lets the per-query `trace_*` fast paths
     /// skip the tracer mutex entirely while nothing is being traced.
     tracer_active: AtomicU64,
+    span_cfg: SpanConfig,
+    spans: Mutex<SpanStore>,
+    /// Trace-root candidates seen (drives `sample_every` sampling).
+    span_seen: AtomicU64,
+    provenance: Mutex<ProvenanceStore>,
+    /// Pre-registered span-layer stat handles (ride into snapshots).
+    c_traces: Counter,
+    c_spans: Counter,
+    c_provenance: Counter,
 }
 
 /// The cheap, cloneable telemetry handle. See the crate docs.
@@ -60,16 +85,34 @@ impl Telemetry {
     }
 
     /// An enabled handle with explicit tracer configuration and event-ring
-    /// capacity.
+    /// capacity; the span layer stays enabled-but-unsampled
+    /// ([`SpanConfig::default`]).
     pub fn with_config(cfg: TracerConfig, event_capacity: usize) -> Self {
+        Self::with_full_config(cfg, event_capacity, SpanConfig::default())
+    }
+
+    /// An enabled handle with explicit tracer, event-ring, *and* span-layer
+    /// configuration — the constructor for full causal capture
+    /// ([`SpanConfig::full`]).
+    pub fn with_full_config(cfg: TracerConfig, event_capacity: usize, spans: SpanConfig) -> Self {
         let registry = Registry::new();
         let tracer = PipelineTracer::new(cfg, &registry);
+        let c_traces = registry.counter("aequus_spans_traces_total");
+        let c_spans = registry.counter("aequus_spans_recorded_total");
+        let c_provenance = registry.counter("aequus_provenance_captured_total");
         Self {
             inner: Some(Arc::new(Inner {
                 registry,
                 events: EventRing::new(event_capacity),
                 tracer: Mutex::new(tracer),
                 tracer_active: AtomicU64::new(0),
+                spans: Mutex::new(SpanStore::new(spans.site, spans.store_cap)),
+                span_cfg: spans,
+                span_seen: AtomicU64::new(0),
+                provenance: Mutex::new(ProvenanceStore::new(spans.store_cap)),
+                c_traces,
+                c_spans,
+                c_provenance,
             })),
         }
     }
@@ -108,7 +151,7 @@ impl Telemetry {
         if let Some(i) = &self.inner {
             i.events.push(TelemetryEvent {
                 t_s,
-                kind,
+                kind: kind.to_string(),
                 detail: detail(),
             });
         }
@@ -126,9 +169,15 @@ impl Telemetry {
         self.inner.as_ref().map_or(0, |i| i.events.dropped())
     }
 
-    /// Snapshot every registered metric; `None` when disabled.
+    /// Snapshot every registered metric plus the retained event ring;
+    /// `None` when disabled.
     pub fn snapshot(&self) -> Option<Snapshot> {
-        self.inner.as_ref().map(|i| i.registry.snapshot())
+        self.inner.as_ref().map(|i| {
+            let mut snap = i.registry.snapshot();
+            snap.events = i.events.recent();
+            snap.events_dropped = i.events.dropped();
+            snap
+        })
     }
 
     fn with_tracer(&self, f: impl FnOnce(&mut PipelineTracer)) {
@@ -205,6 +254,163 @@ impl Telemetry {
             .as_ref()
             .map_or(0, |i| i.tracer_active.load(Ordering::Relaxed))
     }
+
+    // --- Causal spans (span layer) ---
+
+    /// Whether the span layer ever samples (false when disabled or
+    /// enabled-but-unsampled).
+    pub fn span_sampling_enabled(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.span_cfg.sample_every > 0)
+    }
+
+    /// Maybe start a causal trace: if the span layer samples this root, a
+    /// root span is recorded and its context returned for propagation.
+    /// `detail` is only rendered for sampled roots. Unsampled or disabled
+    /// handles return `None` after at most one counter bump.
+    pub fn start_trace(
+        &self,
+        name: &'static str,
+        t_s: f64,
+        detail: impl FnOnce() -> String,
+    ) -> Option<TraceCtx> {
+        let i = self.inner.as_ref()?;
+        if i.span_cfg.sample_every == 0 {
+            return None;
+        }
+        let seen = i.span_seen.fetch_add(1, Ordering::Relaxed);
+        if seen % i.span_cfg.sample_every != 0 {
+            return None;
+        }
+        let mut store = i.spans.lock().expect("span store poisoned");
+        let id = store.alloc_id();
+        store.push(SpanRecord {
+            trace_id: id,
+            span_id: id,
+            parent_span: 0,
+            name: name.to_string(),
+            site: i.span_cfg.site,
+            t_s,
+            detail: detail(),
+        });
+        i.c_traces.inc();
+        i.c_spans.inc();
+        Some(TraceCtx {
+            trace_id: id,
+            span: id,
+        })
+    }
+
+    /// Record a span causally linked under `parent` (which may have been
+    /// recorded on another site — that is how gossip hops stitch cross-site
+    /// trees together). Returns the child context for further propagation;
+    /// a `None` parent (unsampled) or a disabled handle is a cheap no-op.
+    pub fn child_span(
+        &self,
+        parent: Option<TraceCtx>,
+        name: &'static str,
+        t_s: f64,
+        detail: impl FnOnce() -> String,
+    ) -> Option<TraceCtx> {
+        let (i, p) = match (&self.inner, parent) {
+            (Some(i), Some(p)) => (i, p),
+            _ => return None,
+        };
+        let mut store = i.spans.lock().expect("span store poisoned");
+        let id = store.alloc_id();
+        store.push(SpanRecord {
+            trace_id: p.trace_id,
+            span_id: id,
+            parent_span: p.span,
+            name: name.to_string(),
+            site: i.span_cfg.site,
+            t_s,
+            detail: detail(),
+        });
+        i.c_spans.inc();
+        Some(TraceCtx {
+            trace_id: p.trace_id,
+            span: id,
+        })
+    }
+
+    /// The retained spans of this site's store, oldest first.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.inner.as_ref().map_or_else(Vec::new, |i| {
+            i.spans
+                .lock()
+                .expect("span store poisoned")
+                .spans()
+                .to_vec()
+        })
+    }
+
+    /// Spans evicted from the bounded store so far.
+    pub fn spans_dropped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| {
+            i.spans.lock().expect("span store poisoned").dropped()
+        })
+    }
+
+    // --- Decision provenance ---
+
+    /// Whether explanation capture is on.
+    pub fn provenance_enabled(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.span_cfg.capture_provenance)
+    }
+
+    /// Capture a served decision. `json` (the pre-rendered `Explanation`
+    /// body) is only invoked when capture is on.
+    pub fn record_provenance(
+        &self,
+        t_s: f64,
+        user: &str,
+        trace_id: u64,
+        factor: f64,
+        json: impl FnOnce() -> String,
+    ) {
+        if let Some(i) = &self.inner {
+            if !i.span_cfg.capture_provenance {
+                return;
+            }
+            i.provenance
+                .lock()
+                .expect("provenance store poisoned")
+                .push(ProvenanceRecord {
+                    t_s,
+                    user: user.to_string(),
+                    trace_id,
+                    factor,
+                    json: json(),
+                });
+            i.c_provenance.inc();
+        }
+    }
+
+    /// The retained decision records, oldest first.
+    pub fn provenance_records(&self) -> Vec<ProvenanceRecord> {
+        self.inner.as_ref().map_or_else(Vec::new, |i| {
+            i.provenance
+                .lock()
+                .expect("provenance store poisoned")
+                .records()
+                .to_vec()
+        })
+    }
+
+    /// The latest captured decision for `user`, if retained.
+    pub fn latest_provenance_for(&self, user: &str) -> Option<ProvenanceRecord> {
+        self.inner.as_ref().and_then(|i| {
+            i.provenance
+                .lock()
+                .expect("provenance store poisoned")
+                .latest_for(user)
+                .cloned()
+        })
+    }
 }
 
 #[cfg(test)]
@@ -269,6 +475,107 @@ mod tests {
         assert_eq!(snap.histograms["aequus_tracer_end_to_end_s"].count, 1);
         assert_eq!(snap.histograms["aequus_tracer_end_to_end_s"].max, 80.0);
         assert_eq!(snap.counters["aequus_tracer_completed_total"], 1);
+    }
+
+    #[test]
+    fn span_layer_disabled_and_unsampled_are_inert() {
+        let off = Telemetry::disabled();
+        assert!(off
+            .start_trace("rms.report", 0.0, || unreachable!("no detail when off"))
+            .is_none());
+        assert!(off.child_span(None, "x", 0.0, || unreachable!()).is_none());
+        assert!(off.spans().is_empty());
+        assert!(!off.span_sampling_enabled());
+        assert!(!off.provenance_enabled());
+        off.record_provenance(0.0, "u", 0, 0.5, || unreachable!());
+
+        // Enabled but unsampled (the default): same observable behavior.
+        let unsampled = Telemetry::enabled();
+        assert!(!unsampled.span_sampling_enabled());
+        assert!(unsampled
+            .start_trace("rms.report", 0.0, || unreachable!("unsampled"))
+            .is_none());
+        assert!(unsampled.spans().is_empty());
+        assert_eq!(
+            unsampled.snapshot().unwrap().counters["aequus_spans_traces_total"],
+            0
+        );
+    }
+
+    #[test]
+    fn span_chain_propagates_trace_and_parents() {
+        let t = Telemetry::with_full_config(TracerConfig::default(), 16, SpanConfig::full(2));
+        let root = t.start_trace("rms.report", 1.0, || "job 9".into()).unwrap();
+        assert_eq!(root.trace_id, root.span);
+        let ingest = t
+            .child_span(Some(root), "uss.ingest", 2.0, String::new)
+            .unwrap();
+        assert_eq!(ingest.trace_id, root.trace_id);
+        assert_ne!(ingest.span, root.span);
+        let publish = t
+            .child_span(Some(ingest), "uss.publish", 3.0, String::new)
+            .unwrap();
+        let spans = t.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[1].parent_span, root.span);
+        assert_eq!(spans[2].parent_span, ingest.span);
+        assert_eq!(spans[2].trace_id, root.trace_id);
+        assert!(spans.iter().all(|s| s.site == 2));
+        let trees = SpanTree::for_trace(&[&spans], root.trace_id);
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].depth(), 3);
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.counters["aequus_spans_traces_total"], 1);
+        assert_eq!(snap.counters["aequus_spans_recorded_total"], 3);
+        let _ = publish;
+    }
+
+    #[test]
+    fn span_sampling_takes_every_nth_root() {
+        let t = Telemetry::with_full_config(
+            TracerConfig::default(),
+            16,
+            SpanConfig {
+                sample_every: 4,
+                ..SpanConfig::full(0)
+            },
+        );
+        let sampled = (0..16)
+            .filter(|_| t.start_trace("r", 0.0, String::new).is_some())
+            .count();
+        assert_eq!(sampled, 4);
+    }
+
+    #[test]
+    fn provenance_capture_round_trip() {
+        let t = Telemetry::with_full_config(TracerConfig::default(), 16, SpanConfig::full(0));
+        assert!(t.provenance_enabled());
+        t.record_provenance(5.0, "alice", 42, 0.625, || "{\"x\":2}".to_string());
+        t.record_provenance(6.0, "bob", 0, 0.5, || "{}".to_string());
+        let recs = t.provenance_records();
+        assert_eq!(recs.len(), 2);
+        let a = t.latest_provenance_for("alice").unwrap();
+        assert_eq!(a.factor, 0.625);
+        assert_eq!(a.trace_id, 42);
+        assert_eq!(a.json, "{\"x\":2}");
+        assert_eq!(
+            t.snapshot().unwrap().counters["aequus_provenance_captured_total"],
+            2
+        );
+    }
+
+    #[test]
+    fn snapshot_carries_the_event_ring() {
+        let t = Telemetry::with_config(TracerConfig::default(), 2);
+        t.event(1.0, "a.b", || "one".into());
+        t.event(2.0, "c.d", || "two".into());
+        t.event(3.0, "e.f", || "three".into());
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.events.len(), 2, "ring capacity respected");
+        assert_eq!(snap.events[0].kind, "c.d");
+        assert_eq!(snap.events_dropped, 1);
+        let back = export::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap, "events survive the JSON round-trip");
     }
 
     #[test]

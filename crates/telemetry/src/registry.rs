@@ -6,6 +6,7 @@
 //! Metric names follow the scheme `aequus_<service>_<metric>` (see
 //! DESIGN.md, Observability).
 
+use crate::events::TelemetryEvent;
 use crate::hist::{HistCore, Histogram, HistogramSnapshot};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -114,6 +115,8 @@ impl Registry {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),
+            events: Vec::new(),
+            events_dropped: 0,
         }
     }
 }
@@ -128,12 +131,21 @@ pub struct Snapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Histogram summaries by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// The retained event ring at snapshot time, oldest first. A bare
+    /// [`Registry::snapshot`] leaves this empty — the ring lives in the
+    /// [`Telemetry`](crate::Telemetry) facade, whose `snapshot()` fills it.
+    pub events: Vec<TelemetryEvent>,
+    /// Events evicted from the ring before the snapshot.
+    pub events_dropped: u64,
 }
 
 impl Snapshot {
-    /// Whether no metric was ever registered.
+    /// Whether no metric was ever registered and no event retained.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.events.is_empty()
     }
 
     /// Render in the Prometheus text exposition format.

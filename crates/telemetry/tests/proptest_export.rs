@@ -1,0 +1,168 @@
+//! Property-based round-trip tests of the snapshot exporters: for random
+//! registries and randomly-populated snapshots, `from_prometheus ∘
+//! to_prometheus` and `from_json ∘ to_json` are the identity (modulo the
+//! documented Prometheus event omission). NaN is excluded — `Snapshot`
+//! equality is `PartialEq` and the formats document NaN as a one-way value.
+
+use aequus_telemetry::export::{from_json, from_prometheus, to_json, to_prometheus};
+use aequus_telemetry::{HistogramSnapshot, Registry, Snapshot, TelemetryEvent};
+use proptest::prelude::*;
+
+/// A Prometheus-safe metric identifier.
+fn metric_name() -> impl Strategy<Value = String> {
+    (0usize..6, 0u32..50).prop_map(|(k, n)| {
+        let prefix = [
+            "aequus_uss",
+            "aequus_ums",
+            "aequus_fcs",
+            "lib",
+            "_x",
+            "Grid9",
+        ][k];
+        format!("{prefix}_{n}")
+    })
+}
+
+/// An arbitrary string exercising the JSON escape paths: quotes,
+/// backslashes, newlines, control characters, non-ASCII.
+fn weird_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..12, 0..12).prop_map(|picks| {
+        let charset = [
+            'a', 'Z', '0', '_', '"', '\\', '\n', '\u{1}', '\u{1f}', 'π', ' ', '}',
+        ];
+        picks.into_iter().map(|i| charset[i]).collect()
+    })
+}
+
+/// A finite-or-infinite f64 (never NaN).
+fn value() -> impl Strategy<Value = f64> {
+    (0usize..8, -1e300..1e300f64).prop_map(|(k, v)| match k {
+        0 => f64::INFINITY,
+        1 => f64::NEG_INFINITY,
+        2 => 0.0,
+        3 => v * 1e-300, // subnormal territory
+        _ => v,
+    })
+}
+
+fn histogram_snapshot() -> impl Strategy<Value = HistogramSnapshot> {
+    (proptest::collection::vec(value(), 4), 0u64..u64::MAX).prop_map(|(vs, count)| {
+        HistogramSnapshot {
+            count,
+            sum: vs[0],
+            max: vs[1],
+            p50: vs[2],
+            p95: vs[2].min(vs[3]), // quantile order is irrelevant to the format
+            p99: vs[3],
+        }
+    })
+}
+
+/// A snapshot assembled field-by-field with extreme values, bypassing the
+/// registry: full-range u64 counters, ±inf gauges, arbitrary histograms.
+fn extreme_snapshot<S: Strategy<Value = String>>(
+    names: impl Fn() -> S,
+) -> impl Strategy<Value = Snapshot> {
+    (
+        proptest::collection::vec((names(), 0u64..u64::MAX), 0..6),
+        proptest::collection::vec((names(), value()), 0..6),
+        proptest::collection::vec((names(), histogram_snapshot()), 0..6),
+    )
+        .prop_map(|(counters, gauges, histograms)| {
+            let mut snap = Snapshot::default();
+            for (n, v) in counters {
+                snap.counters.insert(n, v);
+            }
+            for (n, v) in gauges {
+                snap.gauges.insert(n, v);
+            }
+            for (n, h) in histograms {
+                snap.histograms.insert(n, h);
+            }
+            snap
+        })
+}
+
+/// A snapshot produced the way production code produces them: random
+/// operations against a live registry (includes zero-count histograms and
+/// the +inf overflow bucket).
+fn registry_snapshot() -> impl Strategy<Value = Snapshot> {
+    proptest::collection::vec((0usize..3, metric_name(), -1e9..1e12f64), 0..40).prop_map(|ops| {
+        let r = Registry::new();
+        for (kind, name, v) in ops {
+            match kind {
+                0 => r.counter(&name).add(v.abs() as u64),
+                1 => r.gauge(&name).set(v),
+                _ => {
+                    let h = r.histogram(&name);
+                    if v > 1e11 {
+                        // Touch the histogram without recording: a
+                        // zero-count snapshot must still round-trip.
+                    } else {
+                        h.record(v.abs());
+                    }
+                }
+            }
+        }
+        r.snapshot()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn prometheus_round_trips_random_registries(snap in registry_snapshot()) {
+        let back = from_prometheus(&to_prometheus(&snap));
+        prop_assert_eq!(back.as_ref(), Some(&snap));
+    }
+
+    #[test]
+    fn json_round_trips_random_registries(snap in registry_snapshot()) {
+        let back = from_json(&to_json(&snap));
+        prop_assert_eq!(back.as_ref(), Some(&snap));
+    }
+
+    #[test]
+    fn prometheus_round_trips_extreme_snapshots(snap in extreme_snapshot(metric_name)) {
+        let back = from_prometheus(&to_prometheus(&snap));
+        prop_assert_eq!(back.as_ref(), Some(&snap));
+    }
+
+    #[test]
+    fn json_round_trips_extreme_snapshots(snap in extreme_snapshot(metric_name)) {
+        let back = from_json(&to_json(&snap));
+        prop_assert_eq!(back.as_ref(), Some(&snap));
+    }
+
+    #[test]
+    fn json_round_trips_hostile_names_and_events(
+        mut snap in extreme_snapshot(weird_string),
+        events in proptest::collection::vec((weird_string(), weird_string(), -1e6..1e6f64), 0..6),
+        dropped in 0u64..u64::MAX,
+    ) {
+        for (kind, detail, t_s) in events {
+            snap.events.push(TelemetryEvent { t_s, kind, detail });
+        }
+        snap.events_dropped = dropped;
+        let back = from_json(&to_json(&snap));
+        prop_assert_eq!(back.as_ref(), Some(&snap));
+    }
+
+    #[test]
+    fn prometheus_omits_events_but_keeps_metrics(
+        mut snap in extreme_snapshot(metric_name),
+        t_s in -1e6..1e6f64,
+    ) {
+        snap.events.push(TelemetryEvent {
+            t_s,
+            kind: "uss.gossip_merge".to_string(),
+            detail: "x".to_string(),
+        });
+        let back = from_prometheus(&to_prometheus(&snap)).expect("parses");
+        prop_assert!(back.events.is_empty());
+        prop_assert_eq!(&back.counters, &snap.counters);
+        prop_assert_eq!(&back.gauges, &snap.gauges);
+        prop_assert_eq!(&back.histograms, &snap.histograms);
+    }
+}
