@@ -6,8 +6,10 @@ cd "$(dirname "$0")"
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 # Tier-1 tests under a 3-seed matrix: AEQUUS_TEST_SEED shifts every seeded
-# suite — the chaos fault matrix's base seed and all property-test case
-# generation — so the gate covers three seed families per run.
+# suite — the chaos fault matrix's base seed (including its durability
+# axis) and all property-test case generation, the store's WAL
+# truncation/bit-flip properties among them — so the gate covers three
+# seed families per run.
 for seed in 1 2 3; do
   AEQUUS_TEST_SEED="$seed" cargo test -q --workspace
 done
@@ -17,7 +19,7 @@ done
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
   -p aequus -p aequus-telemetry -p aequus-core -p aequus-services \
   -p aequus-rms -p aequus-sim -p aequus-workload -p aequus-stats \
-  -p aequus-bench
+  -p aequus-store -p aequus-bench
 
 # Telemetry overhead smoke check: the instrumented dispatch hot path must
 # stay within 5% of its baseline in all three modes — metrics-only vs
@@ -25,7 +27,12 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
 # metrics-only.
 cargo run -q --release -p aequus-bench --bin telemetry_overhead -- --check
 
-# Benchmark snapshot + regression gate: writes BENCH_PR4.json and compares
+# Benchmark snapshot + regression gate: writes BENCH_PR5.json and compares
 # against the most recent previous BENCH_*.json within tolerance (passes
-# with a note when none exists yet).
+# with a note when none exists yet; the PR5 crash-recovery keys bootstrap
+# the same way).
 cargo run -q --release -p aequus-bench --bin bench_snapshot -- 1500 --check
+
+# Crash-recovery gate: WAL replay must reconverge the crashed site's views
+# strictly earlier than surcharged snapshot-only catch-up on every seed.
+cargo run -q --release -p aequus-bench --bin recovery_sweep

@@ -1,6 +1,7 @@
-//! Machine-readable benchmark snapshot: writes `BENCH_PR4.json` with the
+//! Machine-readable benchmark snapshot: writes `BENCH_PR5.json` with the
 //! headline numbers of this revision (fairshare refresh latency, query p99,
-//! gossip convergence under faults, and causal-tracing overhead), then —
+//! gossip convergence under faults, causal-tracing overhead, and crash
+//! recovery with/without the durable store), then —
 //! with `--check` — compares each key against the most recent previous
 //! `BENCH_*.json` in the working directory and exits non-zero on a
 //! regression beyond tolerance. A missing previous snapshot passes with a
@@ -8,12 +9,12 @@
 //!
 //! Usage: `bench_snapshot [JOBS] [--check]` (default 4,000 jobs).
 
-use aequus_bench::{baseline_trace, jobs_arg, run_with_faults};
+use aequus_bench::{baseline_trace, jobs_arg, run_recovery_sweep, run_with_faults};
 use aequus_sim::{GridScenario, GridSimulation, SimResult};
 use aequus_workload::users::baseline_policy_shares;
 use std::time::Instant;
 
-const OUT: &str = "BENCH_PR4.json";
+const OUT: &str = "BENCH_PR5.json";
 
 /// The compact two-cluster testbed used for the timing ratios, so the
 /// untraced / unsampled / fully-traced runs are strictly comparable.
@@ -107,13 +108,21 @@ fn main() {
     }
     let unsampled_ratio = telem_wall / base_wall;
     let full_ratio = full_wall / base_wall;
+    // Crash recovery: the chaos-suite crash plan with and without the
+    // durable store. WAL replay must reconverge the crashed site's views
+    // earlier than the surcharged snapshot-only path; both times gate.
+    let recovery = &run_recovery_sweep(48, &[seed])[0];
+    let recovery_wal = recovery.durable_convergence_s.unwrap_or(-1.0);
+    let recovery_snap = recovery.volatile_convergence_s.unwrap_or(-1.0);
 
     let json = format!(
-        "{{\n  \"pr\": 4,\n  \"jobs\": {jobs},\n  \"refresh_mean_s\": {refresh_mean:?},\n  \
+        "{{\n  \"pr\": 5,\n  \"jobs\": {jobs},\n  \"refresh_mean_s\": {refresh_mean:?},\n  \
          \"refresh_p99_s\": {refresh_p99:?},\n  \"query_p99_s\": {query_p99:?},\n  \
          \"gossip_divergent_s\": {divergent_s:?},\n  \
          \"tracing_unsampled_ratio\": {unsampled_ratio:?},\n  \
-         \"tracing_full_ratio\": {full_ratio:?}\n}}\n"
+         \"tracing_full_ratio\": {full_ratio:?},\n  \
+         \"recovery_wal_replay_s\": {recovery_wal:?},\n  \
+         \"recovery_snapshot_only_s\": {recovery_snap:?}\n}}\n"
     );
     std::fs::write(OUT, &json).expect("write benchmark snapshot");
     println!("wrote {OUT}:");
@@ -136,6 +145,10 @@ fn main() {
         ("gossip_divergent_s", 1.25, 300.0),
         ("tracing_unsampled_ratio", 1.5, 0.25),
         ("tracing_full_ratio", 1.5, 0.25),
+        // Convergence times quantize to the 60 s sample interval; one
+        // extra sample of drift is tolerated, two is a regression.
+        ("recovery_wal_replay_s", 1.2, 90.0),
+        ("recovery_snapshot_only_s", 1.2, 90.0),
     ];
     let mut failed = false;
     for (key, tol, slack) in gates {

@@ -268,6 +268,132 @@ pub fn run_fault_sweep(jobs: usize, drop_rates: &[f64], seed: u64) -> Vec<FaultS
         .collect()
 }
 
+/// One seed of the crash-recovery comparison: the identical crash plan run
+/// twice — once with the durable per-site store (recovery = checkpoint
+/// install + WAL replay, then anti-entropy only for the crash-window
+/// delta) and once volatile (recovery = surcharged cumulative peer
+/// snapshots). The convergence-time gap is the store's recovery advantage.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryPoint {
+    /// Scenario seed.
+    pub seed: u64,
+    /// View convergence time of the store-backed run.
+    pub durable_convergence_s: Option<f64>,
+    /// View convergence time of the snapshot-only run.
+    pub volatile_convergence_s: Option<f64>,
+    /// `volatile - durable` when both converged: seconds of catch-up the
+    /// WAL replay saved.
+    pub advantage_s: Option<f64>,
+    /// WAL frames the crashed site replayed on recovery.
+    pub frames_replayed: u64,
+    /// Torn tails truncated (one per simulated crash).
+    pub torn_tails: u64,
+    /// Checkpoints the crashed site's store wrote over the run.
+    pub checkpoints: u64,
+    /// Cumulative snapshots peers served in the durable run.
+    pub durable_snapshots: u64,
+    /// Cumulative snapshots peers served in the volatile run.
+    pub volatile_snapshots: u64,
+}
+
+/// The recovery testbed: the chaos suite's compressed 3-cluster grid with
+/// a mid-workload crash of site 2 and a snapshot-transfer surcharge, so
+/// bulk catch-up is visibly more expensive than incremental repair. The
+/// retry history is sized into the window that separates the recovery
+/// paths — deep enough that peers can retry every crash-window summary,
+/// too shallow to reach back to sequence 1 for a from-scratch resync.
+fn recovery_scenario(seed: u64, durable: bool) -> GridScenario {
+    use aequus_services::{RetryPolicy, ServiceTimings};
+    let mut sc = GridScenario::national_testbed(&baseline_policy_shares(), seed)
+        .with_telemetry()
+        .with_snapshot_transfer(240.0);
+    sc.clusters.truncate(3);
+    for c in &mut sc.clusters {
+        c.nodes = 4;
+    }
+    sc.timings = ServiceTimings {
+        report_delay_s: 5.0,
+        uss_publish_interval_s: 30.0,
+        ums_refresh_interval_s: 30.0,
+        fcs_refresh_interval_s: 30.0,
+        lib_cache_ttl_s: 10.0,
+        lib_identity_ttl_s: 60.0,
+        exchange_latency_s: 5.0,
+    };
+    sc.usage_slot_s = 60.0;
+    sc.tick_interval_s = 5.0;
+    sc.retry = RetryPolicy {
+        ack_timeout_s: 15.0,
+        max_backoff_s: 60.0,
+        jitter_frac: 0.2,
+        history_cap: 12,
+        outbox_cap: 16,
+    };
+    sc.faults = FaultPlan {
+        drop_probability: 0.0,
+        outages: vec![],
+        crashes: vec![Outage {
+            cluster: 2,
+            from_s: 400.0,
+            to_s: 700.0,
+        }],
+    };
+    if durable {
+        sc = sc.with_durable_store();
+    }
+    sc
+}
+
+/// Quantify WAL-replay recovery against snapshot-only catch-up: for each
+/// seed, run the same crash plan durable and volatile and compare view
+/// convergence times. `jobs` scales the fixed-shape workload (one 40 s
+/// single-core job every 15 s); the default 48 keeps the submission window
+/// wrapped around the crash so convergence measures recovery, not
+/// stragglers.
+pub fn run_recovery_sweep(jobs: usize, seeds: &[u64]) -> Vec<RecoveryPoint> {
+    use aequus_workload::TraceJob;
+    let users = ["U65", "U30", "U3", "Uoth"];
+    let trace = Trace::new(
+        (0..jobs)
+            .map(|i| TraceJob {
+                user: users[i % users.len()].to_string(),
+                submit_s: i as f64 * 15.0,
+                duration_s: 40.0,
+                cores: 1,
+            })
+            .collect(),
+    );
+    let horizon_s = (jobs as f64 * 15.0 + 1100.0).max(1800.0);
+    seeds
+        .iter()
+        .map(|&seed| {
+            let snapshots_served = |r: &SimResult| -> u64 {
+                r.site_telemetry
+                    .iter()
+                    .filter_map(|s| s.counters.get("aequus_uss_snapshots_total"))
+                    .sum()
+            };
+            let durable = GridSimulation::new(recovery_scenario(seed, true)).run(&trace, horizon_s);
+            let volatile =
+                GridSimulation::new(recovery_scenario(seed, false)).run(&trace, horizon_s);
+            let stats = durable.site_store_stats[2].unwrap_or_default();
+            let d = durable.metrics.view_convergence_time(1e-6);
+            let v = volatile.metrics.view_convergence_time(1e-6);
+            RecoveryPoint {
+                seed,
+                durable_convergence_s: d,
+                volatile_convergence_s: v,
+                advantage_s: d.zip(v).map(|(d, v)| v - d),
+                frames_replayed: stats.frames_replayed,
+                torn_tails: stats.torn_tails,
+                checkpoints: stats.checkpoints,
+                durable_snapshots: snapshots_served(&durable),
+                volatile_snapshots: snapshots_served(&volatile),
+            }
+        })
+        .collect()
+}
+
 /// Parse the first CLI argument as a job count, defaulting to `default`
 /// (lets every experiment binary run in quick mode: `cargo run --bin fig13
 /// -- 8000`).

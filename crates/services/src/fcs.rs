@@ -227,17 +227,12 @@ impl Fcs {
             self.incremental_refreshes += 1;
             self.last_recompute = RecomputeStats::default();
             self.metrics.h_refresh_incr.record(0.0);
-        } else {
+        } else if let Some(mut tree) = self.tree.take() {
             let _span = self.metrics.h_refresh_incr.start_timer();
-            let stats = self
-                .tree
-                .as_mut()
-                .expect("tree present on incremental path")
-                .recompute_dirty(pds.policy(), ums.usage(), &dirty, now_s);
-            let tree = self.tree.as_ref().expect("tree present");
+            let stats = tree.recompute_dirty(pds.policy(), ums.usage(), &dirty, now_s);
             if stats.full {
                 // The tree detected a structural mismatch and rebuilt.
-                self.factors = self.projection.project(tree);
+                self.factors = self.projection.project(&tree);
                 self.full_refreshes += 1;
                 self.metrics.full_refreshes.inc();
                 self.metrics.telemetry.event(now_s, "fcs.full_rebuild", || {
@@ -251,7 +246,7 @@ impl Fcs {
                 }
                 let mut global_projection = false;
                 for user in &affected {
-                    match self.projection.project_user(tree, user) {
+                    match self.projection.project_user(&tree, user) {
                         Some(f) => {
                             self.factors.insert(user.clone(), f);
                         }
@@ -264,11 +259,18 @@ impl Fcs {
                     }
                 }
                 if global_projection && !affected.is_empty() {
-                    self.factors = self.projection.project(tree);
+                    self.factors = self.projection.project(&tree);
                 }
                 self.incremental_refreshes += 1;
             }
+            self.tree = Some(tree);
             self.last_recompute = stats;
+        } else {
+            // `need_full` concluded a tree exists, but it does not (a state
+            // a recovering site could conceivably reach). A serving site
+            // must not panic: do no work now and schedule a full rebuild.
+            self.force_full = true;
+            self.last_recompute = RecomputeStats::default();
         }
 
         self.nodes_recomputed_total += self.last_recompute.nodes_recomputed;

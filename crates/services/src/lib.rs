@@ -44,4 +44,7 @@ pub use reliability::{JitterRng, RetryPolicy, StalePolicy, UssMessage};
 pub use site::AequusSite;
 pub use timings::ServiceTimings;
 pub use ums::Ums;
-pub use uss::Uss;
+pub use uss::{RecoveryError, Uss};
+
+// Durable-store types downstream layers (sim, bench) configure and report.
+pub use aequus_store::{StoreConfig, StoreStats};

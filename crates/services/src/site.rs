@@ -17,6 +17,7 @@ use aequus_core::policy::PolicyTree;
 use aequus_core::projection::ProjectionKind;
 use aequus_core::usage::{UsageRecord, UsageSummary};
 use aequus_core::{GridUser, SiteId, SystemUser};
+use aequus_store::{MemStorage, SiteStore, StoreConfig, StoreStats, WalRecord};
 use aequus_telemetry::{Telemetry, TraceCtx};
 use std::collections::VecDeque;
 
@@ -53,6 +54,16 @@ pub struct AequusSite {
     serving_trace: Option<TraceCtx>,
     /// Site-wide telemetry domain (disabled by default).
     telemetry: Telemetry,
+    /// Durable per-site store (WAL + checkpoints), when enabled. The
+    /// backing [`MemStorage`] plays the disk: it survives a simulated
+    /// crash inside the store even though the services' state is wiped.
+    store: Option<SiteStore>,
+    /// Store stats accumulated over previous incarnations (pre-crash).
+    store_stats_base: StoreStats,
+    /// Deterministic salt stream for simulated torn writes at crashes.
+    store_salt: u64,
+    /// Last checkpoint cut time.
+    last_checkpoint_s: f64,
 }
 
 impl AequusSite {
@@ -82,6 +93,54 @@ impl AequusSite {
             serving_trace: None,
             timings,
             telemetry: Telemetry::disabled(),
+            store: None,
+            store_stats_base: StoreStats::default(),
+            store_salt: 0,
+            last_checkpoint_s: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Attach a durable store over a fresh in-memory backend. Once enabled,
+    /// ingested usage records, published sequence numbers, and absorbed peer
+    /// summaries are journaled to the WAL; checkpoints are cut on the
+    /// configured cadence; and a crash/recover cycle replays the store
+    /// *before* falling back to anti-entropy catch-up for the delta.
+    /// `seed` decorrelates the simulated torn-write junk across sites.
+    pub fn enable_store(&mut self, cfg: StoreConfig, seed: u64) {
+        // `MemStorage` operations are infallible, so open cannot fail here;
+        // keep the site serving (without durability) if that ever changes.
+        let Ok((mut store, _recovered)) = SiteStore::open(Box::new(MemStorage::new()), cfg) else {
+            return;
+        };
+        store.set_telemetry(&self.telemetry);
+        self.store = Some(store);
+        self.store_stats_base = StoreStats::default();
+        self.store_salt = seed ^ (u64::from(self.id.0) << 32);
+        self.last_checkpoint_s = f64::NEG_INFINITY;
+    }
+
+    /// Whether a durable store is attached.
+    pub fn has_store(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Cumulative store health counters across all incarnations (crashes
+    /// re-open the store over the surviving backend), when enabled.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.store
+            .as_ref()
+            .map(|s| StoreStats::across_restart(self.store_stats_base, s.stats()))
+    }
+
+    /// Journal one record, reporting (never panicking on) store errors —
+    /// a failing disk degrades durability, not service.
+    fn journal(&mut self, rec: &WalRecord, now_s: f64) {
+        let Some(store) = &mut self.store else {
+            return;
+        };
+        if let Err(e) = store.append(rec) {
+            self.telemetry
+                .event(now_s, "site.store_error", || format!("journal: {e}"));
         }
     }
 
@@ -95,6 +154,9 @@ impl AequusSite {
         self.fcs.set_telemetry(t);
         self.irs.set_telemetry(t);
         self.lib.set_telemetry(t);
+        if let Some(store) = &mut self.store {
+            store.set_telemetry(t);
+        }
     }
 
     /// The site's telemetry handle (disabled unless wired).
@@ -188,7 +250,31 @@ impl AequusSite {
 
     /// Deliver one reliable-exchange message, returning the responses to
     /// route back (acks, resync pulls, resync answers, snapshots).
+    /// Data-bearing messages are journaled to the durable store (when
+    /// enabled) so replay restores the remote view without re-gossip; the
+    /// positive-delta merge makes re-applying them on recovery idempotent.
     pub fn deliver_message(&mut self, msg: &UssMessage, now_s: f64) -> Vec<(SiteId, UssMessage)> {
+        match msg {
+            UssMessage::Summary { summary, .. } => {
+                self.journal(
+                    &WalRecord::PeerData {
+                        summary: summary.clone(),
+                        snapshot: false,
+                    },
+                    now_s,
+                );
+            }
+            UssMessage::Snapshot { summary, .. } => {
+                self.journal(
+                    &WalRecord::PeerData {
+                        summary: summary.clone(),
+                        snapshot: true,
+                    },
+                    now_s,
+                );
+            }
+            _ => {}
+        }
         self.uss.receive_message(msg, now_s)
     }
 
@@ -199,7 +285,23 @@ impl AequusSite {
     /// client caches (the library lives inside the RMS process, which is
     /// modeled as staying up and serving stale values while degraded).
     pub fn crash(&mut self, now_s: f64) {
-        self.uss.crash();
+        if let Some(store) = &mut self.store {
+            // The write in flight at the instant of the crash lands as a
+            // torn tail the next open must truncate. With a store attached
+            // the local histogram is honestly volatile too — the WAL, not a
+            // magic accounting database, rebuilds it.
+            self.store_salt = self
+                .store_salt
+                .wrapping_mul(0x5851_F42D_4C95_7F2D)
+                .wrapping_add(0x1405_7B7E_F767_814F);
+            if let Err(e) = store.simulate_torn_write(self.store_salt) {
+                self.telemetry
+                    .event(now_s, "site.store_error", || format!("torn write: {e}"));
+            }
+            self.uss.crash_volatile();
+        } else {
+            self.uss.crash();
+        }
         self.ums.reset();
         self.fcs.reset();
         self.lib.set_degraded(true);
@@ -211,10 +313,18 @@ impl AequusSite {
         });
     }
 
-    /// Crash recovery: request snapshot catch-up from every expected
-    /// publisher and lift the client library's degraded mode. Publication
-    /// resumes on the next tick.
+    /// Crash recovery. With a durable store attached, the store is re-opened
+    /// over the surviving backend first — replaying the WAL (truncating the
+    /// torn tail, skipping corrupt frames), installing the best checkpoint,
+    /// and re-applying every surviving record — so anti-entropy catch-up
+    /// only has to cover the delta since the crash instead of full history.
+    /// Then (store or not) snapshot catch-up is requested from every
+    /// expected publisher and the client library's degraded mode is lifted.
+    /// Publication resumes on the next tick.
     pub fn recover(&mut self, now_s: f64) {
+        if let Some(store) = self.store.take() {
+            self.recover_from_store(store, now_s);
+        }
         self.uss.request_catchup();
         self.lib.set_degraded(false);
         self.last_publish_s = f64::NEG_INFINITY;
@@ -223,15 +333,94 @@ impl AequusSite {
         });
     }
 
+    /// Re-open the durable store (modeling the recovering process reading
+    /// its disk back) and reinstall checkpoint + WAL state into the
+    /// services. Replay is telemetry-quiet — the original operations were
+    /// already counted — and emits no protocol responses: acks were
+    /// delivered before the crash, and any still-open gap re-triggers on
+    /// the live path after catch-up.
+    fn recover_from_store(&mut self, store: SiteStore, now_s: f64) {
+        self.store_stats_base = StoreStats::across_restart(self.store_stats_base, store.stats());
+        let cfg = store.config();
+        let storage = store.into_storage();
+        let (mut store, recovered) = match SiteStore::open(storage, cfg) {
+            Ok(opened) => opened,
+            Err(e) => {
+                // An unrecoverable backend loses durability, not service:
+                // the site continues store-less on pure anti-entropy.
+                self.telemetry
+                    .event(now_s, "site.store_error", || format!("reopen: {e}"));
+                return;
+            }
+        };
+        store.set_telemetry(&self.telemetry);
+        if let Some(ckpt) = &recovered.checkpoint {
+            match self.uss.install_checkpoint(ckpt) {
+                Ok(()) => {
+                    // An all-dirty USS set must route the next UMS refresh
+                    // down the rebase path; install the epoch cache only
+                    // when the checkpointed dirt is per-user.
+                    if ckpt.dirty_users.is_some() {
+                        self.ums
+                            .install_state(ckpt.ums_epoch_s, ckpt.ums_cached.clone());
+                    }
+                }
+                Err(e) => {
+                    self.telemetry
+                        .event(now_s, "site.store_error", || format!("checkpoint: {e}"));
+                }
+            }
+        }
+        let replayed = recovered.records.len();
+        for (_lsn, rec) in &recovered.records {
+            match rec {
+                WalRecord::Usage(u) => self.uss.replay_ingest(u),
+                WalRecord::PeerData { summary, snapshot } => {
+                    self.uss.replay_peer_data(summary, *snapshot)
+                }
+                WalRecord::Publish { seq } => self.uss.replay_publish_seq(*seq),
+            }
+        }
+        let report = recovered.report;
+        self.telemetry.event(now_s, "site.store_recover", || {
+            format!(
+                "checkpoint {}, {replayed} records replayed, {} torn tail(s) truncated, {} corrupt frame(s) skipped",
+                recovered
+                    .checkpoint
+                    .as_ref()
+                    .map_or("none".to_string(), |c| format!("lsn {}", c.lsn)),
+                report.torn_tails, report.corrupt_frames
+            )
+        });
+        self.last_checkpoint_s = f64::NEG_INFINITY;
+        self.store = Some(store);
+    }
+
     /// Deliver a usage summary from a peer site.
     pub fn receive_summary(&mut self, summary: &UsageSummary) {
+        self.journal_broadcast(summary, 0.0);
         self.uss.receive(summary);
     }
 
     /// Deliver a usage summary from a peer site with the delivery time (so
     /// the gossip-merge telemetry event carries a real timestamp).
     pub fn receive_summary_at(&mut self, summary: &UsageSummary, now_s: f64) {
+        self.journal_broadcast(summary, now_s);
         self.uss.receive_at(summary, now_s);
+    }
+
+    /// Journal a legacy broadcast-mode summary (cumulative cells, no
+    /// reliable-exchange framing around it).
+    fn journal_broadcast(&mut self, summary: &UsageSummary, now_s: f64) {
+        if self.store.is_some() {
+            self.journal(
+                &WalRecord::PeerData {
+                    summary: summary.clone(),
+                    snapshot: false,
+                },
+                now_s,
+            );
+        }
     }
 
     /// Drain summaries produced since the last call (the simulator delivers
@@ -245,12 +434,16 @@ impl AequusSite {
     /// on their intervals. Idempotent within a timestep.
     pub fn tick(&mut self, now_s: f64) {
         // Stage I: reporting delay.
-        while let Some((due, _, _)) = self.pending_reports.front() {
-            if *due > now_s {
+        while self
+            .pending_reports
+            .front()
+            .is_some_and(|(due, _, _)| *due <= now_s)
+        {
+            let Some((_, rec, ctx)) = self.pending_reports.pop_front() else {
                 break;
-            }
-            let (_, rec, ctx) = self.pending_reports.pop_front().expect("front checked");
+            };
             self.uss.ingest(&rec);
+            self.journal(&WalRecord::Usage(rec.clone()), now_s);
             let end_slot = (rec.end_s / self.uss.slot_duration()).floor().max(0.0) as u64;
             self.telemetry.trace_ingest(rec.job.0, end_slot, now_s);
             let job = rec.job.0;
@@ -263,6 +456,7 @@ impl AequusSite {
         // Stage II-a: USS publication.
         if now_s - self.last_publish_s >= self.timings.uss_publish_interval_s {
             if let Some(summary) = self.uss.publish(now_s) {
+                self.journal(&WalRecord::Publish { seq: summary.seq }, now_s);
                 if self.telemetry.traces_active() > 0 {
                     let users: Vec<&str> = summary.per_user.keys().map(GridUser::as_str).collect();
                     let current_slot = (now_s / self.uss.slot_duration()).floor().max(0.0) as u64;
@@ -305,6 +499,32 @@ impl AequusSite {
                         });
             }
         }
+        // Durable-store checkpoint cadence: snapshot the USS/UMS state and
+        // compact the WAL segments the snapshot covers.
+        if let Some(cfg) = self.store.as_ref().map(SiteStore::config) {
+            if now_s - self.last_checkpoint_s >= cfg.checkpoint_interval_s {
+                self.checkpoint_now(now_s);
+            }
+        }
+    }
+
+    /// Cut a checkpoint immediately (normally driven by the store's
+    /// `checkpoint_interval_s` from [`AequusSite::tick`]).
+    pub fn checkpoint_now(&mut self, now_s: f64) {
+        let Some(store) = &mut self.store else {
+            return;
+        };
+        let mut ckpt = self
+            .uss
+            .export_checkpoint(store.next_lsn().saturating_sub(1), now_s);
+        let (epoch, cached) = self.ums.export_state();
+        ckpt.ums_epoch_s = epoch;
+        ckpt.ums_cached = cached;
+        if let Err(e) = store.checkpoint(&ckpt) {
+            self.telemetry
+                .event(now_s, "site.store_error", || format!("checkpoint: {e}"));
+        }
+        self.last_checkpoint_s = now_s;
     }
 
     /// RMS-facing: intern a grid user into a stable dense id for
@@ -474,6 +694,129 @@ mod tests {
         assert!(
             (s1.uss.remote_usage_of(&GridUser::new("a")) - 300.0).abs() < 1e-9,
             "snapshot catch-up restored the remote view"
+        );
+    }
+
+    #[test]
+    fn store_replays_local_usage_across_crash() {
+        // With a durable store, the local histogram is volatile at the
+        // crash — and the WAL alone rebuilds it, bit for bit.
+        let mut s = site(0, ParticipationMode::Full);
+        s.enable_store(StoreConfig::default(), 42);
+        s.report_completion(record(0, "a", 0.0, 300.0), 300.0);
+        s.tick(310.0);
+        let before = s.uss.local_usage_of(&GridUser::new("a"));
+        assert!((before - 300.0).abs() < 1e-9);
+
+        s.crash(400.0);
+        assert_eq!(
+            s.uss.local_usage_of(&GridUser::new("a")),
+            0.0,
+            "store mode: local histogram is honestly volatile"
+        );
+        s.recover(500.0);
+        let after = s.uss.local_usage_of(&GridUser::new("a"));
+        assert_eq!(before.to_bits(), after.to_bits(), "WAL replay is exact");
+        assert_eq!(s.uss.records_ingested(), 1);
+
+        let stats = s.store_stats().unwrap();
+        assert_eq!(stats.torn_tails, 1, "crash left a torn tail: {stats:?}");
+        assert!(stats.frames_replayed >= 1);
+    }
+
+    #[test]
+    fn store_checkpoint_covers_records_and_publish_seq() {
+        let mut s = site(0, ParticipationMode::Full);
+        s.enable_store(
+            StoreConfig {
+                checkpoint_interval_s: 50.0,
+                ..StoreConfig::default()
+            },
+            7,
+        );
+        s.report_completion(record(0, "a", 0.0, 300.0), 300.0);
+        s.tick(310.0); // ingest + publish + checkpoint
+        s.tick(400.0); // second publish (slot closed), next checkpoint
+        let seq_before = s.uss.next_seq();
+        let local_before = s.uss.local_usage_of(&GridUser::new("a"));
+        assert!(s.store_stats().unwrap().checkpoints >= 1);
+
+        s.crash(450.0);
+        s.recover(460.0);
+        assert_eq!(
+            s.uss.next_seq(),
+            seq_before,
+            "publish cursor survives via checkpoint + Publish records"
+        );
+        assert_eq!(
+            local_before.to_bits(),
+            s.uss.local_usage_of(&GridUser::new("a")).to_bits(),
+            "checkpointed local cells install bitwise exact"
+        );
+    }
+
+    #[test]
+    fn store_replays_peer_data_without_re_gossip() {
+        let mut s0 = site(0, ParticipationMode::Full);
+        let mut s1 = site(1, ParticipationMode::Full);
+        s1.enable_store(StoreConfig::default(), 9);
+        let peers = [SiteId(0), SiteId(1)];
+        let retry = RetryPolicy::default();
+        s0.configure_exchange(&peers, &peers, retry, StalePolicy::ServeStale, 1);
+        s1.configure_exchange(&peers, &peers, retry, StalePolicy::ServeStale, 2);
+        s0.report_completion(record(0, "a", 0.0, 300.0), 300.0);
+        s0.tick(310.0);
+        s0.tick(400.0);
+        let mut msgs = s0.poll_messages(400.0);
+        while !msgs.is_empty() {
+            let mut next = Vec::new();
+            for (dest, msg) in msgs {
+                let target = if dest == SiteId(0) { &mut s0 } else { &mut s1 };
+                next.extend(target.deliver_message(&msg, 400.0));
+            }
+            msgs = next;
+        }
+        let remote_before = s1.uss.remote_usage_of(&GridUser::new("a"));
+        assert!((remote_before - 300.0).abs() < 1e-9);
+
+        // Crash and recover *without* any message exchange: the journaled
+        // peer summaries alone restore the remote view.
+        s1.crash(500.0);
+        assert_eq!(s1.uss.remote_usage_of(&GridUser::new("a")), 0.0);
+        s1.recover(600.0);
+        let remote_after = s1.uss.remote_usage_of(&GridUser::new("a"));
+        assert_eq!(
+            remote_before.to_bits(),
+            remote_after.to_bits(),
+            "WAL peer-data replay restored the remote view"
+        );
+    }
+
+    #[test]
+    fn store_metrics_flow_into_site_telemetry() {
+        let mut s = site(0, ParticipationMode::Full);
+        let t = Telemetry::enabled();
+        s.set_telemetry(&t);
+        s.enable_store(StoreConfig::default(), 3);
+        s.report_completion(record(0, "a", 0.0, 100.0), 100.0);
+        s.tick(110.0);
+        s.crash(200.0);
+        s.recover(300.0);
+        let snap = t.snapshot().unwrap();
+        assert!(
+            snap.counters
+                .get("aequus_store_frames_appended_total")
+                .copied()
+                .unwrap_or(0)
+                >= 1
+        );
+        assert_eq!(snap.counters.get("aequus_store_torn_tails_total"), Some(&1));
+        assert!(
+            snap.gauges
+                .get("aequus_store_wal_bytes")
+                .copied()
+                .unwrap_or(0.0)
+                > 0.0
         );
     }
 

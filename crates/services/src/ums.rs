@@ -203,6 +203,30 @@ impl Ums {
         self.last_refresh_s = None;
     }
 
+    /// Export the cache for a durable-store checkpoint: the reference epoch
+    /// and the per-user weights. Refresh counters are *not* exported — they
+    /// are monotone telemetry series, not recoverable state.
+    pub fn export_state(&self) -> (Option<f64>, BTreeMap<GridUser, f64>) {
+        (self.epoch_s, self.cached.clone())
+    }
+
+    /// Install a checkpointed cache during store recovery. The whole cache
+    /// is marked dirty (the FCS tree was reset by the crash and rebuilds
+    /// fully anyway) and the staleness clock is cleared so the next tick
+    /// refreshes immediately.
+    ///
+    /// Callers must only install an epoch when the feeding USS dirty set is
+    /// per-user (checkpoint `dirty_users: Some(..)`): an installed epoch
+    /// routes the next refresh down the incremental path, which requires
+    /// per-user dirt. With an all-dirty USS, skip the install and let the
+    /// first refresh rebase from scratch instead.
+    pub fn install_state(&mut self, epoch_s: Option<f64>, cached: BTreeMap<GridUser, f64>) {
+        self.epoch_s = epoch_s;
+        self.cached = cached;
+        self.dirty.mark_all();
+        self.last_refresh_s = None;
+    }
+
     /// Force an immediate refresh regardless of staleness.
     pub fn force_refresh(&mut self, uss: &mut Uss, now_s: f64) {
         self.last_refresh_s = None;

@@ -35,8 +35,50 @@ use aequus_core::arena::DirtySet;
 use aequus_core::ids::SiteId;
 use aequus_core::usage::{UsageHistogram, UsageRecord, UsageSummary};
 use aequus_core::GridUser;
+use aequus_store::{CheckpointState, PeerCursor};
 use aequus_telemetry::{Counter, Gauge, Histogram, Telemetry, TraceCtx};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// Why recovered store state could not be installed into a service. A
+/// corrupt or mismatched checkpoint must degrade the site to snapshot
+/// catch-up — never panic it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryError {
+    /// The checkpoint was cut by a different site.
+    SiteMismatch {
+        /// This service's site.
+        expected: SiteId,
+        /// Site recorded in the checkpoint.
+        found: SiteId,
+    },
+    /// The checkpoint's histogram slot duration differs from the configured
+    /// one — its cell indices would land in the wrong slots.
+    SlotMismatch {
+        /// Configured slot duration.
+        expected: f64,
+        /// Slot duration recorded in the checkpoint.
+        found: f64,
+    },
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::SiteMismatch { expected, found } => write!(
+                f,
+                "checkpoint belongs to site {} (this is site {})",
+                found.0, expected.0
+            ),
+            RecoveryError::SlotMismatch { expected, found } => write!(
+                f,
+                "checkpoint slot duration {found}s != configured {expected}s"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
 
 /// Minimum per-cell charge difference considered a real change; smaller
 /// residues are floating-point noise and are neither published nor merged.
@@ -456,10 +498,13 @@ impl Uss {
                 self.metrics.retries.add(sent);
             }
             let unit = self.jitter.next_unit();
-            let tx = self.tx.get_mut(&peer).expect("peer tx exists");
-            tx.outbox.retain(|seq| !evicted.contains(seq));
-            tx.attempts += 1;
-            tx.next_attempt_s = now_s + self.retry.backoff_s(tx.attempts, unit);
+            // The entry was present at the top of the loop; re-check rather
+            // than `expect` — a serving site must not panic on map state.
+            if let Some(tx) = self.tx.get_mut(&peer) {
+                tx.outbox.retain(|seq| !evicted.contains(seq));
+                tx.attempts += 1;
+                tx.next_attempt_s = now_s + self.retry.backoff_s(tx.attempts, unit);
+            }
         }
         out
     }
@@ -786,6 +831,175 @@ impl Uss {
         self.catchup_pending = self.rx_peers.iter().copied().collect();
     }
 
+    /// Site crash in durable-store mode: in addition to [`Uss::crash`], the
+    /// local histogram and ingest counter are wiped. Without a store the
+    /// sim models them as surviving in an external accounting database;
+    /// with a store attached they are honestly volatile and rebuilt from
+    /// checkpoint + WAL replay. The publish cursor still survives — it is
+    /// modeled as fsynced alongside every publication (reusing sequence
+    /// numbers would let stale in-flight acks cancel new summaries), and
+    /// journaled [`aequus_store::WalRecord::Publish`] records replay it as
+    /// belt and braces.
+    pub fn crash_volatile(&mut self) {
+        self.crash();
+        self.local = UsageHistogram::new(self.local.slot_duration());
+        self.records_ingested = 0;
+    }
+
+    /// Export everything the durable store checkpoints for this service:
+    /// the local histogram cells (full `f64` bits — local recovery is
+    /// bitwise exact), ingest/publish counters, and the per-peer exchange
+    /// cursors with their absolute-cell merge mirrors. `lsn` is the WAL
+    /// position the snapshot covers; the UMS fields are left empty for the
+    /// site to fill in ([`crate::ums::Ums::export_state`]).
+    pub fn export_checkpoint(&self, lsn: u64, taken_s: f64) -> CheckpointState {
+        CheckpointState {
+            lsn,
+            taken_s,
+            site: self.site,
+            slot_s: self.local.slot_duration(),
+            local_cells: self.local.summary(self.site, 0).per_user,
+            records_ingested: self.records_ingested,
+            next_seq: self.next_seq,
+            peers: self
+                .rx
+                .iter()
+                .map(|(site, rx)| {
+                    (
+                        *site,
+                        PeerCursor {
+                            next_expected: rx.next_expected,
+                            seen_cells: rx.seen_cells.clone(),
+                        },
+                    )
+                })
+                .collect(),
+            ums_epoch_s: None,
+            ums_cached: BTreeMap::new(),
+            dirty_users: if self.dirty.is_all() {
+                None
+            } else {
+                Some(self.dirty.users().cloned().collect())
+            },
+        }
+    }
+
+    /// Install a recovered checkpoint: rebuild the local histogram from its
+    /// cells (bitwise exact — the cells are the accumulated values), restore
+    /// the per-peer cursors and merge mirrors, rebuild the remote view from
+    /// the mirrors, and re-mark the dirty users that were pending at
+    /// checkpoint time. WAL records past `checkpoint.lsn` must then be
+    /// re-applied via the `replay_*` methods.
+    pub fn install_checkpoint(&mut self, ckpt: &CheckpointState) -> Result<(), RecoveryError> {
+        if ckpt.site != self.site {
+            return Err(RecoveryError::SiteMismatch {
+                expected: self.site,
+                found: ckpt.site,
+            });
+        }
+        let slot_s = self.local.slot_duration();
+        if (ckpt.slot_s - slot_s).abs() > 1e-9 {
+            return Err(RecoveryError::SlotMismatch {
+                expected: slot_s,
+                found: ckpt.slot_s,
+            });
+        }
+        self.local = UsageHistogram::new(slot_s);
+        for (user, slots) in &ckpt.local_cells {
+            for (&slot, &charge) in slots {
+                self.local.add_charge(user, slot, charge);
+            }
+        }
+        self.records_ingested = ckpt.records_ingested;
+        self.next_seq = self.next_seq.max(ckpt.next_seq);
+        self.remote = UsageHistogram::new(slot_s);
+        self.rx.clear();
+        for (site, cursor) in &ckpt.peers {
+            let mut rx = PeerRx::new();
+            rx.next_expected = cursor.next_expected;
+            rx.seen_cells = cursor.seen_cells.clone();
+            for (user, slots) in &cursor.seen_cells {
+                for (&slot, &charge) in slots {
+                    self.remote.add_charge(user, slot, charge);
+                }
+            }
+            self.rx.insert(*site, rx);
+        }
+        match &ckpt.dirty_users {
+            None => self.dirty.mark_all(),
+            Some(users) => {
+                for user in users {
+                    self.dirty.mark_user(user.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-apply a journaled local usage record during store recovery:
+    /// [`Uss::ingest`] minus telemetry — the original ingest already
+    /// counted, and replay must not inflate the monotone series.
+    pub fn replay_ingest(&mut self, rec: &UsageRecord) {
+        if rec.charge() > 0.0 {
+            self.dirty.mark_user(rec.user.clone());
+        }
+        self.local.record(rec);
+        self.records_ingested += 1;
+    }
+
+    /// Re-apply journaled peer exchange data during store recovery: the
+    /// same positive-delta merge and cursor bookkeeping as the live path,
+    /// but silent — no acks (the peer collected them before the crash), no
+    /// resync pulls (post-recovery catch-up covers any still-open gap), and
+    /// no telemetry.
+    pub fn replay_peer_data(&mut self, s: &UsageSummary, is_snapshot: bool) {
+        if s.site == self.site || !self.mode.reads_global() {
+            return;
+        }
+        let rx = self.rx.entry(s.site).or_insert_with(PeerRx::new);
+        for (user, slots) in &s.per_user {
+            let seen = rx.seen_cells.entry(user.clone()).or_default();
+            let mut user_changed = false;
+            for (&slot, &value) in slots {
+                let prev = seen.get(&slot).copied().unwrap_or(0.0);
+                let delta = value - prev;
+                if delta > CELL_EPS {
+                    seen.insert(slot, value);
+                    self.remote.add_charge(user, slot, delta);
+                    user_changed = true;
+                }
+            }
+            if user_changed {
+                self.dirty.mark_user(user.clone());
+            }
+        }
+        if is_snapshot {
+            if s.seq + 1 > rx.next_expected {
+                rx.next_expected = s.seq + 1;
+            }
+            rx.seen_above.retain(|&q| q >= rx.next_expected);
+            while rx.seen_above.remove(&rx.next_expected) {
+                rx.next_expected += 1;
+            }
+        } else if s.seq > 0 {
+            if s.seq >= rx.next_expected {
+                rx.seen_above.insert(s.seq);
+                while rx.seen_above.remove(&rx.next_expected) {
+                    rx.next_expected += 1;
+                }
+            } else if s.seq == 1 && rx.next_expected > 2 {
+                rx.next_expected = 2;
+                rx.seen_above.clear();
+            }
+        }
+    }
+
+    /// Re-apply a journaled publish-sequence advance: the cursor only moves
+    /// forward, so replay after a partially-journaled run never rewinds it.
+    pub fn replay_publish_seq(&mut self, seq: u64) {
+        self.next_seq = self.next_seq.max(seq + 1);
+    }
+
     /// Per-user decayed usage as the UMS consumes it: local plus (when the
     /// mode reads global data and the stale policy permits) remote.
     pub fn decayed_usage(
@@ -880,6 +1094,11 @@ impl Uss {
     /// Records ingested so far.
     pub fn records_ingested(&self) -> u64 {
         self.records_ingested
+    }
+
+    /// Sequence number the next publication will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
     }
 
     /// Summaries received so far.

@@ -127,6 +127,11 @@ impl SimCluster {
             Telemetry::enabled()
         };
         site.set_telemetry(&telemetry);
+        if let Some(cfg) = scenario.store {
+            // Seed the torn-write junk stream per scenario; the site mixes
+            // its id in, so sites stay decorrelated within a run.
+            site.enable_store(cfg, scenario.seed);
+        }
         let mut rms = match spec.rms {
             RmsKind::Slurm => Rms::Slurm(SlurmScheduler::new(
                 site_id,

@@ -10,7 +10,7 @@ use crate::metrics::{MetricsLog, Sample, UserSample};
 use crate::scenario::GridScenario;
 use aequus_core::{GridUser, SiteId};
 use aequus_rms::SchedulerStats;
-use aequus_services::UssMessage;
+use aequus_services::{StoreStats, UssMessage};
 use aequus_telemetry::flight::{dump_jsonl, FlightRecorder};
 use aequus_telemetry::provenance::ProvenanceRecord;
 use aequus_telemetry::{Counter, Snapshot, SpanRecord, Telemetry};
@@ -50,6 +50,10 @@ pub struct SimResult {
     /// JSONL flight records dumped by the anomaly detector, in detection
     /// order. Empty without a configured flight recorder.
     pub flight_records: Vec<String>,
+    /// Each site's durable-store health counters (cumulative across crash
+    /// incarnations), in cluster order. `None` per site unless the scenario
+    /// attached a store.
+    pub site_store_stats: Vec<Option<StoreStats>>,
 }
 
 impl SimResult {
@@ -259,6 +263,7 @@ impl GridSimulation {
                 .iter()
                 .map(|c| c.telemetry.provenance_records())
                 .collect(),
+            site_store_stats: self.clusters.iter().map(|c| c.site.store_stats()).collect(),
             flight_records: self.flight_records,
         }
     }
@@ -324,8 +329,15 @@ impl GridSimulation {
             c_dropped.inc();
             return;
         }
+        // Bulk snapshot catch-ups haul a full cumulative view over the
+        // wire; the scenario may charge them extra transfer time on top of
+        // the per-hop exchange latency (incremental summaries stay cheap).
+        let transfer = match msg {
+            UssMessage::Snapshot { .. } => self.scenario.snapshot_transfer_s,
+            _ => 0.0,
+        };
         queue.push(
-            now + self.scenario.timings.exchange_latency_s,
+            now + self.scenario.timings.exchange_latency_s + transfer,
             Event::UssDeliver { to: dest, msg },
         );
     }
@@ -669,6 +681,36 @@ mod tests {
             .unwrap()
             .contains("\"type\":\"anomaly\""));
         assert!(dump.contains("\"type\":\"span\""), "spans ride along");
+    }
+
+    #[test]
+    fn durable_store_journals_and_recovers_through_crash() {
+        let mut sc = small_scenario().with_durable_store();
+        sc.faults.crashes.push(crate::faults::Outage {
+            cluster: 1,
+            from_s: 400.0,
+            to_s: 700.0,
+        });
+        let trace = uniform_trace(40, 10.0, 30.0);
+        let result = GridSimulation::new(sc).run(&trace, 2000.0);
+        assert_eq!(result.site_store_stats.len(), 2);
+        let s1 = result.site_store_stats[1].expect("store attached");
+        assert!(s1.frames_appended > 0, "{s1:?}");
+        assert_eq!(s1.torn_tails, 1, "one crash, one torn tail: {s1:?}");
+        assert!(
+            s1.frames_replayed > 0,
+            "recovery replayed the journal: {s1:?}"
+        );
+        // The un-crashed site journals too but never replays.
+        let s0 = result.site_store_stats[0].expect("store attached");
+        assert_eq!((s0.torn_tails, s0.frames_replayed), (0, 0), "{s0:?}");
+    }
+
+    #[test]
+    fn store_off_reports_no_stats() {
+        let trace = uniform_trace(8, 10.0, 30.0);
+        let result = GridSimulation::new(small_scenario()).run(&trace, 500.0);
+        assert!(result.site_store_stats.iter().all(Option::is_none));
     }
 
     #[test]

@@ -5,7 +5,7 @@ use aequus_core::fairshare::FairshareConfig;
 use aequus_core::policy::{flat_policy, PolicyTree};
 use aequus_core::projection::ProjectionKind;
 use aequus_rms::PriorityWeights;
-use aequus_services::{ParticipationMode, RetryPolicy, ServiceTimings, StalePolicy};
+use aequus_services::{ParticipationMode, RetryPolicy, ServiceTimings, StalePolicy, StoreConfig};
 
 use crate::dispatch::DispatchPolicy;
 use crate::faults::FaultPlan;
@@ -96,6 +96,16 @@ pub struct GridScenario {
     /// stale-policy degradation, view divergence) dump the reference site's
     /// events + spans + explanations as JSONL into the result.
     pub flight: Option<aequus_telemetry::flight::AnomalyConfig>,
+    /// Attach a durable per-site store (CRC-framed WAL + checkpoints).
+    /// Crashed sites then recover by replaying their own store first and
+    /// fall back to anti-entropy catch-up only for the delta; without a
+    /// store, recovery relies entirely on peer snapshots.
+    pub store: Option<StoreConfig>,
+    /// Extra delivery latency for `Snapshot` catch-up messages, seconds —
+    /// models hauling a full cumulative snapshot over the wire versus the
+    /// compact incremental summaries. `0.0` keeps the legacy behavior
+    /// (snapshots as fast as summaries).
+    pub snapshot_transfer_s: f64,
 }
 
 impl GridScenario {
@@ -138,6 +148,8 @@ impl GridScenario {
             span_sample_every: 0,
             capture_provenance: false,
             flight: None,
+            store: None,
+            snapshot_transfer_s: 0.0,
         }
     }
 
@@ -199,6 +211,24 @@ impl GridScenario {
     /// Attach a flight recorder with the given anomaly thresholds.
     pub fn with_flight_recorder(mut self, cfg: aequus_telemetry::flight::AnomalyConfig) -> Self {
         self.flight = Some(cfg);
+        self
+    }
+
+    /// Attach a durable store (default configuration) to every site.
+    pub fn with_durable_store(mut self) -> Self {
+        self.store = Some(StoreConfig::default());
+        self
+    }
+
+    /// Attach a durable store with explicit tuning.
+    pub fn with_store_config(mut self, cfg: StoreConfig) -> Self {
+        self.store = Some(cfg);
+        self
+    }
+
+    /// Set the extra delivery latency for snapshot catch-up transfers.
+    pub fn with_snapshot_transfer(mut self, seconds: f64) -> Self {
+        self.snapshot_transfer_s = seconds;
         self
     }
 

@@ -1,0 +1,261 @@
+//! Minimal hand-rolled binary codec: little-endian fixed-width integers,
+//! `f64` as raw bits, length-prefixed strings, and length-guarded
+//! collections. No external serialization crates — the store must decode
+//! *hostile* bytes (bit flips, truncation) without panicking, so every read
+//! is bounds-checked and every declared length is validated against the
+//! bytes actually remaining before any allocation.
+
+use std::fmt;
+
+/// Decoding failure. Encoders are infallible; decoders return this for any
+/// malformed input and never panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the declared value.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes remaining in the input.
+        remaining: usize,
+    },
+    /// A declared collection/string length exceeds the remaining input —
+    /// decoding it would allocate unbounded garbage.
+    BadLength {
+        /// Declared element count.
+        declared: u64,
+        /// Remaining input bytes (lower bound on plausibility).
+        remaining: usize,
+    },
+    /// A length-prefixed string was not valid UTF-8.
+    BadUtf8,
+    /// An enum tag byte outside the known range.
+    BadTag(u8),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed, remaining } => {
+                write!(
+                    f,
+                    "truncated input: needed {needed} bytes, {remaining} remain"
+                )
+            }
+            CodecError::BadLength {
+                declared,
+                remaining,
+            } => write!(
+                f,
+                "implausible length {declared} with only {remaining} bytes remaining"
+            ),
+            CodecError::BadUtf8 => write!(f, "length-prefixed string is not valid UTF-8"),
+            CodecError::BadTag(t) => write!(f, "unknown tag byte {t:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only encoder.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Fresh empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume the writer, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Write one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write an `f64` as its raw IEEE-754 bits, little-endian (bit-exact
+    /// round trip, NaN-safe).
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Write a `u32`-length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Write raw bytes with no prefix (caller owns framing).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// Bounds-checked decoder over a byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Decoder over `buf`, starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the input is fully consumed.
+    pub fn is_done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read an `f64` from its raw bits.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a `u32`-length-prefixed UTF-8 string. The declared length is
+    /// validated against the remaining input before allocating.
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        let len = self.u32()? as usize;
+        if len > self.remaining() {
+            return Err(CodecError::BadLength {
+                declared: len as u64,
+                remaining: self.remaining(),
+            });
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8)
+    }
+
+    /// Read a `u32` collection-length prefix, validating it against a
+    /// per-element lower bound of `min_elem_bytes` so corrupt prefixes
+    /// cannot drive unbounded decode loops.
+    pub fn seq_len(&mut self, min_elem_bytes: usize) -> Result<usize, CodecError> {
+        let len = self.u32()? as usize;
+        if len.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(CodecError::BadLength {
+                declared: len as u64,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_primitives() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.f64(-0.0);
+        w.f64(f64::NAN);
+        w.str("grid-user/α");
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.f64().unwrap().is_nan());
+        assert_eq!(r.str().unwrap(), "grid-user/α");
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = Writer::new();
+        w.u64(42);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert!(r.u64().is_err());
+        }
+    }
+
+    #[test]
+    fn implausible_string_length_rejected() {
+        let mut w = Writer::new();
+        w.u32(u32::MAX); // declared length far beyond the input
+        w.raw(b"abc");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.str(), Err(CodecError::BadLength { .. })));
+    }
+
+    #[test]
+    fn seq_len_guards_against_allocation_bombs() {
+        let mut w = Writer::new();
+        w.u32(1_000_000);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.seq_len(8), Err(CodecError::BadLength { .. })));
+    }
+}

@@ -1,0 +1,102 @@
+//! Table-driven CRC-32 (IEEE 802.3): reflected polynomial `0xEDB8_8320`,
+//! initial value and final xor `0xFFFF_FFFF` — the same parametrization as
+//! zlib's `crc32`, so frames written here are checkable with stock tools.
+
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// Incremental CRC-32 over multiple byte slices (frame headers and payloads
+/// are hashed without concatenating them first).
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Fresh hasher.
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Fold `data` into the running checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut c = self.state;
+        for &b in data {
+            c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// Final checksum value.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC-32 of a single slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(data);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_vector() {
+        // The canonical CRC-32/IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut h = Crc32::new();
+        h.update(&data[..10]);
+        h.update(&data[10..]);
+        assert_eq!(h.finish(), crc32(data));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let mut data = vec![0u8; 64];
+        let base = crc32(&data);
+        for i in 0..64 {
+            for bit in 0..8 {
+                data[i] ^= 1 << bit;
+                assert_ne!(crc32(&data), base, "flip at byte {i} bit {bit}");
+                data[i] ^= 1 << bit;
+            }
+        }
+    }
+}

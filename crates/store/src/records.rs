@@ -1,0 +1,232 @@
+//! The WAL's logical record types and their binary codecs: everything a
+//! site must re-apply after a crash that is *not* captured by the latest
+//! checkpoint — locally ingested job records, peer exchange data already
+//! merged into the views, and the publisher's own sequence advances.
+
+use crate::codec::{CodecError, Reader, Writer};
+use aequus_core::ids::{GridUser, JobId, SiteId};
+use aequus_core::usage::{UsageRecord, UsageSummary};
+use std::collections::BTreeMap;
+
+/// One durable WAL entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A job usage record ingested into the local histogram.
+    Usage(UsageRecord),
+    /// Peer exchange data applied to the remote view: the absolute
+    /// cumulative summary as received, and whether it arrived as a
+    /// cumulative `Snapshot` (vs an incremental `Data` summary).
+    PeerData {
+        /// The summary exactly as merged.
+        summary: UsageSummary,
+        /// `true` when it was a cumulative snapshot.
+        snapshot: bool,
+    },
+    /// The local publisher advanced its sequence counter to `seq` —
+    /// replayed so a recovered site never reuses sequence numbers peers
+    /// have already acked (stale-ack protection).
+    Publish {
+        /// The sequence number just published.
+        seq: u64,
+    },
+}
+
+const TAG_USAGE: u8 = 1;
+const TAG_PEER_DATA: u8 = 2;
+const TAG_PUBLISH: u8 = 3;
+
+/// Encode a [`UsageRecord`].
+fn encode_usage(w: &mut Writer, rec: &UsageRecord) {
+    w.u64(rec.job.0);
+    w.str(rec.user.as_str());
+    w.u32(rec.site.0);
+    w.u32(rec.cores);
+    w.f64(rec.start_s);
+    w.f64(rec.end_s);
+}
+
+/// Decode a [`UsageRecord`].
+fn decode_usage(r: &mut Reader<'_>) -> Result<UsageRecord, CodecError> {
+    Ok(UsageRecord {
+        job: JobId(r.u64()?),
+        user: GridUser::new(&r.str()?),
+        site: SiteId(r.u32()?),
+        cores: r.u32()?,
+        start_s: r.f64()?,
+        end_s: r.f64()?,
+    })
+}
+
+/// Encode per-user usage cells (user → slot → charge).
+pub fn encode_cells(w: &mut Writer, cells: &BTreeMap<GridUser, BTreeMap<u64, f64>>) {
+    w.u32(cells.len() as u32);
+    for (user, slots) in cells {
+        w.str(user.as_str());
+        w.u32(slots.len() as u32);
+        for (&slot, &charge) in slots {
+            w.u64(slot);
+            w.f64(charge);
+        }
+    }
+}
+
+/// Decode per-user usage cells.
+pub fn decode_cells(
+    r: &mut Reader<'_>,
+) -> Result<BTreeMap<GridUser, BTreeMap<u64, f64>>, CodecError> {
+    // Lower bounds: a user entry is ≥ 8 bytes (name len + slot count), a
+    // cell is exactly 16.
+    let users = r.seq_len(8)?;
+    let mut cells = BTreeMap::new();
+    for _ in 0..users {
+        let user = GridUser::new(&r.str()?);
+        let slots = r.seq_len(16)?;
+        let mut per_slot = BTreeMap::new();
+        for _ in 0..slots {
+            let slot = r.u64()?;
+            let charge = r.f64()?;
+            per_slot.insert(slot, charge);
+        }
+        cells.insert(user, per_slot);
+    }
+    Ok(cells)
+}
+
+/// Encode a [`UsageSummary`].
+pub fn encode_summary(w: &mut Writer, s: &UsageSummary) {
+    w.u32(s.site.0);
+    w.u64(s.seq);
+    w.f64(s.slot_s);
+    encode_cells(w, &s.per_user);
+}
+
+/// Decode a [`UsageSummary`].
+pub fn decode_summary(r: &mut Reader<'_>) -> Result<UsageSummary, CodecError> {
+    Ok(UsageSummary {
+        site: SiteId(r.u32()?),
+        seq: r.u64()?,
+        slot_s: r.f64()?,
+        per_user: decode_cells(r)?,
+    })
+}
+
+impl WalRecord {
+    /// Encode into `w`.
+    pub fn encode(&self, w: &mut Writer) {
+        match self {
+            WalRecord::Usage(rec) => {
+                w.u8(TAG_USAGE);
+                encode_usage(w, rec);
+            }
+            WalRecord::PeerData { summary, snapshot } => {
+                w.u8(TAG_PEER_DATA);
+                w.u8(u8::from(*snapshot));
+                encode_summary(w, summary);
+            }
+            WalRecord::Publish { seq } => {
+                w.u8(TAG_PUBLISH);
+                w.u64(*seq);
+            }
+        }
+    }
+
+    /// Decode from `r`.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            TAG_USAGE => Ok(WalRecord::Usage(decode_usage(r)?)),
+            TAG_PEER_DATA => {
+                let snapshot = r.u8()? != 0;
+                Ok(WalRecord::PeerData {
+                    summary: decode_summary(r)?,
+                    snapshot,
+                })
+            }
+            TAG_PUBLISH => Ok(WalRecord::Publish { seq: r.u64()? }),
+            t => Err(CodecError::BadTag(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_summary(seq: u64) -> UsageSummary {
+        let mut per_user = BTreeMap::new();
+        let mut slots = BTreeMap::new();
+        slots.insert(3u64, 120.5);
+        slots.insert(7u64, 0.25);
+        per_user.insert(GridUser::new("U65"), slots);
+        per_user.insert(GridUser::new("U30"), BTreeMap::new());
+        UsageSummary {
+            site: SiteId(4),
+            seq,
+            slot_s: 60.0,
+            per_user,
+        }
+    }
+
+    fn round_trip(rec: &WalRecord) -> WalRecord {
+        let mut w = Writer::new();
+        rec.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let out = WalRecord::decode(&mut r).unwrap();
+        assert!(r.is_done(), "decoder must consume the full encoding");
+        out
+    }
+
+    #[test]
+    fn usage_round_trip() {
+        let rec = WalRecord::Usage(UsageRecord {
+            job: JobId(991),
+            user: GridUser::new("U3"),
+            site: SiteId(2),
+            cores: 16,
+            start_s: 10.0,
+            end_s: 190.75,
+        });
+        assert_eq!(round_trip(&rec), rec);
+    }
+
+    #[test]
+    fn peer_data_round_trip() {
+        for snapshot in [false, true] {
+            let rec = WalRecord::PeerData {
+                summary: sample_summary(17),
+                snapshot,
+            };
+            assert_eq!(round_trip(&rec), rec);
+        }
+    }
+
+    #[test]
+    fn publish_round_trip() {
+        let rec = WalRecord::Publish { seq: u64::MAX };
+        assert_eq!(round_trip(&rec), rec);
+    }
+
+    #[test]
+    fn unknown_tag_is_an_error() {
+        let mut r = Reader::new(&[0xFF, 0, 0, 0]);
+        assert!(matches!(
+            WalRecord::decode(&mut r),
+            Err(CodecError::BadTag(0xFF))
+        ));
+    }
+
+    #[test]
+    fn truncated_record_is_an_error() {
+        let mut w = Writer::new();
+        WalRecord::PeerData {
+            summary: sample_summary(3),
+            snapshot: true,
+        }
+        .encode(&mut w);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert!(WalRecord::decode(&mut r).is_err(), "cut at {cut}");
+        }
+    }
+}

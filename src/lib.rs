@@ -11,6 +11,8 @@
 //!   synthetic trace generation.
 //! * [`aequus_stats`] — the statistics substrate (18 distributions, BIC,
 //!   KS, ACF).
+//! * [`aequus_store`] — the durable per-site state store (CRC-framed WAL
+//!   + checkpoints with crash-consistent replay).
 //! * [`aequus_telemetry`] — metric registry, stage spans, event ring, and
 //!   the empirical pipeline-delay tracer (see DESIGN.md, Observability).
 //!
@@ -23,5 +25,6 @@ pub use aequus_rms as rms;
 pub use aequus_services as services;
 pub use aequus_sim as sim;
 pub use aequus_stats as stats;
+pub use aequus_store as store;
 pub use aequus_telemetry as telemetry;
 pub use aequus_workload as workload;

@@ -189,6 +189,70 @@ fn crash_recovery_converges_via_snapshot_catchup() {
     }
 }
 
+/// Durability axis of the fault matrix: the same crash plan runs with and
+/// without the per-site durable store, under a snapshot-transfer surcharge
+/// that makes bulk catch-up expensive (as hauling a full cumulative view
+/// over a real wire is). The store-backed site replays its WAL on recovery
+/// and closes the gap with cheap retried summaries; the volatile site must
+/// wait out the surcharged snapshot. Both must still converge exactly to
+/// the fault-free views — durability changes *when*, never *what*.
+#[test]
+fn durable_store_recovers_faster_than_snapshot_only() {
+    let base = base_seed();
+    for seed in [base, base + 1, base + 2] {
+        let baseline = run(chaos_scenario(seed));
+        let make = |durable: bool| {
+            let mut sc = chaos_scenario(seed).with_snapshot_transfer(240.0);
+            // History sized into the window that separates the two recovery
+            // paths: deep enough to hold every crash-window unacked seq (so
+            // peers' retries stay cheap summaries and never degrade into
+            // pushed snapshots mid-outage), shallow enough that the volatile
+            // site's from-scratch resync (seq 1..N) overflows it and forces
+            // the surcharged cumulative-snapshot pull. The store-backed site
+            // recovers its exchange cursors from the WAL, so retried
+            // summaries alone close its gap.
+            sc.retry.history_cap = 12;
+            sc.retry.outbox_cap = 16;
+            if durable {
+                sc = sc.with_durable_store();
+            }
+            sc.faults = FaultPlan {
+                drop_probability: 0.0,
+                outages: vec![],
+                crashes: vec![outage(2, 400.0, 700.0)],
+            };
+            run(sc)
+        };
+        let with_store = make(true);
+        let without_store = make(false);
+
+        assert_converged_to(&with_store, &baseline, &format!("store-on seed={seed}"));
+        assert_converged_to(&without_store, &baseline, &format!("store-off seed={seed}"));
+
+        let t_on = with_store
+            .metrics
+            .view_convergence_time(1e-6)
+            .expect("store-backed run converges");
+        let t_off = without_store
+            .metrics
+            .view_convergence_time(1e-6)
+            .expect("snapshot-only run converges");
+        assert!(
+            t_on < t_off,
+            "seed={seed}: WAL replay must beat surcharged snapshot catch-up: \
+             {t_on:.0}s !< {t_off:.0}s"
+        );
+
+        let stats = with_store.site_store_stats[2].expect("store attached to site 2");
+        assert!(stats.torn_tails >= 1, "crash left a torn tail: {stats:?}");
+        assert!(stats.frames_replayed > 0, "recovery replayed: {stats:?}");
+        assert!(
+            without_store.site_store_stats.iter().all(Option::is_none),
+            "volatile run must not report store stats"
+        );
+    }
+}
+
 #[test]
 fn faulted_views_converge_before_the_run_ends() {
     // The divergence series itself must show convergence: under 30% drop
