@@ -27,12 +27,18 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
 # metrics-only.
 cargo run -q --release -p aequus-bench --bin telemetry_overhead -- --check
 
-# Benchmark snapshot + regression gate: writes BENCH_PR5.json and compares
+# Benchmark snapshot + regression gate: writes BENCH_PR6.json and compares
 # against the most recent previous BENCH_*.json within tolerance (passes
-# with a note when none exists yet; the PR5 crash-recovery keys bootstrap
+# with a note when none exists yet; the PR6 engine-scaling keys bootstrap
 # the same way).
 cargo run -q --release -p aequus-bench --bin bench_snapshot -- 1500 --check
 
 # Crash-recovery gate: WAL replay must reconverge the crashed site's views
 # strictly earlier than surcharged snapshot-only catch-up on every seed.
 cargo run -q --release -p aequus-bench --bin recovery_sweep
+
+# Sharded-engine gate (smoke-sized): every worker count must replay the
+# serial run seed-for-seed; on hosts with >= 8 cores the 4x wall-clock
+# speedup target is enforced too (reported but skipped on smaller hosts —
+# determinism is hardware-independent, speedup is not).
+cargo run -q --release -p aequus-bench --bin scale_sweep -- --check

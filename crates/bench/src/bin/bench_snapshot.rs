@@ -1,27 +1,31 @@
-//! Machine-readable benchmark snapshot: writes `BENCH_PR5.json` with the
+//! Machine-readable benchmark snapshot: writes `BENCH_PR6.json` with the
 //! headline numbers of this revision (fairshare refresh latency, query p99,
-//! gossip convergence under faults, causal-tracing overhead, and crash
-//! recovery with/without the durable store), then —
-//! with `--check` — compares each key against the most recent previous
-//! `BENCH_*.json` in the working directory and exits non-zero on a
-//! regression beyond tolerance. A missing previous snapshot passes with a
-//! note, so the gate bootstraps cleanly on first run.
+//! gossip convergence under faults, causal-tracing overhead, crash recovery
+//! with/without the durable store, and the sharded engine's smoke-sized
+//! scaling numbers), then — with `--check` — compares each key against the
+//! most recent previous `BENCH_*.json` in the working directory and exits
+//! non-zero on a regression beyond tolerance. A missing previous snapshot
+//! (or a key absent from it, as the scale keys are on the first PR6 run)
+//! passes with a note, so the gate bootstraps cleanly.
 //!
 //! Usage: `bench_snapshot [JOBS] [--check]` (default 4,000 jobs).
 
-use aequus_bench::{baseline_trace, jobs_arg, run_recovery_sweep, run_with_faults};
+use aequus_bench::{
+    baseline_trace, jobs_arg, run_recovery_sweep, run_scale_sweep, run_with_faults, ScaleConfig,
+    ScenarioBuilder,
+};
 use aequus_sim::{GridScenario, GridSimulation, SimResult};
 use aequus_workload::users::baseline_policy_shares;
 use std::time::Instant;
 
-const OUT: &str = "BENCH_PR5.json";
+const OUT: &str = "BENCH_PR6.json";
 
 /// The compact two-cluster testbed used for the timing ratios, so the
 /// untraced / unsampled / fully-traced runs are strictly comparable.
 fn two_cluster_scenario(seed: u64) -> GridScenario {
-    let mut sc = GridScenario::national_testbed(&baseline_policy_shares(), seed);
-    sc.clusters.truncate(2);
-    sc
+    ScenarioBuilder::testbed(&baseline_policy_shares(), seed)
+        .sites(2)
+        .build()
 }
 
 fn timed_run(scenario: GridScenario, jobs: usize, seed: u64) -> (f64, SimResult) {
@@ -114,15 +118,31 @@ fn main() {
     let recovery = &run_recovery_sweep(48, &[seed])[0];
     let recovery_wal = recovery.durable_convergence_s.unwrap_or(-1.0);
     let recovery_snap = recovery.volatile_convergence_s.unwrap_or(-1.0);
+    // Sharded-engine scaling, smoke-sized (the full 100k-user × 32-site
+    // sweep is `scale_sweep`'s job): events/second serial and on 8 workers,
+    // plus the best wall-clock speedup. Honest numbers — on a single-core
+    // host the speedup sits at or below 1×, and the gate below is
+    // direction- and tolerance-aware about it.
+    let scale = run_scale_sweep(&ScaleConfig::smoke());
+    if let Some(why) = &scale.mismatch {
+        eprintln!("FAIL: scale smoke run not thread-count deterministic: {why}");
+        std::process::exit(1);
+    }
+    let scale_eps_1t = scale.events_per_sec(1).unwrap_or(-1.0);
+    let scale_eps_8t = scale.events_per_sec(8).unwrap_or(-1.0);
+    let scale_speedup = scale.best_speedup();
 
     let json = format!(
-        "{{\n  \"pr\": 5,\n  \"jobs\": {jobs},\n  \"refresh_mean_s\": {refresh_mean:?},\n  \
+        "{{\n  \"pr\": 6,\n  \"jobs\": {jobs},\n  \"refresh_mean_s\": {refresh_mean:?},\n  \
          \"refresh_p99_s\": {refresh_p99:?},\n  \"query_p99_s\": {query_p99:?},\n  \
          \"gossip_divergent_s\": {divergent_s:?},\n  \
          \"tracing_unsampled_ratio\": {unsampled_ratio:?},\n  \
          \"tracing_full_ratio\": {full_ratio:?},\n  \
          \"recovery_wal_replay_s\": {recovery_wal:?},\n  \
-         \"recovery_snapshot_only_s\": {recovery_snap:?}\n}}\n"
+         \"recovery_snapshot_only_s\": {recovery_snap:?},\n  \
+         \"scale_speedup_x\": {scale_speedup:?},\n  \
+         \"events_per_sec_1t\": {scale_eps_1t:?},\n  \
+         \"events_per_sec_8t\": {scale_eps_8t:?}\n}}\n"
     );
     std::fs::write(OUT, &json).expect("write benchmark snapshot");
     println!("wrote {OUT}:");
@@ -136,22 +156,39 @@ fn main() {
         return;
     };
     println!("comparing against {prev_name}");
-    // (key, relative tolerance, absolute slack) — a regression must exceed
-    // both `prev * tol` and `prev + slack`, so noise near zero never trips.
+    /// Which way a metric regresses.
+    #[derive(Clone, Copy)]
+    enum Dir {
+        /// Latency-shaped: regression = current grew past tolerance.
+        LowerIsBetter,
+        /// Throughput-shaped: regression = current shrank past tolerance.
+        HigherIsBetter,
+    }
+    use Dir::{HigherIsBetter, LowerIsBetter};
+    // (key, direction, relative tolerance, absolute slack) — a regression
+    // must exceed both `prev * tol` (or fall below `prev / tol`) and the
+    // absolute slack, so noise near zero never trips.
     let gates = [
-        ("refresh_mean_s", 1.5, 0.005),
-        ("refresh_p99_s", 1.5, 0.005),
-        ("query_p99_s", 1.5, 0.005),
-        ("gossip_divergent_s", 1.25, 300.0),
-        ("tracing_unsampled_ratio", 1.5, 0.25),
-        ("tracing_full_ratio", 1.5, 0.25),
+        ("refresh_mean_s", LowerIsBetter, 1.5, 0.005),
+        ("refresh_p99_s", LowerIsBetter, 1.5, 0.005),
+        ("query_p99_s", LowerIsBetter, 1.5, 0.005),
+        ("gossip_divergent_s", LowerIsBetter, 1.25, 300.0),
+        ("tracing_unsampled_ratio", LowerIsBetter, 1.5, 0.25),
+        ("tracing_full_ratio", LowerIsBetter, 1.5, 0.25),
         // Convergence times quantize to the 60 s sample interval; one
         // extra sample of drift is tolerated, two is a regression.
-        ("recovery_wal_replay_s", 1.2, 90.0),
-        ("recovery_snapshot_only_s", 1.2, 90.0),
+        ("recovery_wal_replay_s", LowerIsBetter, 1.2, 90.0),
+        ("recovery_snapshot_only_s", LowerIsBetter, 1.2, 90.0),
+        // Scaling keys are wall-clock-derived and shared-CI noisy, so the
+        // tolerances are wide; the hard ≥4×-on-8-cores acceptance gate
+        // lives in `scale_sweep --check`, which knows the host's core
+        // count.
+        ("scale_speedup_x", HigherIsBetter, 1.5, 0.5),
+        ("events_per_sec_1t", HigherIsBetter, 2.0, 50_000.0),
+        ("events_per_sec_8t", HigherIsBetter, 2.0, 50_000.0),
     ];
     let mut failed = false;
-    for (key, tol, slack) in gates {
+    for (key, dir, tol, slack) in gates {
         let (Some(prev_v), Some(cur_v)) = (extract(&prev, key), extract(&json, key)) else {
             println!("  {key}: missing in previous snapshot, skipped");
             continue;
@@ -160,7 +197,11 @@ fn main() {
             println!("  {key}: not measured on one side ({prev_v:?} -> {cur_v:?}), skipped");
             continue;
         }
-        if cur_v > prev_v * tol && cur_v > prev_v + slack {
+        let regressed = match dir {
+            LowerIsBetter => cur_v > prev_v * tol && cur_v > prev_v + slack,
+            HigherIsBetter => cur_v < prev_v / tol && cur_v < prev_v - slack,
+        };
+        if regressed {
             eprintln!("  FAIL {key}: {prev_v:?} -> {cur_v:?} exceeds tolerance x{tol}");
             failed = true;
         } else {

@@ -4,6 +4,10 @@
 //! 1e-6 core-seconds) and how much retry / gap / resync / snapshot traffic
 //! the reliability layer spent getting there. The 0% row doubles as the
 //! regression baseline: it must show zero protocol traffic.
+//!
+//! The scenarios come from the shared sweep builder and the drop rates run
+//! concurrently (`parallel_sweep`) — each rate is an independent,
+//! internally deterministic simulation.
 
 use aequus_bench::{jobs_arg, run_fault_sweep};
 

@@ -8,6 +8,10 @@
 //! every seed; the binary exits non-zero otherwise, so it doubles as a
 //! regression gate.
 //!
+//! The crash testbed comes from the shared sweep builder (compressed
+//! 3-site grid, tight retry, snapshot surcharge) and the seeds run
+//! concurrently through `parallel_sweep`.
+//!
 //! Usage: `recovery_sweep [JOBS]` (default 48, the chaos-suite workload).
 
 use aequus_bench::{jobs_arg, run_recovery_sweep};

@@ -1,0 +1,100 @@
+//! Engine-scaling sweep: wall-clock time of the sharded engine at 1, 2, 4,
+//! and 8 shard workers on a nation-scale grid (default: 100k users × 32
+//! sites × 32 hosts — the ROADMAP's first waypoint past the paper's
+//! 7-machine test bed), with a built-in determinism cross-check: every
+//! multi-thread run must replay the serial run seed-for-seed.
+//!
+//! Usage: `scale_sweep [--check] [USERS SITES NODES JOBS]`
+//!
+//! Without flags the full configuration runs and the table prints measured
+//! wall clock, events/second, and speedup per worker count; four positional
+//! numbers override the shape (for tracing the threads × users × sites
+//! curve on whatever hardware is at hand). With `--check` a CI-sized smoke
+//! configuration runs instead and the binary exits non-zero if (a) any
+//! worker count diverges from the serial run, ever, or (b) the host has
+//! ≥ 8 cores and the best speedup falls short of the 4× acceptance target.
+//! On smaller hosts the speedup gate is reported but not enforced —
+//! wall-clock parallel speedup is a property of the hardware, determinism
+//! is not.
+//!
+//! The speedup target is stated against the full configuration on 8
+//! dedicated cores; the smoke shape gates the machinery, not the headline
+//! number.
+
+use aequus_bench::{run_scale_sweep, ScaleConfig};
+
+/// The acceptance target: ≥4× wall-clock speedup on ≥8 cores.
+const SPEEDUP_TARGET: f64 = 4.0;
+const SPEEDUP_CORES: usize = 8;
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let mut cfg = if check {
+        ScaleConfig::smoke()
+    } else {
+        ScaleConfig::full()
+    };
+    let shape: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter(|a| a != "--check")
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    if let [users, sites, nodes, jobs] = shape[..] {
+        cfg.users = users;
+        cfg.sites = sites.max(1);
+        cfg.nodes_per_site = nodes.max(1) as u32;
+        cfg.jobs = jobs;
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "# Scale sweep: {} users x {} sites x {} hosts, {} jobs, {} host cores{}",
+        cfg.users,
+        cfg.sites,
+        cfg.nodes_per_site,
+        cfg.jobs,
+        cores,
+        if check { " [smoke]" } else { "" }
+    );
+
+    let sweep = run_scale_sweep(&cfg);
+    println!(
+        "{:<8} {:>10} {:>14} {:>10} {:>12}",
+        "threads", "wall_s", "events/s", "speedup", "completed"
+    );
+    for p in &sweep.points {
+        println!(
+            "{:<8} {:>10.3} {:>14.0} {:>9.2}x {:>12}",
+            p.threads, p.wall_s, p.events_per_sec, p.speedup_x, p.completed
+        );
+    }
+
+    let mut failed = false;
+    match &sweep.mismatch {
+        None => println!("OK: every worker count replayed the serial run seed-for-seed"),
+        Some(why) => {
+            eprintln!("FAIL: thread-count determinism violated — {why}");
+            failed = true;
+        }
+    }
+
+    let best = sweep.best_speedup();
+    if cores >= SPEEDUP_CORES {
+        if best >= SPEEDUP_TARGET {
+            println!("OK: best speedup {best:.2}x meets the {SPEEDUP_TARGET}x target");
+        } else {
+            eprintln!(
+                "FAIL: best speedup {best:.2}x below the {SPEEDUP_TARGET}x target on {cores} cores"
+            );
+            failed = true;
+        }
+    } else {
+        println!(
+            "note: best speedup {best:.2}x; {SPEEDUP_TARGET}x gate needs >= {SPEEDUP_CORES} \
+             cores (host has {cores}), skipped"
+        );
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}

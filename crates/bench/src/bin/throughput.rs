@@ -2,14 +2,21 @@
 //! sustained job submission rate of about 120 jobs per minute. The peak job
 //! submission rate during the bursty test reaches 472 jobs per minute...
 //! the total utilization varies between 93% and 97%."
+//!
+//! Usage: `throughput [JOBS] [THREADS]` — the scenarios come from the shared
+//! sweep builder, and THREADS runs the sharded engine on that many workers
+//! (results are thread-count deterministic; only wall clock changes).
 
-use aequus_bench::{jobs_arg, run_baseline, run_bursty, steady_utilization, PAPER_JOBS};
+use aequus_bench::{
+    jobs_arg, run_baseline_on, run_bursty_on, steady_utilization, threads_arg, PAPER_JOBS,
+};
 
 fn main() {
     let jobs = jobs_arg(PAPER_JOBS);
-    let base = run_baseline(jobs, 42);
-    let bursty = run_bursty(jobs, 42);
-    println!("# Throughput and utilization");
+    let threads = threads_arg(1);
+    let base = run_baseline_on(jobs, 42, threads);
+    let bursty = run_bursty_on(jobs, 42, threads);
+    println!("# Throughput and utilization ({threads} shard workers)");
     println!(
         "baseline: sustained {:.0} jobs/min (paper ~120), peak {} jobs/min",
         base.metrics.sustained_submission_rate(),

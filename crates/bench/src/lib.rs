@@ -33,4 +33,6 @@ pub mod report;
 pub mod sweep;
 
 pub use experiments::*;
-pub use sweep::parallel_sweep;
+pub use sweep::{
+    cycle_trace, parallel_sweep, synthetic_users, uniform_trace, ScenarioBuilder, SWEEP_USERS,
+};

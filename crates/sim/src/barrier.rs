@@ -1,0 +1,393 @@
+//! Epoch barriers: the conservative-synchronization core of the parallel
+//! engine.
+//!
+//! The coordinator advances simulated time in *epochs*. Within an epoch
+//! every shard processes only its own local events; all cross-shard traffic
+//! produced during the epoch is staged and delivered at the barrier. This is
+//! safe because the epoch window never exceeds the exchange latency — the
+//! *lookahead* in conservative parallel discrete-event simulation: a message
+//! sent at time `t` inside epoch `[S, E)` arrives at `t + latency ≥ S +
+//! lookahead ≥ E`, i.e. always in a later epoch, so no shard can ever
+//! receive an event "from the past".
+//!
+//! Determinism does not depend on thread count anywhere in this file: the
+//! epoch schedule is a pure function of the scenario, barrier deliveries are
+//! sorted by source site before they enter destination queues, and sample
+//! fragments are merged in site order. Workers only decide *where* a shard
+//! executes, never *what* it observes.
+
+use crate::event::Event;
+use crate::metrics::ShardSample;
+use crate::scenario::ShardPlacement;
+use crate::shard::{Outgoing, Shard};
+use aequus_services::UssMessage;
+use aequus_telemetry::Histogram;
+use std::sync::mpsc;
+
+/// One epoch: advance every shard to `limit_s`, then (optionally) assemble
+/// a metrics sample at the barrier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Epoch {
+    /// Time bound for this epoch's event processing.
+    pub limit_s: f64,
+    /// Whether events at exactly `limit_s` are processed (`true` only for
+    /// the t = 0 warm-up and the final flush at the horizon).
+    pub inclusive: bool,
+    /// Whether the coordinator samples metrics at this barrier.
+    pub sample: bool,
+}
+
+/// The barrier schedule: epoch windows of at most `lookahead_s`, cut at
+/// every metrics-sample instant, ending with an inclusive flush at the
+/// horizon. A pure function of `(end, lookahead, sample interval)` — the
+/// same for any worker count, which is half the determinism argument.
+#[derive(Debug)]
+pub struct EpochSchedule {
+    end_s: f64,
+    lookahead_s: f64,
+    sample_interval_s: f64,
+    now_s: f64,
+    next_sample_s: f64,
+    stage: Stage,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum Stage {
+    Warmup,
+    Windows,
+    Flush,
+    Done,
+}
+
+impl EpochSchedule {
+    /// Build the schedule for a run to `end_s`. `lookahead_s` must be
+    /// positive (the engine falls back to the tick interval for zero-latency
+    /// scenarios; deliveries then quantize to barriers, see `Shard::send`).
+    pub fn new(end_s: f64, lookahead_s: f64, sample_interval_s: f64) -> Self {
+        assert!(lookahead_s > 0.0, "lookahead must be positive");
+        assert!(sample_interval_s > 0.0, "sample interval must be positive");
+        Self {
+            end_s,
+            lookahead_s,
+            sample_interval_s,
+            now_s: 0.0,
+            // Accumulated exactly like the serial engine re-armed its sample
+            // event (now + interval), so sample instants are bit-identical.
+            next_sample_s: sample_interval_s,
+            stage: Stage::Warmup,
+        }
+    }
+
+    /// Next epoch, or `None` when the run is over.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<Epoch> {
+        match self.stage {
+            Stage::Warmup => {
+                // Process everything at t = 0 (arrivals, first tick), then
+                // sample — the serial engine's t = 0 pop order.
+                self.stage = if self.end_s > 0.0 {
+                    Stage::Windows
+                } else {
+                    Stage::Done
+                };
+                Some(Epoch {
+                    limit_s: 0.0,
+                    inclusive: true,
+                    sample: true,
+                })
+            }
+            Stage::Windows => {
+                let limit = (self.now_s + self.lookahead_s)
+                    .min(self.next_sample_s)
+                    .min(self.end_s);
+                let sample = limit == self.next_sample_s && limit <= self.end_s;
+                if sample {
+                    self.next_sample_s += self.sample_interval_s;
+                }
+                self.now_s = limit;
+                if self.now_s >= self.end_s {
+                    self.stage = Stage::Flush;
+                }
+                Some(Epoch {
+                    limit_s: limit,
+                    inclusive: false,
+                    sample,
+                })
+            }
+            Stage::Flush => {
+                self.stage = Stage::Done;
+                Some(Epoch {
+                    limit_s: self.end_s,
+                    inclusive: true,
+                    sample: false,
+                })
+            }
+            Stage::Done => None,
+        }
+    }
+}
+
+/// Per-site fragments gathered at a sampling barrier: `(shard sample,
+/// remote-data-suppressed flag)`, in site order.
+pub type BarrierFragments = Vec<(ShardSample, bool)>;
+
+enum Cmd {
+    Epoch {
+        limit_s: f64,
+        inclusive: bool,
+        sample: bool,
+        /// Barrier deliveries for this worker's shards, already in global
+        /// (source site, staging) order.
+        deliveries: Vec<(usize, f64, UssMessage)>,
+    },
+    Finish,
+}
+
+struct WorkerOut {
+    outgoing: Vec<Outgoing>,
+    fragments: Vec<(usize, ShardSample, bool)>,
+}
+
+/// Drive `shards` through `schedule`, calling `at_barrier(now, fragments)`
+/// at every sampling barrier, and return the shards in site order.
+///
+/// `num_threads <= 1` runs the identical epoch loop inline; more threads run
+/// persistent `std::thread::scope` workers fed per-epoch commands over
+/// channels. Both paths perform the same pushes in the same per-shard order,
+/// so they produce bit-identical shard states.
+pub fn drive(
+    mut shards: Vec<Shard>,
+    num_threads: usize,
+    placement: ShardPlacement,
+    mut schedule: EpochSchedule,
+    end_s: f64,
+    epoch_hist: &Histogram,
+    mut at_barrier: impl FnMut(f64, BarrierFragments),
+) -> Vec<Shard> {
+    let n_workers = num_threads.min(shards.len()).max(1);
+    if n_workers <= 1 {
+        let mut outgoing: Vec<Outgoing> = Vec::new();
+        while let Some(epoch) = schedule.next() {
+            let timer = epoch_hist.start_timer();
+            for shard in &mut shards {
+                shard.advance(epoch.limit_s, epoch.inclusive, end_s, &mut outgoing);
+            }
+            if epoch.sample {
+                let frags: BarrierFragments = shards
+                    .iter_mut()
+                    .map(|s| (s.sample_fragment(epoch.limit_s), s.remote_suppressed()))
+                    .collect();
+                at_barrier(epoch.limit_s, frags);
+            }
+            // Shards were advanced in site order, so `outgoing` is already
+            // sorted by (source, staging order) — deliver directly.
+            for o in outgoing.drain(..) {
+                shards[o.dest]
+                    .queue
+                    .push(o.arrival_s, Event::UssDeliver(o.msg));
+            }
+            timer.observe();
+        }
+        return shards;
+    }
+
+    let n_sites = shards.len();
+    let worker_of: Vec<usize> = (0..n_sites)
+        .map(|site| placement.worker_for(site, n_sites, n_workers))
+        .collect();
+    // Partition shards per worker, preserving site order within each.
+    let mut per_worker: Vec<Vec<Shard>> = (0..n_workers).map(|_| Vec::new()).collect();
+    for shard in shards.drain(..) {
+        per_worker[worker_of[shard.index]].push(shard);
+    }
+
+    std::thread::scope(|scope| {
+        let (res_tx, res_rx) = mpsc::channel::<(usize, WorkerOut)>();
+        let mut cmd_txs = Vec::with_capacity(n_workers);
+        let mut handles = Vec::with_capacity(n_workers);
+        for (w, worker_shards) in per_worker.into_iter().enumerate() {
+            let (tx, rx) = mpsc::channel::<Cmd>();
+            cmd_txs.push(tx);
+            let res_tx = res_tx.clone();
+            handles.push(scope.spawn(move || worker_loop(w, worker_shards, rx, res_tx, end_s)));
+        }
+        drop(res_tx);
+
+        let mut pending: Vec<Outgoing> = Vec::new();
+        while let Some(epoch) = schedule.next() {
+            let timer = epoch_hist.start_timer();
+            let mut deliveries: Vec<Vec<(usize, f64, UssMessage)>> =
+                (0..n_workers).map(|_| Vec::new()).collect();
+            for o in pending.drain(..) {
+                deliveries[worker_of[o.dest]].push((o.dest, o.arrival_s, o.msg));
+            }
+            for (tx, batch) in cmd_txs.iter().zip(deliveries) {
+                tx.send(Cmd::Epoch {
+                    limit_s: epoch.limit_s,
+                    inclusive: epoch.inclusive,
+                    sample: epoch.sample,
+                    deliveries: batch,
+                })
+                .expect("worker alive");
+            }
+            let mut outs: Vec<WorkerOut> = (0..n_workers)
+                .map(|_| res_rx.recv().expect("worker epoch result").1)
+                .collect();
+            // Each source site lives on exactly one worker and its sends
+            // arrive in one contiguous in-order run, so a stable sort by
+            // source reconstructs the exact serial delivery order no matter
+            // which worker reported first.
+            let mut all_out: Vec<Outgoing> =
+                outs.iter_mut().flat_map(|o| o.outgoing.drain(..)).collect();
+            all_out.sort_by_key(|o| o.source);
+            pending = all_out;
+            if epoch.sample {
+                let mut frags: Vec<(usize, ShardSample, bool)> = outs
+                    .iter_mut()
+                    .flat_map(|o| o.fragments.drain(..))
+                    .collect();
+                frags.sort_by_key(|f| f.0);
+                at_barrier(
+                    epoch.limit_s,
+                    frags.into_iter().map(|(_, s, b)| (s, b)).collect(),
+                );
+            }
+            timer.observe();
+        }
+        for tx in &cmd_txs {
+            tx.send(Cmd::Finish).expect("worker alive");
+        }
+        let mut shards: Vec<Shard> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker exits cleanly"))
+            .collect();
+        shards.sort_by_key(|s| s.index);
+        shards
+    })
+}
+
+fn worker_loop(
+    worker: usize,
+    mut shards: Vec<Shard>,
+    rx: mpsc::Receiver<Cmd>,
+    res_tx: mpsc::Sender<(usize, WorkerOut)>,
+    end_s: f64,
+) -> Vec<Shard> {
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Epoch {
+                limit_s,
+                inclusive,
+                sample,
+                deliveries,
+            } => {
+                // Barrier deliveries first, in the coordinator's global
+                // order — the serial engine pushes them at the same point
+                // (after the previous epoch, before this one advances).
+                for (dest, arrival_s, msg) in deliveries {
+                    let shard = shards
+                        .iter_mut()
+                        .find(|s| s.index == dest)
+                        .expect("delivery routed to owning worker");
+                    shard.queue.push(arrival_s, Event::UssDeliver(msg));
+                }
+                let mut outgoing = Vec::new();
+                for shard in &mut shards {
+                    shard.advance(limit_s, inclusive, end_s, &mut outgoing);
+                }
+                let fragments = if sample {
+                    shards
+                        .iter_mut()
+                        .map(|s| (s.index, s.sample_fragment(limit_s), s.remote_suppressed()))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                if res_tx
+                    .send((
+                        worker,
+                        WorkerOut {
+                            outgoing,
+                            fragments,
+                        },
+                    ))
+                    .is_err()
+                {
+                    break; // coordinator gone — unwind quietly
+                }
+            }
+            Cmd::Finish => break,
+        }
+    }
+    shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(mut s: EpochSchedule) -> Vec<Epoch> {
+        std::iter::from_fn(|| s.next()).collect()
+    }
+
+    #[test]
+    fn schedule_starts_inclusive_with_sample_and_ends_with_flush() {
+        let epochs = collect(EpochSchedule::new(10.0, 5.0, 60.0));
+        assert_eq!(
+            epochs.first(),
+            Some(&Epoch {
+                limit_s: 0.0,
+                inclusive: true,
+                sample: true
+            })
+        );
+        assert_eq!(
+            epochs.last(),
+            Some(&Epoch {
+                limit_s: 10.0,
+                inclusive: true,
+                sample: false
+            })
+        );
+        // Interior windows are half-open and never wider than the lookahead.
+        let mut prev = 0.0;
+        for e in &epochs[1..epochs.len() - 1] {
+            assert!(!e.inclusive);
+            assert!(e.limit_s - prev <= 5.0 + 1e-12);
+            assert!(e.limit_s > prev);
+            prev = e.limit_s;
+        }
+    }
+
+    #[test]
+    fn schedule_cuts_epochs_at_sample_instants() {
+        // Lookahead 45 s, samples every 60 s: barriers must land exactly on
+        // 60, 120, … with the sample flag set.
+        let epochs = collect(EpochSchedule::new(150.0, 45.0, 60.0));
+        let samples: Vec<f64> = epochs
+            .iter()
+            .filter(|e| e.sample)
+            .map(|e| e.limit_s)
+            .collect();
+        assert_eq!(samples, vec![0.0, 60.0, 120.0]);
+        assert!(epochs.iter().all(|e| e.limit_s <= 150.0));
+    }
+
+    #[test]
+    fn schedule_samples_at_horizon_when_aligned() {
+        let epochs = collect(EpochSchedule::new(120.0, 50.0, 60.0));
+        let samples: Vec<f64> = epochs
+            .iter()
+            .filter(|e| e.sample)
+            .map(|e| e.limit_s)
+            .collect();
+        assert_eq!(samples, vec![0.0, 60.0, 120.0]);
+    }
+
+    #[test]
+    fn zero_horizon_is_one_sampled_epoch() {
+        let epochs = collect(EpochSchedule::new(0.0, 5.0, 60.0));
+        assert_eq!(epochs.len(), 1);
+        assert!(epochs[0].sample && epochs[0].inclusive);
+    }
+}

@@ -1,21 +1,29 @@
-//! The grid simulation engine: event loop driving job arrivals, cluster
-//! ticks, USS↔USS gossip with latency, fault injection, and metrics
-//! sampling — the in-silico equivalent of the paper's 7-machine test bed.
+//! The grid simulation coordinator: builds one shard per site, pre-routes
+//! the workload trace, drives the shards through the epoch-barrier schedule
+//! (serially or on scoped worker threads), and assembles the results — the
+//! in-silico equivalent of the paper's 7-machine test bed, scaled out.
+//!
+//! All simulation mechanics live in [`crate::shard`] (per-site event
+//! processing) and [`crate::barrier`] (epoch schedule + worker pool); this
+//! module only wires them together. The worker count never changes results:
+//! see DESIGN.md §4h for the determinism argument.
 
+use crate::barrier::{drive, BarrierFragments, EpochSchedule};
 use crate::cluster::SimCluster;
 use crate::dispatch::Dispatcher;
-use crate::event::{Event, EventQueue};
-use crate::faults::FaultRng;
-use crate::metrics::{MetricsLog, Sample, UserSample};
+use crate::event::Event;
+use crate::metrics::{MetricsLog, Sample};
 use crate::scenario::GridScenario;
+use crate::shard::{SampleSpec, Shard, ShardStats};
 use aequus_core::{GridUser, SiteId};
 use aequus_rms::SchedulerStats;
-use aequus_services::{StoreStats, UssMessage};
+use aequus_services::StoreStats;
 use aequus_telemetry::flight::{dump_jsonl, FlightRecorder};
 use aequus_telemetry::provenance::ProvenanceRecord;
-use aequus_telemetry::{Counter, Snapshot, SpanRecord, Telemetry};
+use aequus_telemetry::{Snapshot, SpanRecord, Telemetry};
 use aequus_workload::Trace;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// The outcome of a simulation run.
 #[derive(Debug)]
@@ -26,6 +34,8 @@ pub struct SimResult {
     pub cluster_stats: Vec<SchedulerStats>,
     /// Final mean utilization per cluster over the whole run.
     pub cluster_utilization: Vec<f64>,
+    /// Core capacity per cluster (weights for grid-wide utilization).
+    pub cluster_capacities: Vec<u32>,
     /// Simulated end time, seconds.
     pub end_s: f64,
     /// Events processed (engine observability).
@@ -33,7 +43,7 @@ pub struct SimResult {
     /// Final telemetry snapshot of each site's registry, in cluster order.
     /// Empty when the scenario ran without telemetry.
     pub site_telemetry: Vec<Snapshot>,
-    /// Final snapshot of the engine's own registry (event-loop spans).
+    /// Final snapshot of the engine's own registry (epoch spans).
     /// `None` when the scenario ran without telemetry.
     pub engine_telemetry: Option<Snapshot>,
     /// Each site's final raw per-user view of grid usage (local + merged
@@ -67,14 +77,20 @@ impl SimResult {
         self.cluster_stats.iter().map(|s| s.submitted).sum()
     }
 
-    /// Grid-wide mean utilization (capacity-weighted mean of clusters is
-    /// approximated by the plain mean here because the paper's clusters are
-    /// homogeneous).
+    /// Grid-wide mean utilization: capacity-weighted mean over clusters, so
+    /// heterogeneous fleets (one 544-core site among 40-core sites) report
+    /// the true grid-wide busy fraction rather than a per-site average.
     pub fn mean_utilization(&self) -> f64 {
-        if self.cluster_utilization.is_empty() {
+        let total: u64 = self.cluster_capacities.iter().map(|&c| u64::from(c)).sum();
+        if total == 0 {
             return 0.0;
         }
-        self.cluster_utilization.iter().sum::<f64>() / self.cluster_utilization.len() as f64
+        self.cluster_utilization
+            .iter()
+            .zip(&self.cluster_capacities)
+            .map(|(u, &c)| u * c as f64)
+            .sum::<f64>()
+            / total as f64
     }
 
     /// Per-user completed usage across all clusters.
@@ -89,25 +105,24 @@ impl SimResult {
     }
 }
 
-/// The simulation engine.
+/// The simulation coordinator.
 pub struct GridSimulation {
-    scenario: GridScenario,
-    clusters: Vec<SimCluster>,
-    dispatcher: Dispatcher,
-    faults: FaultRng,
-    /// Per-cluster crash state (edge detection for crash/recovery windows).
-    crashed: Vec<bool>,
-    /// The engine's own telemetry domain: event-loop spans and counters,
+    scenario: Arc<GridScenario>,
+    shards: Vec<Shard>,
+    /// The engine's own telemetry domain: epoch spans and event counters,
     /// separate from the per-site registries.
     telemetry: Telemetry,
+    /// Handle onto the reference site's registry (shared `Arc`), so the
+    /// flight recorder can dump site-0 spans/events from the coordinator
+    /// while the shard itself may live on a worker thread.
+    site0_telemetry: Telemetry,
     /// The anomaly detector, when the scenario configured one.
     recorder: Option<FlightRecorder>,
-    /// JSONL dumps the recorder produced so far.
-    flight_records: Vec<String>,
 }
 
 impl GridSimulation {
-    /// Build the grid from a scenario.
+    /// Build the grid from a scenario: one shard per site, each owning its
+    /// cluster stack, event queue, and fault stream.
     pub fn new(scenario: GridScenario) -> Self {
         let mut clusters: Vec<SimCluster> = scenario
             .clusters
@@ -136,23 +151,29 @@ impl GridSimulation {
                 scenario.seed,
             );
         }
-        let dispatcher = Dispatcher::new(scenario.dispatch, &scenario.capacities(), scenario.seed);
-        let faults = FaultRng::new(scenario.seed.wrapping_add(0x5EED));
         let telemetry = if scenario.telemetry {
             Telemetry::enabled()
         } else {
             Telemetry::disabled()
         };
         let recorder = scenario.flight.map(FlightRecorder::new);
+        let site0_telemetry = clusters
+            .first()
+            .map(|c| c.telemetry.clone())
+            .unwrap_or_else(Telemetry::disabled);
+        let scenario = Arc::new(scenario);
+        let spec = Arc::new(SampleSpec::from_scenario(&scenario));
+        let shards = clusters
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| Shard::new(i, c, Arc::clone(&scenario), Arc::clone(&spec)))
+            .collect();
         Self {
             scenario,
-            clusters,
-            dispatcher,
-            faults,
-            crashed: vec![false; n],
+            shards,
             telemetry,
+            site0_telemetry,
             recorder,
-            flight_records: Vec::new(),
         }
     }
 
@@ -160,323 +181,145 @@ impl GridSimulation {
     /// last submission so queued work completes.
     pub fn run(mut self, trace: &Trace, drain_s: f64) -> SimResult {
         let end_s = trace.last_submit() + drain_s;
-        let mut queue = EventQueue::new();
-        for job in trace.jobs() {
-            queue.push(job.submit_s, Event::JobArrival(job.clone()));
-        }
-        queue.push(0.0, Event::ClusterTick);
-        queue.push(0.0, Event::MetricsSample);
-
         let mut metrics = MetricsLog::new(self.scenario.tracked_users().into_iter().collect());
-        let mut events = 0u64;
-        let h_event = self.telemetry.histogram("aequus_sim_event_s");
-        let c_arrivals = self.telemetry.counter("aequus_sim_job_arrivals_total");
-        let c_ticks = self.telemetry.counter("aequus_sim_cluster_ticks_total");
-        let c_gossip = self.telemetry.counter("aequus_sim_gossip_deliveries_total");
-        let c_partitioned = self
-            .telemetry
-            .counter("aequus_sim_gossip_partitioned_total");
-        let c_dropped = self.telemetry.counter("aequus_sim_gossip_dropped_total");
-        let c_crashes = self.telemetry.counter("aequus_sim_crashes_total");
-        let c_samples = self.telemetry.counter("aequus_sim_metrics_samples_total");
 
-        while let Some((now, event)) = queue.pop() {
-            if now > end_s {
+        // Pre-route every arrival to its shard, consuming the dispatcher in
+        // submission-time order (ties by trace index) — the exact order the
+        // serial event loop popped arrivals in, so placement is unchanged.
+        let mut dispatcher = Dispatcher::new(
+            self.scenario.dispatch,
+            &self.scenario.capacities(),
+            self.scenario.seed,
+        );
+        let jobs = trace.jobs();
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        order.sort_by(|&a, &b| {
+            jobs[a]
+                .submit_s
+                .total_cmp(&jobs[b].submit_s)
+                .then(a.cmp(&b))
+        });
+        for idx in order {
+            let job = &jobs[idx];
+            if job.submit_s > end_s {
                 break;
             }
-            events += 1;
-            let span = h_event.start_timer();
-            match event {
-                Event::JobArrival(job) => {
-                    c_arrivals.inc();
-                    let target = self.dispatcher.pick();
-                    self.clusters[target].submit(&job, now);
-                    metrics.count_submission(now);
-                }
-                Event::ClusterTick => {
-                    c_ticks.inc();
-                    self.tick_clusters(now, &mut queue, &c_dropped, &c_crashes);
-                    let next = now + self.scenario.tick_interval_s;
-                    if next <= end_s {
-                        queue.push(next, Event::ClusterTick);
-                    }
-                }
-                Event::UssDeliver { to, msg } => {
-                    if self.crashed[to] || self.scenario.faults.is_partitioned(to, now) {
-                        // Undeliverable: the publisher's outbox keeps the
-                        // data and the retry/anti-entropy layer re-syncs it
-                        // once the site is back.
-                        c_partitioned.inc();
-                    } else {
-                        if msg.is_data() {
-                            c_gossip.inc();
-                        }
-                        let responses = self.clusters[to].deliver_msg(&msg, now);
-                        for (dest, response) in responses {
-                            self.route(dest.0 as usize, response, now, &mut queue, &c_dropped);
-                        }
-                    }
-                }
-                Event::MetricsSample => {
-                    c_samples.inc();
-                    let sample = self.sample(now);
-                    self.observe_anomalies(&sample, now);
-                    metrics.record(sample);
-                    let next = now + self.scenario.sample_interval_s;
-                    if next <= end_s {
-                        queue.push(next, Event::MetricsSample);
-                    }
-                }
-            }
-            span.observe();
+            let target = dispatcher.pick();
+            self.shards[target]
+                .queue
+                .push(job.submit_s, Event::JobArrival(job.clone()));
+            metrics.count_submission(job.submit_s);
+        }
+        for shard in &mut self.shards {
+            shard.queue.push(0.0, Event::ClusterTick);
         }
 
-        let cluster_utilization: Vec<f64> = self
-            .clusters
+        let h_epoch = self.telemetry.histogram("aequus_sim_event_s");
+        let c_samples = self.telemetry.counter("aequus_sim_metrics_samples_total");
+        let lookahead = if self.scenario.timings.exchange_latency_s > 0.0 {
+            self.scenario.timings.exchange_latency_s
+        } else {
+            self.scenario.tick_interval_s.max(1e-9)
+        };
+        let schedule = EpochSchedule::new(end_s, lookahead, self.scenario.sample_interval_s);
+        let total_cores = self.scenario.total_cores();
+        let tracked = self.scenario.tracked_users();
+        let mut recorder = self.recorder.take();
+        let mut flight_records: Vec<String> = Vec::new();
+        let site0_telemetry = self.site0_telemetry.clone();
+
+        let at_barrier = |now: f64, frags: BarrierFragments| {
+            c_samples.inc();
+            let suppressed = frags.iter().any(|(_, s)| *s);
+            let fragments = frags.into_iter().map(|(f, _)| f).collect();
+            let sample = Sample::assemble(now, fragments, total_cores);
+            // Feed the flight recorder this barrier's observations; any
+            // newly fired anomaly dumps the reference site's retained
+            // telemetry as JSONL.
+            if let Some(rec) = recorder.as_mut() {
+                let mut anomalies = Vec::new();
+                for (name, target) in &tracked {
+                    let achieved = sample.users.get(name).map(|u| u.usage_share).unwrap_or(0.0);
+                    anomalies.extend(rec.observe_user_share(name, achieved, *target, now));
+                }
+                anomalies.extend(rec.observe_degradation(suppressed, now));
+                anomalies.extend(rec.observe_divergence(sample.usage_view_divergence, now));
+                for a in anomalies {
+                    flight_records.push(dump_jsonl(&a, &site0_telemetry));
+                }
+            }
+            metrics.record(sample);
+        };
+
+        let mut shards = drive(
+            std::mem::take(&mut self.shards),
+            self.scenario.num_threads,
+            self.scenario.placement,
+            schedule,
+            end_s,
+            &h_epoch,
+            at_barrier,
+        );
+
+        // Fold per-shard counters into the engine registry (the serial
+        // engine incremented these inline; totals are identical).
+        let mut totals = ShardStats::default();
+        for shard in &shards {
+            totals.merge(&shard.stats);
+        }
+        self.telemetry
+            .counter("aequus_sim_job_arrivals_total")
+            .add(totals.arrivals);
+        self.telemetry
+            .counter("aequus_sim_cluster_ticks_total")
+            .add(totals.ticks);
+        self.telemetry
+            .counter("aequus_sim_gossip_deliveries_total")
+            .add(totals.gossip_deliveries);
+        self.telemetry
+            .counter("aequus_sim_gossip_partitioned_total")
+            .add(totals.partitioned);
+        self.telemetry
+            .counter("aequus_sim_gossip_dropped_total")
+            .add(totals.dropped);
+        self.telemetry
+            .counter("aequus_sim_crashes_total")
+            .add(totals.crashes);
+        let events_processed = totals.events + metrics.samples().len() as u64;
+
+        let cluster_utilization: Vec<f64> = shards
             .iter_mut()
-            .map(|c| c.rms.utilization(end_s))
+            .map(|s| s.cluster.rms.utilization(end_s))
             .collect();
         SimResult {
             metrics,
-            cluster_stats: self
-                .clusters
+            cluster_stats: shards
                 .iter()
-                .map(|c| c.rms.stats().clone())
+                .map(|s| s.cluster.rms.stats().clone())
                 .collect(),
             cluster_utilization,
+            cluster_capacities: self.scenario.capacities(),
             end_s,
-            events_processed: events,
-            site_telemetry: self
-                .clusters
+            events_processed,
+            site_telemetry: shards
                 .iter()
-                .filter_map(|c| c.telemetry.snapshot())
+                .filter_map(|s| s.cluster.telemetry.snapshot())
                 .collect(),
             engine_telemetry: self.telemetry.snapshot(),
-            site_usage_views: self
-                .clusters
+            site_usage_views: shards
                 .iter()
-                .map(|c| c.site.uss.grid_view())
+                .map(|s| s.cluster.site.uss.grid_view())
                 .collect(),
-            site_spans: self.clusters.iter().map(|c| c.telemetry.spans()).collect(),
-            site_provenance: self
-                .clusters
+            site_spans: shards.iter().map(|s| s.cluster.telemetry.spans()).collect(),
+            site_provenance: shards
                 .iter()
-                .map(|c| c.telemetry.provenance_records())
+                .map(|s| s.cluster.telemetry.provenance_records())
                 .collect(),
-            site_store_stats: self.clusters.iter().map(|c| c.site.store_stats()).collect(),
-            flight_records: self.flight_records,
-        }
-    }
-
-    fn tick_clusters(
-        &mut self,
-        now: f64,
-        queue: &mut EventQueue,
-        c_dropped: &Counter,
-        c_crashes: &Counter,
-    ) {
-        let n = self.clusters.len();
-        for i in 0..n {
-            // Crash-window edges: entering wipes the site's volatile Aequus
-            // state, leaving triggers snapshot catch-up from peers.
-            let crashed_now = self.scenario.faults.is_crashed(i, now);
-            if crashed_now != self.crashed[i] {
-                if crashed_now {
-                    self.clusters[i].site.crash(now);
-                    c_crashes.inc();
-                } else {
-                    self.clusters[i].site.recover(now);
-                }
-                self.crashed[i] = crashed_now;
-            }
-            if crashed_now {
-                // The RMS keeps scheduling (degraded, stale-cache priorities)
-                // and completed jobs spool their usage reports for replay,
-                // but the Aequus services are down.
-                self.clusters[i].step_rms_only(now);
-                continue;
-            }
-            self.clusters[i].step(now);
-            // With peers registered the legacy broadcast outbox stays empty
-            // and the reliable exchange drains through poll_messages. A
-            // peerless site (single-cluster scenario) still fills it — and
-            // has nowhere to send, so discard.
-            let _ = self.clusters[i].take_outbox();
-            let msgs = self.clusters[i].poll_messages(now);
-            if self.scenario.faults.is_partitioned(i, now) {
-                // Transport cut at the source. The retry state has already
-                // advanced, so the lost sends retry after their backoff.
-                continue;
-            }
-            for (dest, msg) in msgs {
-                self.route(dest.0 as usize, msg, now, queue, c_dropped);
-            }
-        }
-    }
-
-    /// Route one exchange message toward `dest` with network latency,
-    /// subject to the random-drop fault (control messages are as droppable
-    /// as data — the protocol tolerates either).
-    fn route(
-        &mut self,
-        dest: usize,
-        msg: UssMessage,
-        now: f64,
-        queue: &mut EventQueue,
-        c_dropped: &Counter,
-    ) {
-        if self.faults.should_drop(&self.scenario.faults) {
-            c_dropped.inc();
-            return;
-        }
-        // Bulk snapshot catch-ups haul a full cumulative view over the
-        // wire; the scenario may charge them extra transfer time on top of
-        // the per-hop exchange latency (incremental summaries stay cheap).
-        let transfer = match msg {
-            UssMessage::Snapshot { .. } => self.scenario.snapshot_transfer_s,
-            _ => 0.0,
-        };
-        queue.push(
-            now + self.scenario.timings.exchange_latency_s + transfer,
-            Event::UssDeliver { to: dest, msg },
-        );
-    }
-
-    /// The raw per-user grid-usage views held by global-reading, non-crashed
-    /// sites, and the largest per-user spread between them.
-    fn view_divergence(&self) -> f64 {
-        let views: Vec<BTreeMap<GridUser, f64>> = self
-            .clusters
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| {
-                !self.crashed[*i] && self.scenario.clusters[*i].participation.reads_global()
-            })
-            .map(|(_, c)| c.site.uss.grid_view())
-            .collect();
-        if views.len() < 2 {
-            return 0.0;
-        }
-        let mut divergence = 0.0f64;
-        let users: std::collections::BTreeSet<&GridUser> =
-            views.iter().flat_map(|v| v.keys()).collect();
-        for user in users {
-            let mut lo = f64::INFINITY;
-            let mut hi = f64::NEG_INFINITY;
-            for view in &views {
-                let v = view.get(user).copied().unwrap_or(0.0);
-                lo = lo.min(v);
-                hi = hi.max(v);
-            }
-            divergence = divergence.max(hi - lo);
-        }
-        divergence
-    }
-
-    /// Feed the flight recorder one sampling tick's observations; any newly
-    /// fired anomaly dumps the reference site's retained telemetry as JSONL.
-    fn observe_anomalies(&mut self, sample: &Sample, now: f64) {
-        let Some(mut rec) = self.recorder.take() else {
-            return;
-        };
-        let mut anomalies = Vec::new();
-        for (name, target) in self.scenario.tracked_users() {
-            let achieved = sample
-                .users
-                .get(&name)
-                .map(|u| u.usage_share)
-                .unwrap_or(0.0);
-            anomalies.extend(rec.observe_user_share(&name, achieved, target, now));
-        }
-        let suppressed = self.clusters.iter().any(|c| c.site.uss.remote_suppressed());
-        anomalies.extend(rec.observe_degradation(suppressed, now));
-        anomalies.extend(rec.observe_divergence(sample.usage_view_divergence, now));
-        for a in anomalies {
-            self.flight_records
-                .push(dump_jsonl(&a, &self.clusters[0].telemetry));
-        }
-        self.recorder = Some(rec);
-    }
-
-    fn sample(&mut self, now: f64) -> Sample {
-        let mut users: BTreeMap<String, UserSample> = BTreeMap::new();
-        let tracked = self.scenario.tracked_users();
-        if let Some(tree) = self.clusters[0].site.fairshare_tree() {
-            for (path, grid_user) in self.scenario.policy.users() {
-                let name = grid_user.as_str().to_string();
-                let factor = self.clusters[0].site.fcs.query(&grid_user).unwrap_or(0.5);
-                // Absolute usage share: product of per-level usage shares —
-                // identical to the per-node share for flat hierarchies.
-                let shares = aequus_core::projection::Percental::total_shares(tree, &path);
-                let priority = tree.user_priority(&grid_user);
-                if let (Some((_, usage_share)), Some(priority)) = (shares, priority) {
-                    users.insert(
-                        name,
-                        UserSample {
-                            priority,
-                            usage_share,
-                            factor,
-                        },
-                    );
-                }
-            }
-        }
-        let per_site_priority: Vec<BTreeMap<String, f64>> = self
-            .clusters
-            .iter()
-            .map(|c| {
-                c.site
-                    .fairshare_tree()
-                    .map(|tree| {
-                        tracked
-                            .iter()
-                            .filter_map(|(name, _)| {
-                                tree.user_priority(&GridUser::new(name.clone()))
-                                    .map(|p| (name.clone(), p))
-                            })
-                            .collect()
-                    })
-                    .unwrap_or_default()
-            })
-            .collect();
-        let total_cores: u32 = self.scenario.total_cores();
-        let busy: u32 = self
-            .clusters
-            .iter()
-            .map(|c| match &c.rms {
-                crate::cluster::Rms::Slurm(s) => s.core().nodes.busy_cores(),
-                crate::cluster::Rms::Maui(m) => m.core().nodes.busy_cores(),
-            })
-            .sum();
-        Sample {
-            t_s: now,
-            users,
-            per_site_priority,
-            utilization: busy as f64 / total_cores.max(1) as f64,
-            pending: self.clusters.iter().map(|c| c.rms.pending()).sum(),
-            running: self.clusters.iter().map(|c| c.rms.running()).sum(),
-            completed: self.clusters.iter().map(|c| c.rms.stats().completed).sum(),
-            fcs_full_refreshes: self
-                .clusters
+            site_store_stats: shards
                 .iter()
-                .map(|c| c.site.fcs.full_refreshes())
-                .sum(),
-            fcs_incremental_refreshes: self
-                .clusters
-                .iter()
-                .map(|c| c.site.fcs.incremental_refreshes())
-                .sum(),
-            fcs_nodes_recomputed: self
-                .clusters
-                .iter()
-                .map(|c| c.site.fcs.nodes_recomputed())
-                .sum(),
-            usage_view_divergence: self.view_divergence(),
-            site_telemetry: self
-                .clusters
-                .iter()
-                .filter_map(|c| c.telemetry.snapshot())
+                .map(|s| s.cluster.site.store_stats())
                 .collect(),
+            flight_records,
         }
     }
 }
@@ -542,6 +385,29 @@ mod tests {
     }
 
     #[test]
+    fn worker_count_does_not_change_results() {
+        // The tentpole invariant at unit scale: 2 threads over 2 shards must
+        // replay the serial run bit-for-bit (the dedicated equivalence suite
+        // covers the chaos matrix; this is the smoke check).
+        let trace = uniform_trace(40, 7.0, 40.0);
+        let serial = GridSimulation::new(small_scenario()).run(&trace, 1500.0);
+        let parallel = GridSimulation::new(small_scenario().with_threads(2)).run(&trace, 1500.0);
+        assert_eq!(serial.total_completed(), parallel.total_completed());
+        assert_eq!(serial.events_processed, parallel.events_processed);
+        assert_eq!(serial.site_usage_views, parallel.site_usage_views);
+        for (a, b) in serial
+            .metrics
+            .samples()
+            .iter()
+            .zip(parallel.metrics.samples())
+        {
+            assert_eq!(a.users, b.users);
+            assert_eq!(a.utilization, b.utilization);
+            assert_eq!(a.per_site_priority, b.per_site_priority);
+        }
+    }
+
+    #[test]
     fn gossip_spreads_usage_between_sites() {
         // All jobs land on cluster 0 (cluster 1 has zero capacity), yet
         // cluster 1 learns the usage through the exchange.
@@ -591,7 +457,7 @@ mod tests {
                 assert!(snap.histograms.contains_key(&name), "missing {name}");
             }
         }
-        // The engine registry saw the event loop.
+        // The engine registry saw the epoch loop.
         let engine = result.engine_telemetry.expect("engine telemetry on");
         assert!(engine.histograms["aequus_sim_event_s"].count > 0);
         assert!(engine.counters["aequus_sim_cluster_ticks_total"] > 0);
@@ -734,5 +600,27 @@ mod tests {
             assert!((0.0..=1.0).contains(&s.utilization));
         }
         assert!(result.mean_utilization() > 0.0);
+    }
+
+    #[test]
+    fn mean_utilization_is_capacity_weighted() {
+        // A big busy cluster and a tiny idle one: the plain mean would say
+        // 50%; the capacity-weighted truth is ~99%.
+        let result = SimResult {
+            metrics: MetricsLog::default(),
+            cluster_stats: vec![],
+            cluster_utilization: vec![0.99, 0.0],
+            cluster_capacities: vec![990, 10],
+            end_s: 0.0,
+            events_processed: 0,
+            site_telemetry: vec![],
+            engine_telemetry: None,
+            site_usage_views: vec![],
+            site_spans: vec![],
+            site_provenance: vec![],
+            flight_records: vec![],
+            site_store_stats: vec![],
+        };
+        assert!((result.mean_utilization() - 0.9801).abs() < 1e-12);
     }
 }

@@ -1,94 +1,128 @@
-//! The discrete-event core: a time-ordered event queue with deterministic
-//! tie-breaking (insertion sequence), so simulations are exactly
-//! reproducible given a seed.
+//! The discrete-event core: deterministic time-ordered event queues.
+//!
+//! Since the sharded-engine refactor the queue layer has two shapes:
+//!
+//! * [`EventQueue`] — one shard's local queue. Events pop in `(time,
+//!   insertion seq)` order, so a shard's execution is exactly reproducible.
+//! * [`ShardedQueues`] + [`Mailbox`] — the *order contract* the sharded
+//!   engine is built on: per-shard queues sharing one global insertion
+//!   sequence, plus a mailbox staging cross-shard sends until a barrier.
+//!   A merged pop over the sharded queues yields exactly the order a single
+//!   global queue would, including cross-shard ties — the property test in
+//!   `tests/proptest_event_order.rs` pins this down.
+//!
+//! The parallel engine never performs the merged pop (shards burn through a
+//! whole epoch of local events without coordination); the merge exists to
+//! state — and test — what "equivalent to the single-queue engine" means.
 
 use aequus_services::UssMessage;
 use aequus_workload::TraceJob;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// A simulation event.
+/// A shard-local simulation event. Cross-shard traffic ([`Event::UssDeliver`])
+/// enters a shard's queue only at epoch barriers, via the coordinator.
 #[derive(Debug, Clone)]
 pub enum Event {
-    /// A job arrives at the submission host.
+    /// A job arrives at this shard's cluster (pre-dispatched at run start).
     JobArrival(TraceJob),
     /// Periodic cluster advance (site tick + scheduler iteration).
     ClusterTick,
-    /// A reliable-exchange message reaches a destination site after network
+    /// A reliable-exchange message reaches this shard's site after network
     /// latency (summaries, acks, resync pulls, snapshots).
-    UssDeliver {
-        /// Destination cluster index.
-        to: usize,
-        /// The message being delivered.
-        msg: UssMessage,
-    },
-    /// Periodic metrics sample.
-    MetricsSample,
+    UssDeliver(UssMessage),
 }
 
 #[derive(Debug)]
-struct Scheduled {
+struct Scheduled<E> {
     time_s: f64,
     seq: u64,
-    event: Event,
+    event: E,
 }
 
-impl PartialEq for Scheduled {
+impl<E> PartialEq for Scheduled<E> {
     fn eq(&self, other: &Self) -> bool {
         self.time_s == other.time_s && self.seq == other.seq
     }
 }
-impl Eq for Scheduled {}
+impl<E> Eq for Scheduled<E> {}
 
-impl Ord for Scheduled {
+impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap: invert so earliest time pops first;
-        // ties break by insertion order (earlier seq first).
+        // ties break by insertion order (earlier seq first). `total_cmp`
+        // keeps this a total order even for non-finite times — those are
+        // rejected with context at `push` time, so the comparator itself
+        // has no panic path deep inside the heap.
         other
             .time_s
-            .partial_cmp(&self.time_s)
-            .expect("event times are finite")
+            .total_cmp(&self.time_s)
             .then(other.seq.cmp(&self.seq))
     }
 }
-impl PartialOrd for Scheduled {
+impl<E> PartialOrd for Scheduled<E> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-/// A deterministic time-ordered event queue.
-#[derive(Debug, Default)]
-pub struct EventQueue {
-    heap: BinaryHeap<Scheduled>,
+/// A deterministic time-ordered event queue (one shard's local events).
+#[derive(Debug)]
+pub struct EventQueue<E = Event> {
+    heap: BinaryHeap<Scheduled<E>>,
     seq: u64,
 }
 
-impl EventQueue {
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
     /// Create an empty queue.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Schedule `event` at absolute time `time_s`.
-    pub fn push(&mut self, time_s: f64, event: Event) {
-        assert!(time_s.is_finite(), "event time must be finite");
-        self.heap.push(Scheduled {
-            time_s,
-            seq: self.seq,
-            event,
-        });
+    ///
+    /// Non-finite times are a scenario bug (e.g. a NaN latency or an
+    /// overflowed horizon); they are rejected here, at insertion, where the
+    /// caller and the offending value are still on the stack — not deep
+    /// inside a heap comparison.
+    pub fn push(&mut self, time_s: f64, event: E) {
+        debug_assert!(
+            time_s.is_finite(),
+            "event time must be finite, got {time_s} (check scenario latencies/horizons)"
+        );
+        let seq = self.seq;
         self.seq += 1;
+        self.push_at(time_s, seq, event);
+    }
+
+    /// Insert with an externally assigned sequence number (used by
+    /// [`ShardedQueues`] to share one global insertion order across shards).
+    fn push_at(&mut self, time_s: f64, seq: u64, event: E) {
+        self.heap.push(Scheduled { time_s, seq, event });
     }
 
     /// Pop the earliest event, with its time.
-    pub fn pop(&mut self) -> Option<(f64, Event)> {
+    pub fn pop(&mut self) -> Option<(f64, E)> {
         self.heap.pop().map(|s| (s.time_s, s.event))
     }
 
     /// Time of the earliest event without removing it.
     pub fn peek_time(&self) -> Option<f64> {
         self.heap.peek().map(|s| s.time_s)
+    }
+
+    /// `(time, seq)` key of the earliest event without removing it.
+    pub fn peek_key(&self) -> Option<(f64, u64)> {
+        self.heap.peek().map(|s| (s.time_s, s.seq))
     }
 
     /// Number of queued events.
@@ -99,6 +133,113 @@ impl EventQueue {
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+}
+
+/// Cross-shard sends staged between barriers: `(destination shard, delivery
+/// time, event)` triples held back until the coordinator drains them at the
+/// next barrier, in staging order.
+#[derive(Debug)]
+pub struct Mailbox<E = Event> {
+    staged: Vec<(usize, f64, E)>,
+}
+
+impl<E> Default for Mailbox<E> {
+    fn default() -> Self {
+        Self { staged: Vec::new() }
+    }
+}
+
+impl<E> Mailbox<E> {
+    /// Create an empty mailbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stage an event for delivery to `shard` at `time_s`.
+    pub fn stage(&mut self, shard: usize, time_s: f64, event: E) {
+        self.staged.push((shard, time_s, event));
+    }
+
+    /// Number of staged events.
+    pub fn len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Whether nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.staged.is_empty()
+    }
+
+    /// Drain every staged event into the sharded queues, preserving staging
+    /// order (which therefore defines the tie-break order among same-time
+    /// cross-shard deliveries).
+    pub fn drain_into(&mut self, queues: &mut ShardedQueues<E>) {
+        for (shard, time_s, event) in self.staged.drain(..) {
+            queues.push(shard, time_s, event);
+        }
+    }
+}
+
+/// Per-shard event queues sharing one *global* insertion sequence: the
+/// single-queue order, physically split by shard. [`Self::pop_global`]
+/// merges them back into exactly the `(time, seq)` order a single
+/// [`EventQueue`] would produce — the equivalence the sharded engine's
+/// barrier discipline relies on.
+#[derive(Debug)]
+pub struct ShardedQueues<E = Event> {
+    shards: Vec<EventQueue<E>>,
+    seq: u64,
+}
+
+impl<E> ShardedQueues<E> {
+    /// `n` empty per-shard queues.
+    pub fn new(n: usize) -> Self {
+        Self {
+            shards: (0..n).map(|_| EventQueue::default()).collect(),
+            seq: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Schedule `event` on `shard` at `time_s`, drawing the next global
+    /// sequence number.
+    pub fn push(&mut self, shard: usize, time_s: f64, event: E) {
+        debug_assert!(
+            time_s.is_finite(),
+            "event time must be finite, got {time_s} (check scenario latencies/horizons)"
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.shards[shard].push_at(time_s, seq, event);
+    }
+
+    /// Pop the globally earliest event across all shards: minimum `(time,
+    /// seq)`, i.e. exactly the order one global queue would pop in — time
+    /// first, then insertion order, including cross-shard ties.
+    pub fn pop_global(&mut self) -> Option<(usize, f64, E)> {
+        let best = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, q)| q.peek_key().map(|(t, s)| (i, t, s)))
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.2.cmp(&b.2)))?;
+        let (t, e) = self.shards[best.0].pop().expect("peeked shard non-empty");
+        Some((best.0, t, e))
+    }
+
+    /// Total queued events across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(EventQueue::len).sum()
+    }
+
+    /// Whether every shard queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(EventQueue::is_empty)
     }
 }
 
@@ -129,9 +270,9 @@ mod tests {
     fn ties_break_by_insertion_order() {
         let mut q = EventQueue::new();
         q.push(2.0, Event::ClusterTick);
-        q.push(2.0, Event::MetricsSample);
+        q.push(2.0, job(2.0));
         assert!(matches!(q.pop().unwrap().1, Event::ClusterTick));
-        assert!(matches!(q.pop().unwrap().1, Event::MetricsSample));
+        assert!(matches!(q.pop().unwrap().1, Event::JobArrival(_)));
     }
 
     #[test]
@@ -139,13 +280,40 @@ mod tests {
         let mut q = EventQueue::new();
         q.push(7.0, Event::ClusterTick);
         assert_eq!(q.peek_time(), Some(7.0));
+        assert_eq!(q.peek_key(), Some((7.0, 0)));
         assert_eq!(q.len(), 1);
     }
 
     #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "finiteness is a debug assertion")]
     #[should_panic(expected = "finite")]
     fn rejects_nan_time() {
         let mut q = EventQueue::new();
         q.push(f64::NAN, Event::ClusterTick);
+    }
+
+    #[test]
+    fn sharded_pop_merges_cross_shard_ties_by_global_seq() {
+        let mut q: ShardedQueues<u32> = ShardedQueues::new(3);
+        q.push(2, 5.0, 0); // seq 0
+        q.push(0, 5.0, 1); // seq 1 — same time, later insertion
+        q.push(1, 1.0, 2); // seq 2 — earliest time
+        let order: Vec<(usize, u32)> =
+            std::iter::from_fn(|| q.pop_global().map(|(s, _, e)| (s, e))).collect();
+        assert_eq!(order, vec![(1, 2), (2, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn mailbox_drains_in_staging_order() {
+        let mut q: ShardedQueues<u32> = ShardedQueues::new(2);
+        let mut mbox: Mailbox<u32> = Mailbox::new();
+        mbox.stage(1, 3.0, 10);
+        mbox.stage(0, 3.0, 11);
+        assert_eq!(mbox.len(), 2);
+        mbox.drain_into(&mut q);
+        assert!(mbox.is_empty());
+        assert_eq!(q.pop_global().unwrap().2, 10);
+        assert_eq!(q.pop_global().unwrap().2, 11);
+        assert!(q.is_empty());
     }
 }

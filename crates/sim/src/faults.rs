@@ -72,10 +72,31 @@ impl FaultRng {
         }
     }
 
+    /// Derive the fault stream of one shard: the scenario seed xor-mixed
+    /// with the shard id through a splitmix64 finalizer, so (a) streams of
+    /// different shards are decorrelated and (b) a shard's stream depends
+    /// only on `(seed, shard)` — never on how many worker threads the run
+    /// uses — which is what makes N-thread runs seed-for-seed identical to
+    /// the single-threaded run.
+    pub fn for_shard(seed: u64, shard: u64) -> Self {
+        Self::new(splitmix64(
+            seed ^ 0x5EED_u64 ^ (shard.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
     /// Whether to drop a delivery under the plan.
     pub fn should_drop(&mut self, plan: &FaultPlan) -> bool {
         plan.drop_probability > 0.0 && self.rng.gen::<f64>() < plan.drop_probability
     }
+}
+
+/// splitmix64 finalizer: cheap, well-mixed u64 → u64 hash (public-domain
+/// constants from Vigna's reference implementation).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 #[cfg(test)]
@@ -126,6 +147,23 @@ mod tests {
         assert!(plan.is_partitioned(0, 10.0) && !plan.is_crashed(0, 10.0));
         assert!(plan.is_crashed(1, 150.0) && !plan.is_partitioned(1, 150.0));
         assert!(!plan.is_crashed(1, 200.0), "end exclusive");
+    }
+
+    #[test]
+    fn shard_streams_are_stable_and_decorrelated() {
+        let plan = FaultPlan {
+            drop_probability: 0.5,
+            outages: vec![],
+            crashes: vec![],
+        };
+        let draws = |seed, shard| {
+            let mut rng = FaultRng::for_shard(seed, shard);
+            (0..64).map(|_| rng.should_drop(&plan)).collect::<Vec<_>>()
+        };
+        // Same (seed, shard) → same stream; different shard or seed → different.
+        assert_eq!(draws(7, 3), draws(7, 3));
+        assert_ne!(draws(7, 3), draws(7, 4));
+        assert_ne!(draws(7, 3), draws(8, 3));
     }
 
     #[test]

@@ -7,18 +7,22 @@
 //! RMS wired to its own Aequus installation, with USS↔USS usage exchange as
 //! the only cross-site channel.
 //!
-//! * [`event`] — deterministic time-ordered event queue.
+//! * [`event`] — deterministic time-ordered event queues (per-shard, plus
+//!   the cross-shard mailbox/order contract).
 //! * [`dispatch`] — stochastic / round-robin grid-level dispatch.
 //! * [`cluster`] — one cluster: RMS + per-site Aequus stack.
 //! * [`scenario`] — fleet/policy/delay configuration, including the paper's
 //!   six-cluster national test bed and the HPC2N production shape.
 //! * [`metrics`] — the figures' time series (per-user priority and usage
 //!   share), utilization, throughput, and convergence detection.
-//! * [`faults`] — message drops and site partitions.
-//! * [`engine`] — the event loop tying it together.
+//! * [`faults`] — message drops, site partitions, per-shard fault streams.
+//! * [`shard`] — one independently steppable site (queue + stack + RNG).
+//! * [`barrier`] — the epoch schedule and the scoped-thread worker pool.
+//! * [`engine`] — the thin coordinator tying it together.
 
 #![warn(missing_docs)]
 
+pub mod barrier;
 pub mod cluster;
 pub mod dispatch;
 pub mod engine;
@@ -26,9 +30,12 @@ pub mod event;
 pub mod faults;
 pub mod metrics;
 pub mod scenario;
+pub mod shard;
 
 pub use dispatch::DispatchPolicy;
 pub use engine::{GridSimulation, SimResult};
+pub use event::{Event, EventQueue, Mailbox, ShardedQueues};
 pub use faults::{FaultPlan, Outage};
-pub use metrics::{MetricsLog, Sample, UserSample};
-pub use scenario::{ClusterSpec, GridScenario, RmsKind};
+pub use metrics::{MetricsLog, Sample, ShardSample, UserSample};
+pub use scenario::{ClusterSpec, GridScenario, RmsKind, ShardPlacement};
+pub use shard::{Shard, ShardStats};

@@ -1,7 +1,13 @@
 //! Time-series metrics: the quantities the paper's evaluation figures plot —
 //! per-user priority (fairshare distance) and combined usage share over
 //! time, system utilization, throughput, and convergence times.
+//!
+//! Since the sharded engine, one global [`Sample`] is assembled at each
+//! sampling barrier from per-shard [`ShardSample`] fragments, merged
+//! deterministically in site order — so an N-thread run logs bit-identical
+//! metrics to the single-threaded run.
 
+use aequus_core::GridUser;
 use std::collections::BTreeMap;
 
 /// Per-user state at one sample instant.
@@ -49,6 +55,114 @@ pub struct Sample {
     /// Per-site telemetry registry snapshots, in cluster order. Empty when
     /// the scenario runs without telemetry.
     pub site_telemetry: Vec<aequus_telemetry::Snapshot>,
+}
+
+/// One shard's contribution to a metrics sample, gathered locally at a
+/// sampling barrier. Fragments are pure data — no locks, no shared state —
+/// so shards can produce them in parallel; the coordinator merges them in
+/// site order with [`Sample::assemble`].
+#[derive(Debug, Clone, Default)]
+pub struct ShardSample {
+    /// Per-user state from the reference site's fairshare tree. Only the
+    /// shard hosting site 0 fills this; every other shard leaves it empty.
+    pub users: BTreeMap<String, UserSample>,
+    /// Tracked-user priorities from this shard's own fairshare tree.
+    pub site_priority: BTreeMap<String, f64>,
+    /// Cores busy on this shard's cluster right now.
+    pub busy_cores: u32,
+    /// Jobs pending on this shard's cluster.
+    pub pending: usize,
+    /// Jobs running on this shard's cluster.
+    pub running: usize,
+    /// Jobs completed by this shard's cluster so far.
+    pub completed: u64,
+    /// Cumulative from-scratch FCS refreshes on this shard's site.
+    pub fcs_full_refreshes: u64,
+    /// Cumulative incremental FCS refreshes on this shard's site.
+    pub fcs_incremental_refreshes: u64,
+    /// Cumulative FCS subtree-aggregate recomputations on this shard's site.
+    pub fcs_nodes_recomputed: u64,
+    /// This site's raw per-user grid-usage view, when it participates in the
+    /// divergence metric (reads global data and is not crashed); `None`
+    /// otherwise.
+    pub usage_view: Option<BTreeMap<GridUser, f64>>,
+    /// This site's telemetry registry snapshot, when telemetry is on.
+    pub telemetry: Option<aequus_telemetry::Snapshot>,
+}
+
+impl Sample {
+    /// Merge per-shard fragments (in site order) into one global sample —
+    /// the same sums, divergence, and utilization the single-queue engine
+    /// computed inline. Deterministic: the result depends only on the
+    /// fragments and their order, never on which worker produced which.
+    pub fn assemble(t_s: f64, fragments: Vec<ShardSample>, total_cores: u32) -> Self {
+        let mut users = BTreeMap::new();
+        let mut per_site_priority = Vec::with_capacity(fragments.len());
+        let mut busy: u32 = 0;
+        let mut pending = 0usize;
+        let mut running = 0usize;
+        let mut completed = 0u64;
+        let mut fcs_full = 0u64;
+        let mut fcs_inc = 0u64;
+        let mut fcs_nodes = 0u64;
+        let mut views: Vec<BTreeMap<GridUser, f64>> = Vec::new();
+        let mut site_telemetry = Vec::new();
+        for frag in fragments {
+            if !frag.users.is_empty() {
+                users = frag.users;
+            }
+            per_site_priority.push(frag.site_priority);
+            busy += frag.busy_cores;
+            pending += frag.pending;
+            running += frag.running;
+            completed += frag.completed;
+            fcs_full += frag.fcs_full_refreshes;
+            fcs_inc += frag.fcs_incremental_refreshes;
+            fcs_nodes += frag.fcs_nodes_recomputed;
+            if let Some(view) = frag.usage_view {
+                views.push(view);
+            }
+            if let Some(snap) = frag.telemetry {
+                site_telemetry.push(snap);
+            }
+        }
+        Self {
+            t_s,
+            users,
+            per_site_priority,
+            utilization: busy as f64 / total_cores.max(1) as f64,
+            pending,
+            running,
+            completed,
+            fcs_full_refreshes: fcs_full,
+            fcs_incremental_refreshes: fcs_inc,
+            fcs_nodes_recomputed: fcs_nodes,
+            usage_view_divergence: view_divergence(&views),
+            site_telemetry,
+        }
+    }
+}
+
+/// Largest per-user spread (max − min) across the given usage views; `0`
+/// when fewer than two views are comparable.
+fn view_divergence(views: &[BTreeMap<GridUser, f64>]) -> f64 {
+    if views.len() < 2 {
+        return 0.0;
+    }
+    let mut divergence = 0.0f64;
+    let users: std::collections::BTreeSet<&GridUser> =
+        views.iter().flat_map(|v| v.keys()).collect();
+    for user in users {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for view in views {
+            let v = view.get(user).copied().unwrap_or(0.0);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        divergence = divergence.max(hi - lo);
+    }
+    divergence
 }
 
 /// The full metrics log of one simulation run.
@@ -415,6 +529,65 @@ mod tests {
         assert!(log.balance_windows(0.1).is_empty());
         assert_eq!(log.active_balance_windows(0.1), vec![(0.0, 0.0)]);
         assert_eq!(log.active_convergence_time(0.1, 0.0), Some(0.0));
+    }
+
+    #[test]
+    fn assemble_merges_fragments_in_site_order() {
+        let mut ref_users = BTreeMap::new();
+        ref_users.insert(
+            "a".to_string(),
+            UserSample {
+                priority: 0.1,
+                usage_share: 0.6,
+                factor: 0.4,
+            },
+        );
+        let f0 = ShardSample {
+            users: ref_users.clone(),
+            site_priority: [("a".to_string(), 0.1)].into_iter().collect(),
+            busy_cores: 3,
+            pending: 1,
+            running: 3,
+            completed: 10,
+            fcs_full_refreshes: 2,
+            fcs_incremental_refreshes: 5,
+            fcs_nodes_recomputed: 9,
+            usage_view: Some([(GridUser::new("a"), 100.0)].into_iter().collect()),
+            telemetry: None,
+        };
+        let f1 = ShardSample {
+            site_priority: [("a".to_string(), -0.2)].into_iter().collect(),
+            busy_cores: 1,
+            pending: 2,
+            running: 1,
+            completed: 4,
+            fcs_full_refreshes: 1,
+            fcs_incremental_refreshes: 3,
+            fcs_nodes_recomputed: 4,
+            usage_view: Some([(GridUser::new("a"), 94.0)].into_iter().collect()),
+            ..ShardSample::default()
+        };
+        let s = Sample::assemble(120.0, vec![f0, f1], 8);
+        assert_eq!(s.t_s, 120.0);
+        assert_eq!(s.users, ref_users, "reference-site users survive merge");
+        assert_eq!(s.per_site_priority.len(), 2);
+        assert_eq!(s.per_site_priority[1]["a"], -0.2);
+        assert!((s.utilization - 0.5).abs() < 1e-12);
+        assert_eq!((s.pending, s.running, s.completed), (3, 4, 14));
+        assert_eq!(s.fcs_full_refreshes, 3);
+        assert_eq!(s.fcs_incremental_refreshes, 8);
+        assert_eq!(s.fcs_nodes_recomputed, 13);
+        assert!((s.usage_view_divergence - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assemble_divergence_zero_with_single_view() {
+        let f = ShardSample {
+            usage_view: Some([(GridUser::new("a"), 50.0)].into_iter().collect()),
+            ..ShardSample::default()
+        };
+        let s = Sample::assemble(0.0, vec![f, ShardSample::default()], 4);
+        assert_eq!(s.usage_view_divergence, 0.0);
     }
 
     #[test]

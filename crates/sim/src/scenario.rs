@@ -45,6 +45,35 @@ impl ClusterSpec {
     }
 }
 
+/// How sites map onto shard-worker threads in the parallel engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardPlacement {
+    /// Site `i` goes to worker `i % num_threads` — spreads neighboring
+    /// (similarly loaded) sites across workers. The default.
+    #[default]
+    RoundRobin,
+    /// Contiguous blocks of sites per worker — better cache locality when
+    /// site state is large and sites are homogeneous.
+    Blocked,
+}
+
+impl ShardPlacement {
+    /// Worker index for `site` among `n_sites` split over `n_workers`.
+    /// Placement affects only which thread executes a shard — never the
+    /// result: shards carry their own seed streams and queues, so any
+    /// placement of any worker count replays identically.
+    pub fn worker_for(&self, site: usize, n_sites: usize, n_workers: usize) -> usize {
+        let n_workers = n_workers.max(1);
+        match self {
+            Self::RoundRobin => site % n_workers,
+            Self::Blocked => {
+                let per = n_sites.div_ceil(n_workers).max(1);
+                (site / per).min(n_workers - 1)
+            }
+        }
+    }
+}
+
 /// A complete grid scenario.
 #[derive(Debug, Clone)]
 pub struct GridScenario {
@@ -106,6 +135,18 @@ pub struct GridScenario {
     /// compact incremental summaries. `0.0` keeps the legacy behavior
     /// (snapshots as fast as summaries).
     pub snapshot_transfer_s: f64,
+    /// Shard-worker threads for the parallel engine. `1` (the default) runs
+    /// the epoch loop inline without spawning; any value yields results
+    /// seed-for-seed identical to `1` — threads only change wall-clock time.
+    pub num_threads: usize,
+    /// How sites map onto workers when `num_threads > 1`. Placement never
+    /// affects results, only locality.
+    pub placement: ShardPlacement,
+    /// Cap on how many policy users the per-sample fairshare readout walks
+    /// (`None` = all). Nation-scale runs with 100k+ users would otherwise
+    /// spend the whole run inside metrics sampling; the first `cap` users in
+    /// policy order still give the figures their tracked series.
+    pub metrics_user_cap: Option<usize>,
 }
 
 impl GridScenario {
@@ -150,6 +191,9 @@ impl GridScenario {
             flight: None,
             store: None,
             snapshot_transfer_s: 0.0,
+            num_threads: 1,
+            placement: ShardPlacement::RoundRobin,
+            metrics_user_cap: None,
         }
     }
 
@@ -232,6 +276,24 @@ impl GridScenario {
         self
     }
 
+    /// Run the epoch loop on `n` shard-worker threads (1 = inline/serial).
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.num_threads = n.max(1);
+        self
+    }
+
+    /// Choose the site→worker placement strategy.
+    pub fn with_placement(mut self, placement: ShardPlacement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Cap the per-sample fairshare readout to the first `cap` policy users.
+    pub fn with_metrics_user_cap(mut self, cap: usize) -> Self {
+        self.metrics_user_cap = Some(cap);
+        self
+    }
+
     /// The users the metrics track: every policy leaf with its *absolute*
     /// target share (product of normalized shares along the path).
     pub fn tracked_users(&self) -> Vec<(String, f64)> {
@@ -265,5 +327,36 @@ mod tests {
     fn production_cluster_is_hpc2n_sized() {
         let s = GridScenario::production_cluster(&[("a", 1.0)], 1);
         assert_eq!(s.total_cores(), 544);
+    }
+
+    #[test]
+    fn placement_covers_all_workers_and_sites() {
+        for placement in [ShardPlacement::RoundRobin, ShardPlacement::Blocked] {
+            for n_workers in [1, 2, 3, 8] {
+                let assigned: Vec<usize> = (0..10)
+                    .map(|site| placement.worker_for(site, 10, n_workers))
+                    .collect();
+                assert!(assigned.iter().all(|&w| w < n_workers), "{assigned:?}");
+                // Round-robin keeps every worker busy whenever workers ≤
+                // sites; blocked may idle trailing workers (ceil division)
+                // but must still use more than one when several exist.
+                if placement == ShardPlacement::RoundRobin {
+                    for w in 0..n_workers.min(10) {
+                        assert!(assigned.contains(&w), "{n_workers}: {assigned:?}");
+                    }
+                } else if n_workers > 1 {
+                    assert!(assigned.iter().any(|&w| w > 0), "{assigned:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_placement_is_contiguous() {
+        let p = ShardPlacement::Blocked;
+        let assigned: Vec<usize> = (0..10).map(|s| p.worker_for(s, 10, 4)).collect();
+        let mut sorted = assigned.clone();
+        sorted.sort_unstable();
+        assert_eq!(assigned, sorted, "blocks are monotone: {assigned:?}");
     }
 }

@@ -193,6 +193,18 @@ pub struct ReplayReport {
     pub truncated_bytes: u64,
     /// Segments scanned.
     pub segments_scanned: u64,
+    /// Discontinuities in the recovered LSN sequence. A gap means frames
+    /// are missing from the *middle* of the log — silent loss that leaves
+    /// no byte-level trace, e.g. a segment truncated exactly on a frame
+    /// boundary — or a span legitimately dropped by checkpoint compaction
+    /// under gossip retention; the caller's checkpoint knows which.
+    pub lsn_gaps: u64,
+    /// Sealed (non-final) segments shorter than the roll threshold. A
+    /// segment only rolls once it is full, so a short sealed segment was
+    /// truncated — either by damage this replay could not otherwise see
+    /// (a frame-boundary cut decodes cleanly) or as the scar of a past
+    /// repair. Only meaningful while `segment_bytes` is stable across runs.
+    pub short_sealed_segments: u64,
 }
 
 /// The segmented WAL. All storage operations go through the [`Storage`]
@@ -303,6 +315,13 @@ impl Wal {
         }
 
         records.sort_by_key(|(lsn, _)| *lsn);
+        report.lsn_gaps = records.windows(2).filter(|w| w[1].0 > w[0].0 + 1).count() as u64;
+        report.short_sealed_segments = segments
+            .iter()
+            .rev()
+            .skip(1)
+            .filter(|seg| seg.bytes < segment_bytes)
+            .count() as u64;
         let next_segment_no = names.last().map(|(no, _)| no + 1).unwrap_or(0);
         let mut wal = Self {
             segments,
