@@ -27,18 +27,32 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
 # metrics-only.
 cargo run -q --release -p aequus-bench --bin telemetry_overhead -- --check
 
-# Benchmark snapshot + regression gate: writes BENCH_PR6.json and compares
-# against the most recent previous BENCH_*.json within tolerance (passes
-# with a note when none exists yet; the PR6 engine-scaling keys bootstrap
-# the same way).
+# Continuous-profiler overhead gate: a profiled whole-simulation must stay
+# within 5% of the telemetry-only baseline in Counters mode (zero clock
+# reads) and 10% in Full mode (wall timers + bounded span ring).
+cargo run -q --release -p aequus-bench --bin profiler_overhead -- --check
+
+# Benchmark snapshot + regression gate: writes BENCH_PR7.json (and its
+# PROFILE_PR7.json attribution sidecar) and compares against the most
+# recent previous BENCH_*.json within tolerance (passes with a note when
+# none exists yet). Thread-scaling keys skip on hosts with < 8 cores.
 cargo run -q --release -p aequus-bench --bin bench_snapshot -- 1500 --check
+
+# Regression differ: the attribution selftest injects a stall at the epoch
+# barrier and must see it blamed on barrier.wait, then the real diff
+# re-compares the two newest snapshots and names the profiled stage whose
+# wall share grew most whenever a wall-clock key regresses.
+cargo run -q --release -p aequus-bench --bin bench_diff -- --selftest
+cargo run -q --release -p aequus-bench --bin bench_diff
 
 # Crash-recovery gate: WAL replay must reconverge the crashed site's views
 # strictly earlier than surcharged snapshot-only catch-up on every seed.
 cargo run -q --release -p aequus-bench --bin recovery_sweep
 
 # Sharded-engine gate (smoke-sized): every worker count must replay the
-# serial run seed-for-seed; on hosts with >= 8 cores the 4x wall-clock
-# speedup target is enforced too (reported but skipped on smaller hosts —
-# determinism is hardware-independent, speedup is not).
+# serial run seed-for-seed, and the continuous profiler's folded stacks
+# must be byte-identical across worker counts; on hosts with >= 8 cores
+# the 4x wall-clock speedup target is enforced too (reported but skipped
+# on smaller hosts — determinism is hardware-independent, speedup is not).
+# Artifacts: SCALE_TRACE.json (Chrome trace) + SCALE_PROFILE.folded.
 cargo run -q --release -p aequus-bench --bin scale_sweep -- --check

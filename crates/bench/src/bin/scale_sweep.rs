@@ -11,17 +11,29 @@
 //! numbers override the shape (for tracing the threads × users × sites
 //! curve on whatever hardware is at hand). With `--check` a CI-sized smoke
 //! configuration runs instead and the binary exits non-zero if (a) any
-//! worker count diverges from the serial run, ever, or (b) the host has
-//! ≥ 8 cores and the best speedup falls short of the 4× acceptance target.
-//! On smaller hosts the speedup gate is reported but not enforced —
-//! wall-clock parallel speedup is a property of the hardware, determinism
-//! is not.
+//! worker count diverges from the serial run, ever, (b) the continuous
+//! profiler's folded stacks differ between any two worker counts (the
+//! profiler's schedule-derived view must not depend on how the schedule was
+//! executed), or (c) the host has ≥ 8 cores and the best speedup falls
+//! short of the 4× acceptance target. On smaller hosts the speedup gate is
+//! reported but not enforced — wall-clock parallel speedup is a property of
+//! the hardware; determinism (both the engine's and the profiler's) is not.
+//!
+//! Every sweep runs fully profiled and leaves two artifacts next to the
+//! snapshots: `SCALE_TRACE.json`, the serial run's Chrome trace-event file
+//! (load it in `about://tracing` or <https://ui.perfetto.dev> — one track
+//! per shard, epochs as frames, barrier waits as spans), and
+//! `SCALE_PROFILE.folded`, the folded-stacks profile flamegraph tooling
+//! consumes.
 //!
 //! The speedup target is stated against the full configuration on 8
 //! dedicated cores; the smoke shape gates the machinery, not the headline
 //! number.
 
 use aequus_bench::{run_scale_sweep, ScaleConfig};
+
+const TRACE_OUT: &str = "SCALE_TRACE.json";
+const FOLDED_OUT: &str = "SCALE_PROFILE.folded";
 
 /// The acceptance target: ≥4× wall-clock speedup on ≥8 cores.
 const SPEEDUP_TARGET: f64 = 4.0;
@@ -68,11 +80,28 @@ fn main() {
         );
     }
 
+    // The serial run's profile is the reference artifact pair: the Chrome
+    // trace carries wall time (per-host, per-run), the folded stacks carry
+    // only schedule-derived values and must match every other worker count
+    // byte for byte.
+    if let Some((_, profile)) = sweep.profiles.first() {
+        std::fs::write(TRACE_OUT, profile.to_chrome_trace()).expect("write chrome trace");
+        std::fs::write(FOLDED_OUT, profile.to_folded()).expect("write folded profile");
+        println!("wrote {TRACE_OUT} and {FOLDED_OUT}");
+    }
+
     let mut failed = false;
     match &sweep.mismatch {
         None => println!("OK: every worker count replayed the serial run seed-for-seed"),
         Some(why) => {
             eprintln!("FAIL: thread-count determinism violated — {why}");
+            failed = true;
+        }
+    }
+    match sweep.folded_mismatch() {
+        None => println!("OK: folded profile byte-identical across all worker counts"),
+        Some(why) => {
+            eprintln!("FAIL: profiler determinism violated — {why}");
             failed = true;
         }
     }

@@ -6,6 +6,7 @@ use crate::sweep::{
 };
 use aequus_services::ParticipationMode;
 use aequus_sim::{GridScenario, GridSimulation, SimResult};
+use aequus_telemetry::{ProfileMode, RunProfile};
 use aequus_workload::users::{baseline_policy_shares, nonoptimal_policy_shares};
 use aequus_workload::{test_trace, TestTraceConfig, Trace};
 use std::time::Instant;
@@ -372,6 +373,12 @@ pub struct ScaleConfig {
     pub threads: Vec<usize>,
     /// Scenario seed.
     pub seed: u64,
+    /// Continuous-profiler mode for every timed run. `Full` by default: the
+    /// sweep's headline number is the *speedup ratio*, which the profiler's
+    /// bounded overhead cancels out of, and in exchange every point carries
+    /// a Chrome trace and a folded profile whose cross-thread-count
+    /// byte-equality the `--check` gate asserts.
+    pub profile: ProfileMode,
 }
 
 impl ScaleConfig {
@@ -387,6 +394,7 @@ impl ScaleConfig {
             jobs: 28_000,
             threads: vec![1, 2, 4, 8],
             seed: 42,
+            profile: ProfileMode::Full,
         }
     }
 
@@ -401,6 +409,7 @@ impl ScaleConfig {
             jobs: 1_200,
             threads: vec![1, 8],
             seed: 42,
+            profile: ProfileMode::Full,
         }
     }
 }
@@ -430,6 +439,9 @@ pub struct ScaleSweep {
     /// `None` when every multi-thread run replayed the serial run exactly
     /// (within 1e-9); otherwise the first discrepancy, described.
     pub mismatch: Option<String>,
+    /// One `(threads, profile)` pair per point when the sweep ran with the
+    /// continuous profiler on, in input order.
+    pub profiles: Vec<(usize, RunProfile)>,
 }
 
 impl ScaleSweep {
@@ -447,6 +459,25 @@ impl ScaleSweep {
             .iter()
             .find(|p| p.threads == threads)
             .map(|p| p.events_per_sec)
+    }
+
+    /// Cross-worker-count determinism of the folded profile: `None` when
+    /// every point's folded stacks are byte-identical to the first point's
+    /// (the profiler's schedule-derived view must not depend on how the
+    /// schedule was executed); otherwise the first differing pair, named.
+    pub fn folded_mismatch(&self) -> Option<String> {
+        let mut iter = self.profiles.iter();
+        let (base_threads, first) = iter.next()?;
+        let reference = first.to_folded();
+        for (threads, profile) in iter {
+            if profile.to_folded() != reference {
+                return Some(format!(
+                    "folded profile at {threads} workers differs from the \
+                     {base_threads}-worker reference"
+                ));
+            }
+        }
+        None
     }
 }
 
@@ -526,15 +557,20 @@ pub fn run_scale_sweep(cfg: &ScaleConfig) -> ScaleSweep {
             .nodes_per_site(cfg.nodes_per_site)
             .metrics_user_cap(8)
             .threads(threads)
+            .profiling(cfg.profile)
             .build()
     };
     let mut points = Vec::new();
+    let mut profiles = Vec::new();
     let mut mismatch = None;
     let mut serial: Option<SimResult> = None;
     for &threads in &cfg.threads {
         let start = Instant::now();
-        let result = GridSimulation::new(scenario(threads)).run(&trace, 1800.0);
+        let mut result = GridSimulation::new(scenario(threads)).run(&trace, 1800.0);
         let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+        if let Some(profile) = result.profile.take() {
+            profiles.push((threads, profile));
+        }
         let base_wall = points.first().map_or(wall_s, |p: &ScalePoint| p.wall_s);
         points.push(ScalePoint {
             threads,
@@ -553,7 +589,11 @@ pub fn run_scale_sweep(cfg: &ScaleConfig) -> ScaleSweep {
             }
         }
     }
-    ScaleSweep { points, mismatch }
+    ScaleSweep {
+        points,
+        mismatch,
+        profiles,
+    }
 }
 
 /// Parse the first CLI argument as a job count, defaulting to `default`

@@ -30,6 +30,7 @@
 pub mod experiments;
 pub mod harness;
 pub mod report;
+pub mod snapshot;
 pub mod sweep;
 
 pub use experiments::*;

@@ -186,6 +186,12 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Enable the continuous profiler (implies telemetry when not `Off`).
+    pub fn profiling(mut self, mode: aequus_telemetry::ProfileMode) -> Self {
+        self.sc = self.sc.with_profiling(mode);
+        self
+    }
+
     /// Cap the per-sample fairshare readout to the first `cap` policy users.
     pub fn metrics_user_cap(mut self, cap: usize) -> Self {
         self.sc = self.sc.with_metrics_user_cap(cap);

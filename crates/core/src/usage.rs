@@ -243,6 +243,23 @@ impl UsageSummary {
     pub fn cells(&self) -> usize {
         self.per_user.values().map(|s| s.len()).sum()
     }
+
+    /// Modeled serialized size in bytes, for gossip bytes-on-wire
+    /// accounting: a fixed header (site id + seq + slot width), then per
+    /// user its name plus an entry count, then 16 bytes per (slot, charge)
+    /// cell. A model of a compact binary framing, not of any concrete
+    /// serializer — what matters is that it is deterministic and scales
+    /// with the real payload (names and cells), so budget comparisons
+    /// between scenarios are meaningful.
+    pub fn wire_bytes(&self) -> u64 {
+        let header = 4 + 8 + 8u64;
+        let body: u64 = self
+            .per_user
+            .iter()
+            .map(|(user, slots)| user.as_str().len() as u64 + 8 + 16 * slots.len() as u64)
+            .sum();
+        header + body
+    }
 }
 
 #[cfg(test)]

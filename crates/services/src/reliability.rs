@@ -104,6 +104,21 @@ impl UssMessage {
             UssMessage::SnapshotRequest { .. } => "snapshot_request",
         }
     }
+
+    /// Modeled serialized size in bytes (one tag byte plus the variant
+    /// payload; data messages delegate to
+    /// [`UsageSummary::wire_bytes`]) — the per-link gossip budget the
+    /// profiler accounts. Deterministic, like everything it feeds.
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            UssMessage::Summary { summary, .. } | UssMessage::Snapshot { summary, .. } => {
+                1 + summary.wire_bytes()
+            }
+            UssMessage::Ack { .. } => 1 + 4 + 8,
+            UssMessage::Resync { .. } => 1 + 4 + 16,
+            UssMessage::SnapshotRequest { .. } => 1 + 4,
+        }
+    }
 }
 
 /// Retry/backoff and retention configuration of the reliable exchange.

@@ -23,6 +23,7 @@ use crate::shard::{Outgoing, Shard};
 use aequus_services::UssMessage;
 use aequus_telemetry::Histogram;
 use std::sync::mpsc;
+use std::time::{Duration, Instant};
 
 /// One epoch: advance every shard to `limit_s`, then (optionally) assemble
 /// a metrics sample at the barrier.
@@ -133,6 +134,8 @@ pub type BarrierFragments = Vec<(ShardSample, bool)>;
 
 enum Cmd {
     Epoch {
+        /// Epoch index in the schedule (profiler span tagging).
+        epoch: u64,
         limit_s: f64,
         inclusive: bool,
         sample: bool,
@@ -149,12 +152,21 @@ struct WorkerOut {
 }
 
 /// Drive `shards` through `schedule`, calling `at_barrier(now, fragments)`
-/// at every sampling barrier, and return the shards in site order.
+/// at every sampling barrier. Returns the shards in site order plus the
+/// peak number of cross-shard deliveries pending at any single barrier —
+/// the engine's mailbox high-water mark (deterministic: both paths stage
+/// the same sends per epoch).
 ///
 /// `num_threads <= 1` runs the identical epoch loop inline; more threads run
 /// persistent `std::thread::scope` workers fed per-epoch commands over
 /// channels. Both paths perform the same pushes in the same per-shard order,
 /// so they produce bit-identical shard states.
+///
+/// `barrier_sleep_ns` injects an artificial stall at every barrier (debug /
+/// `bench_diff --selftest` only): the serial path sleeps and charges the
+/// stall to every shard's `barrier.wait` stage; the parallel path sleeps on
+/// the coordinator, where the workers' own wait measurement picks it up.
+#[allow(clippy::too_many_arguments)] // single internal caller (engine::run)
 pub fn drive(
     mut shards: Vec<Shard>,
     num_threads: usize,
@@ -162,15 +174,22 @@ pub fn drive(
     mut schedule: EpochSchedule,
     end_s: f64,
     epoch_hist: &Histogram,
+    barrier_sleep_ns: u64,
     mut at_barrier: impl FnMut(f64, BarrierFragments),
-) -> Vec<Shard> {
+) -> (Vec<Shard>, u64) {
     let n_workers = num_threads.min(shards.len()).max(1);
+    let mut mailbox_hwm: u64 = 0;
     if n_workers <= 1 {
         let mut outgoing: Vec<Outgoing> = Vec::new();
+        let mut epoch_idx: u64 = 0;
         while let Some(epoch) = schedule.next() {
             let timer = epoch_hist.start_timer();
             for shard in &mut shards {
+                let before = shard.stats.events;
+                shard.prof.begin_epoch(epoch_idx, epoch.limit_s, before);
                 shard.advance(epoch.limit_s, epoch.inclusive, end_s, &mut outgoing);
+                let after = shard.stats.events;
+                shard.prof.end_epoch(after);
             }
             if epoch.sample {
                 let frags: BarrierFragments = shards
@@ -179,6 +198,7 @@ pub fn drive(
                     .collect();
                 at_barrier(epoch.limit_s, frags);
             }
+            mailbox_hwm = mailbox_hwm.max(outgoing.len() as u64);
             // Shards were advanced in site order, so `outgoing` is already
             // sorted by (source, staging order) — deliver directly.
             for o in outgoing.drain(..) {
@@ -186,9 +206,18 @@ pub fn drive(
                     .queue
                     .push(o.arrival_s, Event::UssDeliver(o.msg));
             }
+            if barrier_sleep_ns > 0 {
+                std::thread::sleep(Duration::from_nanos(barrier_sleep_ns));
+                for shard in &mut shards {
+                    shard
+                        .prof
+                        .record_wait_ns(barrier_sleep_ns, epoch_idx, epoch.limit_s);
+                }
+            }
             timer.observe();
+            epoch_idx += 1;
         }
-        return shards;
+        return (shards, mailbox_hwm);
     }
 
     let n_sites = shards.len();
@@ -214,6 +243,7 @@ pub fn drive(
         drop(res_tx);
 
         let mut pending: Vec<Outgoing> = Vec::new();
+        let mut epoch_idx: u64 = 0;
         while let Some(epoch) = schedule.next() {
             let timer = epoch_hist.start_timer();
             let mut deliveries: Vec<Vec<(usize, f64, UssMessage)>> =
@@ -223,6 +253,7 @@ pub fn drive(
             }
             for (tx, batch) in cmd_txs.iter().zip(deliveries) {
                 tx.send(Cmd::Epoch {
+                    epoch: epoch_idx,
                     limit_s: epoch.limit_s,
                     inclusive: epoch.inclusive,
                     sample: epoch.sample,
@@ -233,6 +264,11 @@ pub fn drive(
             let mut outs: Vec<WorkerOut> = (0..n_workers)
                 .map(|_| res_rx.recv().expect("worker epoch result").1)
                 .collect();
+            if barrier_sleep_ns > 0 {
+                // Stall the coordinator while every worker sits at the
+                // barrier; the workers' own wait measurement attributes it.
+                std::thread::sleep(Duration::from_nanos(barrier_sleep_ns));
+            }
             // Each source site lives on exactly one worker and its sends
             // arrive in one contiguous in-order run, so a stable sort by
             // source reconstructs the exact serial delivery order no matter
@@ -241,6 +277,7 @@ pub fn drive(
                 outs.iter_mut().flat_map(|o| o.outgoing.drain(..)).collect();
             all_out.sort_by_key(|o| o.source);
             pending = all_out;
+            mailbox_hwm = mailbox_hwm.max(pending.len() as u64);
             if epoch.sample {
                 let mut frags: Vec<(usize, ShardSample, bool)> = outs
                     .iter_mut()
@@ -253,6 +290,7 @@ pub fn drive(
                 );
             }
             timer.observe();
+            epoch_idx += 1;
         }
         for tx in &cmd_txs {
             tx.send(Cmd::Finish).expect("worker alive");
@@ -262,7 +300,7 @@ pub fn drive(
             .flat_map(|h| h.join().expect("worker exits cleanly"))
             .collect();
         shards.sort_by_key(|s| s.index);
-        shards
+        (shards, mailbox_hwm)
     })
 }
 
@@ -273,14 +311,28 @@ fn worker_loop(
     res_tx: mpsc::Sender<(usize, WorkerOut)>,
     end_s: f64,
 ) -> Vec<Shard> {
+    // Barrier-wait measurement: elapsed between finishing an epoch and the
+    // next command's arrival is exactly how long this worker's shards sat
+    // idle at the barrier. Charged to every local shard — the *waiting*
+    // shards pay, the busy shard on some other worker shows up as compute.
+    // Only taken in Full mode (Counters promises zero clock reads).
+    let measure_wait = shards.iter().any(|s| s.prof.is_full());
+    let mut last_done: Option<Instant> = None;
     while let Ok(cmd) = rx.recv() {
         match cmd {
             Cmd::Epoch {
+                epoch,
                 limit_s,
                 inclusive,
                 sample,
                 deliveries,
             } => {
+                if let Some(done) = last_done.take() {
+                    let wait_ns = done.elapsed().as_nanos() as u64;
+                    for shard in &mut shards {
+                        shard.prof.record_wait_ns(wait_ns, epoch, limit_s);
+                    }
+                }
                 // Barrier deliveries first, in the coordinator's global
                 // order — the serial engine pushes them at the same point
                 // (after the previous epoch, before this one advances).
@@ -293,7 +345,11 @@ fn worker_loop(
                 }
                 let mut outgoing = Vec::new();
                 for shard in &mut shards {
+                    let before = shard.stats.events;
+                    shard.prof.begin_epoch(epoch, limit_s, before);
                     shard.advance(limit_s, inclusive, end_s, &mut outgoing);
+                    let after = shard.stats.events;
+                    shard.prof.end_epoch(after);
                 }
                 let fragments = if sample {
                     shards
@@ -314,6 +370,9 @@ fn worker_loop(
                     .is_err()
                 {
                     break; // coordinator gone — unwind quietly
+                }
+                if measure_wait {
+                    last_done = Some(Instant::now());
                 }
             }
             Cmd::Finish => break,

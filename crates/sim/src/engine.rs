@@ -20,10 +20,30 @@ use aequus_rms::SchedulerStats;
 use aequus_services::StoreStats;
 use aequus_telemetry::flight::{dump_jsonl, FlightRecorder};
 use aequus_telemetry::provenance::ProvenanceRecord;
-use aequus_telemetry::{Snapshot, SpanRecord, Telemetry};
+use aequus_telemetry::{ProfileMode, RunProfile, ShardProfiler, Snapshot, SpanRecord, Telemetry};
 use aequus_workload::Trace;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-site service histograms folded into [`RunProfile::services`]: the
+/// registry metric name and the profile stage it reports as. Histogram
+/// *counts* are deterministic (how often each stage ran is a function of
+/// the schedule); histogram *sums* are wall seconds and feed the wall half.
+const SERVICE_STAGES: &[(&str, &str)] = &[
+    ("aequus_uss_ingest_s", "uss.ingest"),
+    ("aequus_uss_publish_s", "uss.publish"),
+    ("aequus_uss_receive_s", "gossip.merge"),
+    ("aequus_ums_refresh_s", "ums.refresh"),
+    ("aequus_fcs_refresh_full_s", "fcs.refresh_full"),
+    (
+        "aequus_fcs_refresh_incremental_s",
+        "fcs.refresh_incremental",
+    ),
+    ("aequus_rms_dispatch_s", "rms.dispatch"),
+    ("aequus_store_wal_append_s", "wal.append"),
+    ("aequus_store_wal_replay_s", "wal.replay"),
+];
 
 /// The outcome of a simulation run.
 #[derive(Debug)]
@@ -64,6 +84,12 @@ pub struct SimResult {
     /// incarnations), in cluster order. `None` per site unless the scenario
     /// attached a store.
     pub site_store_stats: Vec<Option<StoreStats>>,
+    /// The continuous-profiling artifact: per-shard stage accounting,
+    /// barrier-wait attribution, queue high-water marks, gossip bytes on
+    /// the wire, and the aggregated service stages. `None` unless the
+    /// scenario enabled profiling ([`GridScenario::with_profiling`]).
+    /// Export with [`RunProfile::to_chrome_trace`] / [`RunProfile::to_folded`].
+    pub profile: Option<RunProfile>,
 }
 
 impl SimResult {
@@ -163,10 +189,16 @@ impl GridSimulation {
             .unwrap_or_else(Telemetry::disabled);
         let scenario = Arc::new(scenario);
         let spec = Arc::new(SampleSpec::from_scenario(&scenario));
+        // One run-start instant shared by every shard profiler, so all
+        // trace spans land on a single wall-clock timeline.
+        let origin = Instant::now();
         let shards = clusters
             .into_iter()
             .enumerate()
-            .map(|(i, c)| Shard::new(i, c, Arc::clone(&scenario), Arc::clone(&spec)))
+            .map(|(i, c)| {
+                let prof = ShardProfiler::new(i, scenario.profile, origin);
+                Shard::new(i, c, Arc::clone(&scenario), Arc::clone(&spec), prof)
+            })
             .collect();
         Self {
             scenario,
@@ -251,13 +283,14 @@ impl GridSimulation {
             metrics.record(sample);
         };
 
-        let mut shards = drive(
+        let (mut shards, mailbox_hwm) = drive(
             std::mem::take(&mut self.shards),
             self.scenario.num_threads,
             self.scenario.placement,
             schedule,
             end_s,
             &h_epoch,
+            self.scenario.debug_barrier_sleep_ns,
             at_barrier,
         );
 
@@ -285,7 +318,63 @@ impl GridSimulation {
         self.telemetry
             .counter("aequus_sim_crashes_total")
             .add(totals.crashes);
+        // Queue-depth high-water marks: visible in both exporters via the
+        // engine registry, so depth blowups at scale surface long before
+        // they become OOMs.
+        let queue_hwm = shards
+            .iter()
+            .map(|s| s.queue.high_water())
+            .max()
+            .unwrap_or(0) as u64;
+        self.telemetry
+            .gauge("aequus_sim_event_queue_hwm")
+            .set(queue_hwm as f64);
+        self.telemetry
+            .gauge("aequus_sim_mailbox_hwm")
+            .set(mailbox_hwm as f64);
         let events_processed = totals.events + metrics.samples().len() as u64;
+
+        let profile = (self.scenario.profile != ProfileMode::Off).then(|| {
+            let mut rp = RunProfile {
+                shards: shards
+                    .iter()
+                    .map(|s| {
+                        let mut p = s.prof.to_profile();
+                        p.queue_hwm = s.queue.high_water() as u64;
+                        // Deterministic event-count stages from the shard's
+                        // plain counters — always present, even in Counters
+                        // mode, so the folded profile has a full skeleton.
+                        for (name, calls) in [
+                            ("events.arrivals", s.stats.arrivals),
+                            ("events.ticks", s.stats.ticks),
+                            ("events.gossip", s.stats.gossip_deliveries),
+                            ("gossip.dropped", s.stats.dropped),
+                            ("gossip.partitioned", s.stats.partitioned),
+                        ] {
+                            p.stages.entry(name.to_string()).or_default().calls += calls;
+                        }
+                        p
+                    })
+                    .collect(),
+                services: BTreeMap::new(),
+                mailbox_hwm,
+            };
+            for shard in &shards {
+                let Some(snap) = shard.cluster.telemetry.snapshot() else {
+                    continue;
+                };
+                for (metric, stage) in SERVICE_STAGES {
+                    if let Some(h) = snap.histograms.get(*metric) {
+                        let e = rp.services.entry((*stage).to_string()).or_default();
+                        e.calls += h.count;
+                        e.wall_ns = e
+                            .wall_ns
+                            .saturating_add((h.sum.max(0.0) * 1e9).min(u64::MAX as f64) as u64);
+                    }
+                }
+            }
+            rp
+        });
 
         let cluster_utilization: Vec<f64> = shards
             .iter_mut()
@@ -320,6 +409,7 @@ impl GridSimulation {
                 .map(|s| s.cluster.site.store_stats())
                 .collect(),
             flight_records,
+            profile,
         }
     }
 }
@@ -603,6 +693,37 @@ mod tests {
     }
 
     #[test]
+    fn profiled_run_assembles_run_profile() {
+        let trace = uniform_trace(40, 10.0, 30.0);
+        let sc = small_scenario().with_profiling(ProfileMode::Counters);
+        assert!(sc.telemetry, "profiling implies telemetry");
+        let result = GridSimulation::new(sc).run(&trace, 2000.0);
+        let profile = result.profile.expect("profile assembled");
+        assert_eq!(profile.shards.len(), 2);
+        for sp in &profile.shards {
+            assert!(sp.stages["events.ticks"].calls > 0);
+            assert!(sp.stages["gossip.wire"].bytes > 0, "wire bytes accounted");
+            assert!(!sp.link_bytes.is_empty(), "per-link budget present");
+            assert!(sp.queue_hwm > 0);
+            assert!(sp.spans.is_empty(), "no span ring in Counters mode");
+        }
+        assert!(profile.services["uss.ingest"].calls > 0);
+        assert!(profile.services["gossip.merge"].calls > 0);
+        assert!(profile.mailbox_hwm > 0);
+        // The hwm gauges ride the engine registry into both exporters.
+        let engine = result.engine_telemetry.expect("telemetry on");
+        assert!(engine.gauges["aequus_sim_event_queue_hwm"] > 0.0);
+        assert!(engine.gauges["aequus_sim_mailbox_hwm"] > 0.0);
+    }
+
+    #[test]
+    fn unprofiled_run_has_no_profile() {
+        let trace = uniform_trace(8, 10.0, 30.0);
+        let result = GridSimulation::new(small_scenario()).run(&trace, 500.0);
+        assert!(result.profile.is_none());
+    }
+
+    #[test]
     fn mean_utilization_is_capacity_weighted() {
         // A big busy cluster and a tiny idle one: the plain mean would say
         // 50%; the capacity-weighted truth is ~99%.
@@ -620,6 +741,7 @@ mod tests {
             site_provenance: vec![],
             flight_records: vec![],
             site_store_stats: vec![],
+            profile: None,
         };
         assert!((result.mean_utilization() - 0.9801).abs() < 1e-12);
     }

@@ -71,6 +71,7 @@ impl<E> PartialOrd for Scheduled<E> {
 pub struct EventQueue<E = Event> {
     heap: BinaryHeap<Scheduled<E>>,
     seq: u64,
+    high_water: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -78,6 +79,7 @@ impl<E> Default for EventQueue<E> {
         Self {
             heap: BinaryHeap::new(),
             seq: 0,
+            high_water: 0,
         }
     }
 }
@@ -108,6 +110,7 @@ impl<E> EventQueue<E> {
     /// [`ShardedQueues`] to share one global insertion order across shards).
     fn push_at(&mut self, time_s: f64, seq: u64, event: E) {
         self.heap.push(Scheduled { time_s, seq, event });
+        self.high_water = self.high_water.max(self.heap.len());
     }
 
     /// Pop the earliest event, with its time.
@@ -134,6 +137,13 @@ impl<E> EventQueue<E> {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Peak queue depth observed over the queue's lifetime (saturating
+    /// high-water mark, updated on every push). Deterministic: depends only
+    /// on the event schedule, never on thread timing.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
 }
 
 /// Cross-shard sends staged between barriers: `(destination shard, delivery
@@ -142,11 +152,15 @@ impl<E> EventQueue<E> {
 #[derive(Debug)]
 pub struct Mailbox<E = Event> {
     staged: Vec<(usize, f64, E)>,
+    high_water: usize,
 }
 
 impl<E> Default for Mailbox<E> {
     fn default() -> Self {
-        Self { staged: Vec::new() }
+        Self {
+            staged: Vec::new(),
+            high_water: 0,
+        }
     }
 }
 
@@ -159,6 +173,7 @@ impl<E> Mailbox<E> {
     /// Stage an event for delivery to `shard` at `time_s`.
     pub fn stage(&mut self, shard: usize, time_s: f64, event: E) {
         self.staged.push((shard, time_s, event));
+        self.high_water = self.high_water.max(self.staged.len());
     }
 
     /// Number of staged events.
@@ -169,6 +184,12 @@ impl<E> Mailbox<E> {
     /// Whether nothing is staged.
     pub fn is_empty(&self) -> bool {
         self.staged.is_empty()
+    }
+
+    /// Peak number of events staged at once (survives drains — the gauge
+    /// queue-depth blowups are diagnosed from).
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     /// Drain every staged event into the sharded queues, preserving staging
@@ -190,6 +211,8 @@ impl<E> Mailbox<E> {
 pub struct ShardedQueues<E = Event> {
     shards: Vec<EventQueue<E>>,
     seq: u64,
+    live: usize,
+    high_water: usize,
 }
 
 impl<E> ShardedQueues<E> {
@@ -198,6 +221,8 @@ impl<E> ShardedQueues<E> {
         Self {
             shards: (0..n).map(|_| EventQueue::default()).collect(),
             seq: 0,
+            live: 0,
+            high_water: 0,
         }
     }
 
@@ -216,6 +241,8 @@ impl<E> ShardedQueues<E> {
         let seq = self.seq;
         self.seq += 1;
         self.shards[shard].push_at(time_s, seq, event);
+        self.live += 1;
+        self.high_water = self.high_water.max(self.live);
     }
 
     /// Pop the globally earliest event across all shards: minimum `(time,
@@ -229,6 +256,7 @@ impl<E> ShardedQueues<E> {
             .filter_map(|(i, q)| q.peek_key().map(|(t, s)| (i, t, s)))
             .min_by(|a, b| a.1.total_cmp(&b.1).then(a.2.cmp(&b.2)))?;
         let (t, e) = self.shards[best.0].pop().expect("peeked shard non-empty");
+        self.live -= 1;
         Some((best.0, t, e))
     }
 
@@ -240,6 +268,12 @@ impl<E> ShardedQueues<E> {
     /// Whether every shard queue is empty.
     pub fn is_empty(&self) -> bool {
         self.shards.iter().all(EventQueue::is_empty)
+    }
+
+    /// Peak total events queued across all shards at once (tracked with a
+    /// live counter on push/pop, not an O(shards) sum).
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 }
 
@@ -301,6 +335,34 @@ mod tests {
         let order: Vec<(usize, u32)> =
             std::iter::from_fn(|| q.pop_global().map(|(s, _, e)| (s, e))).collect();
         assert_eq!(order, vec![(1, 2), (2, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn high_water_marks_saturate_across_drains() {
+        let mut q = EventQueue::new();
+        q.push(1.0, Event::ClusterTick);
+        q.push(2.0, Event::ClusterTick);
+        q.push(3.0, Event::ClusterTick);
+        q.pop();
+        q.pop();
+        q.pop();
+        q.push(4.0, Event::ClusterTick);
+        assert_eq!(q.high_water(), 3, "hwm survives full drains");
+
+        let mut sq: ShardedQueues<u32> = ShardedQueues::new(2);
+        sq.push(0, 1.0, 1);
+        sq.push(1, 1.0, 2);
+        sq.pop_global();
+        sq.push(0, 2.0, 3);
+        assert_eq!(sq.high_water(), 2, "global hwm is cross-shard total");
+
+        let mut mbox: Mailbox<u32> = Mailbox::new();
+        mbox.stage(0, 1.0, 1);
+        mbox.stage(1, 1.0, 2);
+        mbox.stage(0, 1.0, 3);
+        mbox.drain_into(&mut sq);
+        mbox.stage(0, 2.0, 4);
+        assert_eq!(mbox.high_water(), 3, "mailbox hwm survives drain_into");
     }
 
     #[test]

@@ -147,6 +147,18 @@ pub struct GridScenario {
     /// spend the whole run inside metrics sampling; the first `cap` users in
     /// policy order still give the figures their tracked series.
     pub metrics_user_cap: Option<usize>,
+    /// Continuous-profiling mode: per-shard stage accounting, barrier-wait
+    /// attribution, gossip bytes-on-wire, and the Chrome-trace / folded
+    /// export in [`crate::SimResult::profile`]. `Counters` keeps only the
+    /// deterministic half (no clock reads); `Full` adds wall timing and the
+    /// per-epoch span ring. Implies telemetry when not `Off` (the service
+    /// stages are read from the per-site registries).
+    pub profile: aequus_telemetry::ProfileMode,
+    /// Debug-only: sleep this many wall nanoseconds at every epoch barrier.
+    /// Exists so `bench_diff --selftest` can inject a known slowdown and
+    /// assert the differ attributes it to `barrier.wait`. Never set in real
+    /// scenarios.
+    pub debug_barrier_sleep_ns: u64,
 }
 
 impl GridScenario {
@@ -194,6 +206,8 @@ impl GridScenario {
             num_threads: 1,
             placement: ShardPlacement::RoundRobin,
             metrics_user_cap: None,
+            profile: aequus_telemetry::ProfileMode::Off,
+            debug_barrier_sleep_ns: 0,
         }
     }
 
@@ -291,6 +305,25 @@ impl GridScenario {
     /// Cap the per-sample fairshare readout to the first `cap` policy users.
     pub fn with_metrics_user_cap(mut self, cap: usize) -> Self {
         self.metrics_user_cap = Some(cap);
+        self
+    }
+
+    /// Enable continuous profiling. Any mode other than `Off` implies
+    /// telemetry — the profiler folds the per-site service histograms
+    /// (USS ingest/publish, gossip merge, UMS/FCS refresh, WAL
+    /// append/replay) into the run profile.
+    pub fn with_profiling(mut self, mode: aequus_telemetry::ProfileMode) -> Self {
+        self.profile = mode;
+        if mode != aequus_telemetry::ProfileMode::Off {
+            self.telemetry = true;
+        }
+        self
+    }
+
+    /// Inject an artificial sleep at every epoch barrier (debug/selftest
+    /// only — see [`GridScenario::debug_barrier_sleep_ns`]).
+    pub fn with_debug_barrier_sleep(mut self, ns: u64) -> Self {
+        self.debug_barrier_sleep_ns = ns;
         self
     }
 

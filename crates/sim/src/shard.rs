@@ -19,6 +19,7 @@ use crate::scenario::GridScenario;
 use aequus_core::policy::PolicyTree;
 use aequus_core::{EntityPath, GridUser};
 use aequus_services::UssMessage;
+use aequus_telemetry::ShardProfiler;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -116,6 +117,9 @@ pub struct Shard {
     pub crashed: bool,
     /// Event counters.
     pub stats: ShardStats,
+    /// Continuous-profiling accumulator (disabled outside profiled runs).
+    /// Shard-owned like `stats`, so the hot loop records without locks.
+    pub prof: ShardProfiler,
     scenario: Arc<GridScenario>,
     spec: Arc<SampleSpec>,
 }
@@ -127,6 +131,7 @@ impl Shard {
         cluster: SimCluster,
         scenario: Arc<GridScenario>,
         spec: Arc<SampleSpec>,
+        prof: ShardProfiler,
     ) -> Self {
         let faults = FaultRng::for_shard(scenario.seed, index as u64);
         Self {
@@ -136,6 +141,7 @@ impl Shard {
             faults,
             crashed: false,
             stats: ShardStats::default(),
+            prof,
             scenario,
             spec,
         }
@@ -250,6 +256,10 @@ impl Shard {
         // (e.g. zero-latency configs), where deliveries quantize to the
         // barrier instead of time-travelling into an already-executed epoch.
         let arrival = (now + self.scenario.timings.exchange_latency_s + transfer).max(limit_s);
+        // Bytes-on-wire: only messages that actually leave the site count
+        // (drops above never hit the wire). Staging order is deterministic,
+        // so these link budgets are too.
+        self.prof.add_wire(dest, msg.wire_size());
         out.push(Outgoing {
             source: self.index,
             dest,
@@ -364,7 +374,13 @@ mod tests {
             scenario.seed,
         );
         let spec = Arc::new(SampleSpec::from_scenario(scenario));
-        Shard::new(index, cluster, Arc::clone(scenario), spec)
+        Shard::new(
+            index,
+            cluster,
+            Arc::clone(scenario),
+            spec,
+            ShardProfiler::disabled(),
+        )
     }
 
     #[test]

@@ -8,7 +8,8 @@ use crate::records::WalRecord;
 use crate::storage::Storage;
 use crate::wal::{encode_frame, ReplayReport, Wal, HEADER_LEN, KIND_RECORD};
 use crate::StoreError;
-use aequus_telemetry::{Counter, Gauge, Telemetry};
+use aequus_telemetry::{Counter, Gauge, Histogram, Telemetry};
+use std::time::Instant;
 
 /// Durable-store tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,6 +86,10 @@ struct StoreMetrics {
     c_compacted: Counter,
     g_checkpoint_bytes: Gauge,
     g_wal_bytes: Gauge,
+    /// Wall seconds per WAL append (profiler `wal.append` stage).
+    h_append: Histogram,
+    /// Wall seconds per WAL replay at open (profiler `wal.replay` stage).
+    h_replay: Histogram,
 }
 
 impl StoreMetrics {
@@ -98,6 +103,8 @@ impl StoreMetrics {
             c_compacted: t.counter("aequus_store_compacted_segments_total"),
             g_checkpoint_bytes: t.gauge("aequus_store_checkpoint_bytes"),
             g_wal_bytes: t.gauge("aequus_store_wal_bytes"),
+            h_append: t.histogram("aequus_store_wal_append_s"),
+            h_replay: t.histogram("aequus_store_wal_replay_s"),
         }
     }
 }
@@ -125,6 +132,10 @@ pub struct SiteStore {
     current_slot: Option<usize>,
     stats: StoreStats,
     metrics: StoreMetrics,
+    /// Wall seconds the WAL replay at open took. Held here (not in the
+    /// `Eq`-comparable [`StoreStats`]) until telemetry is wired, which
+    /// records it into `aequus_store_wal_replay_s` exactly once.
+    replay_wall_s: f64,
 }
 
 impl SiteStore {
@@ -135,7 +146,9 @@ impl SiteStore {
         mut storage: Box<dyn Storage + Send>,
         cfg: StoreConfig,
     ) -> Result<(Self, Recovered), StoreError> {
+        let replay_start = Instant::now();
         let (wal, all_records, report) = Wal::replay(storage.as_mut(), cfg.segment_bytes)?;
+        let replay_wall_s = replay_start.elapsed().as_secs_f64();
         let loaded = load_best(storage.as_ref());
         let (checkpoint, current_slot, checkpoint_bytes) = match loaded {
             Some((state, slot, bytes)) => (Some(state), Some(slot), bytes),
@@ -162,6 +175,7 @@ impl SiteStore {
                 current_slot,
                 stats,
                 metrics: StoreMetrics::default(),
+                replay_wall_s,
             },
             Recovered {
                 checkpoint,
@@ -188,12 +202,15 @@ impl SiteStore {
         m.c_compacted.add(self.stats.compacted_segments);
         m.g_checkpoint_bytes.set(self.stats.checkpoint_bytes as f64);
         m.g_wal_bytes.set(self.stats.wal_bytes as f64);
+        m.h_replay.record(self.replay_wall_s);
         self.metrics = m;
     }
 
     /// Journal one record; returns its LSN.
     pub fn append(&mut self, rec: &WalRecord) -> Result<u64, StoreError> {
+        let timer = self.metrics.h_append.start_timer();
         let lsn = self.wal.append(self.storage.as_mut(), rec)?;
+        timer.observe();
         self.stats.frames_appended += 1;
         self.stats.wal_bytes = self.wal.bytes();
         self.metrics.c_appended.inc();
@@ -391,5 +408,9 @@ mod tests {
                 .unwrap_or(0.0)
                 > 0.0
         );
+        // The WAL service timings feed the profiler's wal.* stages: replay
+        // is recorded exactly once per open, appends per call.
+        assert_eq!(snap.histograms["aequus_store_wal_replay_s"].count, 1);
+        assert_eq!(snap.histograms["aequus_store_wal_append_s"].count, 1);
     }
 }

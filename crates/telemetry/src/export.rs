@@ -362,6 +362,155 @@ impl<'a> JsonReader<'a> {
     }
 }
 
+/// A parsed JSON document — the generic face of the crate's hand-rolled
+/// reader, for artifacts with their own shapes (Chrome traces, run
+/// profiles, bench snapshots) that the fixed [`from_json`] schema cannot
+/// cover. Numbers are `f64`; exact-`u64` consumers should stay under
+/// 2^53 or parse their own fields.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (or a quoted non-finite marker: `"inf"`, `"-inf"`, `"nan"`
+    /// as written by the crate's own exporters).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, keys sorted.
+    Obj(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Parse a complete JSON document. Returns `None` on malformed input
+    /// or trailing garbage.
+    pub fn parse(text: &str) -> Option<JsonValue> {
+        let mut r = JsonReader::new(text);
+        let v = r.value()?;
+        r.skip_ws();
+        if r.pos == r.bytes.len() {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    /// Member `key` of an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The numeric value; also decodes the quoted non-finite markers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            JsonValue::Str(s) => match s.as_str() {
+                "inf" | "+inf" | "-inf" | "nan" => parse_f64(s),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer (exact only below 2^53).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= 2f64.powi(53) => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array elements.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The object members.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+impl JsonReader<'_> {
+    /// Match the exact keyword `kw` at the cursor.
+    fn literal(&mut self, kw: &str) -> Option<()> {
+        self.skip_ws();
+        let end = self.pos + kw.len();
+        if self.bytes.get(self.pos..end) == Some(kw.as_bytes()) {
+            self.pos = end;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    /// Parse any JSON value into a [`JsonValue`] tree.
+    fn value(&mut self) -> Option<JsonValue> {
+        match self.peek()? {
+            b'{' => {
+                let mut m = BTreeMap::new();
+                self.object(|r, key| {
+                    m.insert(key, r.value()?);
+                    Some(())
+                })?;
+                Some(JsonValue::Obj(m))
+            }
+            b'[' => {
+                let mut v = Vec::new();
+                self.array(|r| {
+                    v.push(r.value()?);
+                    Some(())
+                })?;
+                Some(JsonValue::Arr(v))
+            }
+            b'"' => Some(JsonValue::Str(self.string()?)),
+            b't' => {
+                self.literal("true")?;
+                Some(JsonValue::Bool(true))
+            }
+            b'f' => {
+                self.literal("false")?;
+                Some(JsonValue::Bool(false))
+            }
+            b'n' => {
+                self.literal("null")?;
+                Some(JsonValue::Null)
+            }
+            _ => Some(JsonValue::Num(self.number()?)),
+        }
+    }
+}
+
 /// Parse JSON produced by [`to_json`] back into a [`Snapshot`]. Returns
 /// `None` on malformed input.
 pub fn from_json(text: &str) -> Option<Snapshot> {
@@ -498,6 +647,46 @@ mod tests {
         let prom_back = from_prometheus(&to_prometheus(&snap)).unwrap();
         assert!(prom_back.events.is_empty());
         assert_eq!(prom_back.counters, snap.counters);
+    }
+
+    #[test]
+    fn generic_json_value_parses_arbitrary_documents() {
+        let v = JsonValue::parse(
+            "{\"a\":[1,2.5,\"x\"],\"b\":{\"c\":true,\"d\":null},\"e\":-3,\"inf\":\"inf\"}",
+        )
+        .expect("valid document");
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[1].as_f64(),
+            Some(2.5)
+        );
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2].as_str(),
+            Some("x")
+        );
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("b").unwrap().get("d"), Some(&JsonValue::Null));
+        assert_eq!(v.get("e").unwrap().as_f64(), Some(-3.0));
+        assert_eq!(v.get("e").unwrap().as_u64(), None, "negative is not u64");
+        assert_eq!(v.get("inf").unwrap().as_f64(), Some(f64::INFINITY));
+        assert!(JsonValue::parse("{\"a\":1} trailing").is_none());
+        assert!(JsonValue::parse("{\"a\":tru}").is_none());
+        assert!(JsonValue::parse("[1,]").is_none());
+    }
+
+    #[test]
+    fn generic_json_value_reads_snapshot_export() {
+        let snap = sample_snapshot();
+        let v = JsonValue::parse(&to_json(&snap)).expect("snapshot export is valid JSON");
+        assert_eq!(
+            v.get("counters")
+                .unwrap()
+                .get("aequus_fcs_queries_total")
+                .unwrap()
+                .as_u64(),
+            Some(7)
+        );
+        assert!(v.get("events").unwrap().as_array().is_some());
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! * **decision provenance** ([`provenance`]): type-erased, replayable
 //!   explanations of served priorities;
 //! * the **flight recorder** ([`flight`]): anomaly detection plus a JSONL
-//!   dump of recent events, spans, and explanations.
+//!   dump of recent events, spans, and explanations;
+//! * **continuous profiling** ([`profile`]): per-shard stage accounting
+//!   with deterministic counters and wall-clock dual clocks, exported as a
+//!   Chrome trace and a folded-stacks profile.
 //!
 //! A disabled handle ([`Telemetry::disabled`]) reduces every operation to
 //! an `Option` check — no allocation, no clock reads, no locks — so
@@ -32,6 +35,7 @@ mod events;
 pub mod export;
 pub mod flight;
 mod hist;
+pub mod profile;
 pub mod provenance;
 mod registry;
 pub mod span;
@@ -39,6 +43,7 @@ pub mod tracer;
 
 pub use events::{EventRing, TelemetryEvent};
 pub use hist::{Histogram, HistogramSnapshot, SpanTimer};
+pub use profile::{ProfileMode, RunProfile, ShardProfile, ShardProfiler, StageStats};
 pub use registry::{Counter, Gauge, Registry, Snapshot};
 pub use span::{SpanConfig, SpanRecord, SpanTree, TraceCtx};
 
