@@ -32,8 +32,15 @@ cargo run -q --release -p aequus-bench --bin telemetry_overhead -- --check
 # reads) and 10% in Full mode (wall timers + bounded span ring).
 cargo run -q --release -p aequus-bench --bin profiler_overhead -- --check
 
-# Benchmark snapshot + regression gate: writes BENCH_PR7.json (and its
-# PROFILE_PR7.json attribution sidecar) and compares against the most
+# Scale-out gossip gate (smoke-sized): every overlay topology and wire
+# encoding must end with views within 1e-9 of the full-mesh baseline's,
+# every point must converge inside the horizon, and the Delta codec must
+# cut full-mesh bytes-on-wire by the shape's gated factor (the 3x headline
+# gate runs at the full 100k-user x 32-site shape via `gossip_sweep`).
+cargo run -q --release -p aequus-bench --bin gossip_sweep -- --check
+
+# Benchmark snapshot + regression gate: writes BENCH_PR8.json (and its
+# PROFILE_PR8.json attribution sidecar) and compares against the most
 # recent previous BENCH_*.json within tolerance (passes with a note when
 # none exists yet). Thread-scaling keys skip on hosts with < 8 cores.
 cargo run -q --release -p aequus-bench --bin bench_snapshot -- 1500 --check

@@ -1,10 +1,11 @@
-//! Machine-readable benchmark snapshot: writes `BENCH_PR7.json` with the
+//! Machine-readable benchmark snapshot: writes `BENCH_PR8.json` with the
 //! headline numbers of this revision (fairshare refresh latency, query p99,
-//! gossip convergence under faults, causal-tracing overhead, crash recovery
-//! with/without the durable store, and the sharded engine's smoke-sized
-//! scaling numbers) plus `PROFILE_PR7.json`, the continuous-profiler run
-//! profile that `bench_diff` uses to attribute wall-clock regressions to a
-//! pipeline stage. With `--check` it compares each key against the most
+//! gossip convergence under faults, the wire codec's bytes-per-user and the
+//! overlay convergence time from the gossip sweep, causal-tracing overhead,
+//! crash recovery with/without the durable store, and the sharded engine's
+//! smoke-sized scaling numbers) plus `PROFILE_PR8.json`, the
+//! continuous-profiler run profile that `bench_diff` uses to attribute
+//! wall-clock regressions to a pipeline stage. With `--check` it compares each key against the most
 //! recent previous `BENCH_*.json` in the working directory (shared gate
 //! table: [`aequus_bench::snapshot`]) and exits non-zero on a regression
 //! beyond tolerance. A missing previous snapshot (or a key absent from it)
@@ -22,15 +23,15 @@
 
 use aequus_bench::snapshot::{compare, host_cores, previous_snapshot, skip_scaling_keys};
 use aequus_bench::{
-    baseline_trace, jobs_arg, run_recovery_sweep, run_scale_sweep, run_with_faults, ScaleConfig,
-    ScenarioBuilder,
+    baseline_trace, jobs_arg, run_gossip_sweep, run_recovery_sweep, run_scale_sweep,
+    run_with_faults, GossipConfig, ScaleConfig, ScenarioBuilder,
 };
 use aequus_sim::{GridScenario, GridSimulation, SimResult};
 use aequus_workload::users::baseline_policy_shares;
 use std::time::Instant;
 
-const OUT: &str = "BENCH_PR7.json";
-const PROFILE_OUT: &str = "PROFILE_PR7.json";
+const OUT: &str = "BENCH_PR8.json";
+const PROFILE_OUT: &str = "PROFILE_PR8.json";
 
 /// The compact two-cluster testbed used for the timing ratios, so the
 /// telemetry-only / unsampled / fully-traced runs are strictly comparable.
@@ -123,6 +124,26 @@ fn main() {
     let recovery = &run_recovery_sweep(48, &[seed])[0];
     let recovery_wal = recovery.durable_convergence_s.unwrap_or(-1.0);
     let recovery_snap = recovery.volatile_convergence_s.unwrap_or(-1.0);
+    // Scale-out gossip, smoke-sized (the 100k-user × 32-site curves are
+    // `gossip_sweep`'s job): bytes-per-active-user of the production
+    // configuration (full mesh on the Delta codec) and the latest
+    // convergence time across the hierarchical overlays — both
+    // lower-is-better, both quantized to the 60 s sample cadence.
+    let gossip = run_gossip_sweep(&GossipConfig::smoke());
+    let gossip_bytes_per_user = gossip
+        .point(
+            aequus_services::OverlayTopology::FullMesh,
+            aequus_core::codec::Encoding::Delta,
+        )
+        .map_or(-1.0, |p| p.bytes_per_user);
+    let overlay_convergence = gossip.worst_convergence_s().unwrap_or(-1.0);
+    if gossip.worst_divergence() > 1e-9 {
+        eprintln!(
+            "FAIL: gossip smoke sweep views diverged from the full mesh by {:.2e}",
+            gossip.worst_divergence()
+        );
+        std::process::exit(1);
+    }
     // Sharded-engine scaling, smoke-sized (the full 100k-user × 32-site
     // sweep is `scale_sweep`'s job): events/second serial and on 8 workers,
     // plus the best wall-clock speedup. Honest numbers — on a single-core
@@ -150,10 +171,12 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"pr\": 7,\n  \"jobs\": {jobs},\n  \"host_cores\": {cores},\n  \
+        "{{\n  \"pr\": 8,\n  \"jobs\": {jobs},\n  \"host_cores\": {cores},\n  \
          \"refresh_mean_s\": {refresh_mean:?},\n  \
          \"refresh_p99_s\": {refresh_p99:?},\n  \"query_p99_s\": {query_p99:?},\n  \
          \"gossip_divergent_s\": {divergent_s:?},\n  \
+         \"gossip_bytes_per_user\": {gossip_bytes_per_user:?},\n  \
+         \"overlay_convergence_s\": {overlay_convergence:?},\n  \
          \"tracing_unsampled_ratio\": {unsampled_ratio:?},\n  \
          \"tracing_full_ratio\": {full_ratio:?},\n  \
          \"recovery_wal_replay_s\": {recovery_wal:?},\n  \

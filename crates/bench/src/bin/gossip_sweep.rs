@@ -1,0 +1,120 @@
+//! Gossip trade-off sweep: bytes-on-wire vs convergence time for every
+//! overlay topology (`FullMesh`, `Tree`, `Hub`) × wire encoding (`Dense`,
+//! `Delta`) combination, on one shared workload and seed.
+//!
+//! Usage: `gossip_sweep [--check] [USERS SITES NODES JOBS]`
+//!
+//! Without flags the headline configuration runs — 100k users × 32 sites,
+//! the ROADMAP's first waypoint — and the table prints each point's total
+//! wire bytes, bytes per active user, convergence time, and worst per-user
+//! view difference from the full-mesh baseline. Four positional numbers
+//! override the shape. With `--check` a CI-sized smoke configuration runs
+//! instead and the binary exits non-zero if (a) any topology/encoding point
+//! ends with views differing from the full-mesh baseline beyond 1e-9 —
+//! routing and encoding must never change what the grid believes, (b) any
+//! point fails to converge inside the horizon, or (c) the Delta encoding's
+//! full-mesh compression factor falls below the shape's gate (≥3× at the
+//! headline shape, where per-user payloads amortize the frame; ≥2× at
+//! smoke scale).
+
+use aequus_bench::gossip::OVERLAYS;
+use aequus_bench::{run_gossip_sweep, GossipConfig};
+use aequus_core::codec::Encoding;
+
+/// Codec compression gates: Dense/Delta full-mesh bytes ratio.
+const FACTOR_FULL: f64 = 3.0;
+const FACTOR_SMOKE: f64 = 2.0;
+
+/// Cross-topology view-equivalence gate.
+const VIEW_EPS: f64 = 1e-9;
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let mut cfg = if check {
+        GossipConfig::smoke()
+    } else {
+        GossipConfig::full()
+    };
+    let shape: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter(|a| a != "--check")
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    if let [users, sites, nodes, jobs] = shape[..] {
+        cfg.users = users;
+        cfg.sites = sites.max(1);
+        cfg.nodes_per_site = nodes.max(1) as u32;
+        cfg.jobs = jobs;
+    }
+    let factor_gate = if cfg.users >= 100_000 {
+        FACTOR_FULL
+    } else {
+        FACTOR_SMOKE
+    };
+    println!(
+        "# Gossip sweep: {} users x {} sites x {} hosts, {} jobs{}",
+        cfg.users,
+        cfg.sites,
+        cfg.nodes_per_site,
+        cfg.jobs,
+        if check { " [smoke]" } else { "" }
+    );
+
+    let sweep = run_gossip_sweep(&cfg);
+    println!(
+        "{:<22} {:<8} {:>14} {:>12} {:>12} {:>14}",
+        "overlay", "codec", "wire_bytes", "bytes/user", "converge_s", "vs_mesh"
+    );
+    for p in &sweep.points {
+        println!(
+            "{:<22} {:<8} {:>14} {:>12.1} {:>12} {:>14.2e}",
+            format!("{:?}", p.overlay),
+            format!("{:?}", p.encoding),
+            p.gossip_bytes,
+            p.bytes_per_user,
+            p.convergence_s
+                .map_or("never".into(), |t| format!("{t:.0}")),
+            p.divergence_vs_mesh,
+        );
+    }
+
+    let mut failed = false;
+    let worst = sweep.worst_divergence();
+    if worst <= VIEW_EPS {
+        println!("OK: every topology/encoding matches the full-mesh views (worst {worst:.2e})");
+    } else {
+        eprintln!("FAIL: views diverged from the full-mesh baseline by {worst:.2e} > {VIEW_EPS}");
+        failed = true;
+    }
+    match sweep.worst_convergence_s() {
+        Some(t) => println!("OK: every point converged (worst {t:.0} s)"),
+        None => {
+            eprintln!("FAIL: at least one point never converged inside the horizon");
+            failed = true;
+        }
+    }
+    let factor = sweep.dense_over_delta();
+    if factor >= factor_gate {
+        println!("OK: Delta cuts full-mesh bytes {factor:.2}x vs Dense (gate {factor_gate}x)");
+    } else {
+        eprintln!("FAIL: Delta compression {factor:.2}x below the {factor_gate}x gate");
+        failed = true;
+    }
+    // The curve itself: cheapest hierarchy vs the mesh, both on Delta.
+    let mesh = sweep.point(OVERLAYS[0], Encoding::Delta);
+    let best_hier = OVERLAYS[1..]
+        .iter()
+        .filter_map(|&o| sweep.point(o, Encoding::Delta))
+        .min_by_key(|p| p.gossip_bytes);
+    if let (Some(mesh), Some(hier)) = (mesh, best_hier) {
+        println!(
+            "note: best hierarchy ({:?}) moves {:.1}% of the mesh's Delta bytes",
+            hier.overlay,
+            100.0 * hier.gossip_bytes as f64 / mesh.gossip_bytes.max(1) as f64
+        );
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -28,12 +28,14 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod gossip;
 pub mod harness;
 pub mod report;
 pub mod snapshot;
 pub mod sweep;
 
 pub use experiments::*;
+pub use gossip::{run_gossip_sweep, GossipConfig, GossipPoint, GossipSweep};
 pub use sweep::{
     cycle_trace, parallel_sweep, synthetic_users, uniform_trace, ScenarioBuilder, SWEEP_USERS,
 };

@@ -57,6 +57,14 @@ pub const GATES: &[Gate] = &[
     gate("refresh_p99_s", Dir::LowerIsBetter, 1.5, 0.005),
     gate("query_p99_s", Dir::LowerIsBetter, 1.5, 0.005),
     gate("gossip_divergent_s", Dir::LowerIsBetter, 1.25, 300.0),
+    // Wire-format efficiency: codec-encoded bytes per active user on the
+    // smoke sweep's full-mesh/Delta point. Deterministic per revision, so
+    // the tolerance only absorbs workload-shape drift, not host noise.
+    gate("gossip_bytes_per_user", Dir::LowerIsBetter, 1.25, 16.0),
+    // Latest cross-site convergence across the hierarchical overlays;
+    // quantized to the 60 s sample interval — one extra sample of drift is
+    // tolerated, two is a regression.
+    gate("overlay_convergence_s", Dir::LowerIsBetter, 1.2, 90.0),
     gate("tracing_unsampled_ratio", Dir::LowerIsBetter, 1.5, 0.10),
     gate("tracing_full_ratio", Dir::LowerIsBetter, 1.5, 0.10),
     // Convergence times quantize to the 60 s sample interval; one extra

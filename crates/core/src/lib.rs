@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod arena;
+pub mod codec;
 pub mod combined;
 pub mod decay;
 pub mod explain;
@@ -36,6 +37,7 @@ pub mod usage;
 pub mod vector;
 
 pub use arena::{DirtySet, NodeId, PathInterner, RecomputeStats, UserId};
+pub use codec::{decode_summary, encode_summary, CodecError, Encoding};
 pub use combined::{CombinedVector, VectorWeights};
 pub use decay::DecayPolicy;
 pub use explain::{Explanation, LevelExplanation, ProjectionExplanation};
@@ -44,5 +46,5 @@ pub use ids::{EntityPath, GridUser, JobId, SiteId, SystemUser};
 pub use policy::{flat_policy, PolicyError, PolicyNode, PolicyNodeKind, PolicyTree};
 pub use policy_file::{parse_policy, to_policy_file, PolicyFileError};
 pub use projection::{Projection, ProjectionKind};
-pub use usage::{UsageHistogram, UsageRecord, UsageSummary};
+pub use usage::{UsageHistogram, UsageRecord, UsageSummary, UserCells};
 pub use vector::{FairshareVector, Resolution};

@@ -8,6 +8,10 @@ use crate::ids::{GridUser, JobId, SiteId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
+/// Per-user charge per slot index — the cell grid summaries and mirrors
+/// are built from.
+pub type UserCells = BTreeMap<GridUser, BTreeMap<u64, f64>>;
+
 /// The resource consumption of one completed job.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct UsageRecord {
@@ -196,6 +200,7 @@ impl UsageHistogram {
                     (!filtered.is_empty()).then(|| (u.clone(), filtered))
                 })
                 .collect(),
+            relayed: BTreeMap::new(),
         }
     }
 
@@ -231,34 +236,43 @@ pub struct UsageSummary {
     /// Per-user charge per slot index (absolute cumulative values in the
     /// reliable exchange; see the struct docs).
     pub per_user: BTreeMap<GridUser, BTreeMap<u64, f64>>,
+    /// Cells this publisher is *relaying* on behalf of other origins, keyed
+    /// by originating site — the per-hop aggregation payload of the Tree
+    /// and Hub overlays. Like `per_user`, values are absolute cumulative
+    /// charge as last heard from the origin, so the positive-delta merge
+    /// stays idempotent across any number of forwarding hops or delivery
+    /// paths. Empty in full-mesh operation.
+    pub relayed: BTreeMap<SiteId, UserCells>,
 }
 
 impl UsageSummary {
-    /// Total charge carried by this summary.
+    /// Total charge carried by this summary, own and relayed sections.
     pub fn total(&self) -> f64 {
-        self.per_user.values().flat_map(|s| s.values()).sum()
-    }
-
-    /// Number of (user, slot) cells — the summary's wire size proxy.
-    pub fn cells(&self) -> usize {
-        self.per_user.values().map(|s| s.len()).sum()
-    }
-
-    /// Modeled serialized size in bytes, for gossip bytes-on-wire
-    /// accounting: a fixed header (site id + seq + slot width), then per
-    /// user its name plus an entry count, then 16 bytes per (slot, charge)
-    /// cell. A model of a compact binary framing, not of any concrete
-    /// serializer — what matters is that it is deterministic and scales
-    /// with the real payload (names and cells), so budget comparisons
-    /// between scenarios are meaningful.
-    pub fn wire_bytes(&self) -> u64 {
-        let header = 4 + 8 + 8u64;
-        let body: u64 = self
-            .per_user
-            .iter()
-            .map(|(user, slots)| user.as_str().len() as u64 + 8 + 16 * slots.len() as u64)
+        let own: f64 = self.per_user.values().flat_map(|s| s.values()).sum();
+        let relayed: f64 = self
+            .relayed
+            .values()
+            .flat_map(|cells| cells.values().flat_map(|s| s.values()))
             .sum();
-        header + body
+        own + relayed
+    }
+
+    /// Number of (user, slot) cells across all sections.
+    pub fn cells(&self) -> usize {
+        let own: usize = self.per_user.values().map(|s| s.len()).sum();
+        let relayed: usize = self
+            .relayed
+            .values()
+            .flat_map(|cells| cells.values().map(|s| s.len()))
+            .sum();
+        own + relayed
+    }
+
+    /// Serialized size in bytes under `enc` — the *actual* encoded length
+    /// (see [`crate::codec`]), not a model, so gossip byte accounting in
+    /// the profiler and the bench gates measure what the codec produces.
+    pub fn wire_bytes(&self, enc: crate::codec::Encoding) -> u64 {
+        crate::codec::encoded_size(self, enc) as u64
     }
 }
 

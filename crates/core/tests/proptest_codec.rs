@@ -1,0 +1,228 @@
+//! Property-based tests of the gossip wire codec: lossless round-trips for
+//! arbitrary summaries under both encodings, positive-delta merge
+//! idempotence under duplication / reordering / loss-with-resync, and
+//! corruption detection — a flipped bit must never decode silently.
+//!
+//! The vendored proptest shim generates scalars and vectors of scalar
+//! tuples; structured values (names, charges, summaries) are derived
+//! deterministically from those scalars, so every failure reproduces from
+//! the reported case seed.
+
+use aequus_core::codec::{decode_summary, encode_summary, encoded_size, Encoding};
+use aequus_core::ids::SiteId;
+use aequus_core::usage::{UsageSummary, UserCells};
+use aequus_core::GridUser;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A charge value mixing the integral fast path (whole core-seconds),
+/// awkward fractions, tiny residues, and huge magnitudes.
+fn charge_from(kind: u8, a: u64) -> f64 {
+    match kind % 4 {
+        0 => (a % 1_000_000) as f64,
+        1 => (a % 1_000_000_000) as f64 / 1024.0 + 0.25,
+        2 => [0.1, 1.0 / 3.0, 1e-12, 9e15][(a % 4) as usize],
+        _ => a as f64 * 1e-3,
+    }
+}
+
+/// User names spanning the front-coder's edge cases — shared prefixes of
+/// different lengths, pure numeric suffixes, multi-byte UTF-8, and a small
+/// pool that forces identical names (empty front-coded suffix).
+fn name_from(kind: u8, n: u64) -> String {
+    match kind % 4 {
+        0 => format!(
+            "{}{}",
+            ["a", "ab", "abc", "abcd"][(n % 4) as usize],
+            n % 1_000_000
+        ),
+        1 => format!("user{}", n % 10_000_000),
+        2 => format!("ユーザ{}", n % 100),
+        _ => format!("user{}", n % 8),
+    }
+}
+
+type CellScalars = Vec<(u64, u8, u64)>;
+type UserScalars = Vec<((u8, u64), CellScalars)>;
+
+fn cells_from(scalars: CellScalars) -> BTreeMap<u64, f64> {
+    scalars
+        .into_iter()
+        .map(|(slot, ck, ca)| (slot % 50_000, charge_from(ck, ca)))
+        .collect()
+}
+
+fn user_cells_from(scalars: UserScalars) -> UserCells {
+    let mut m = UserCells::new();
+    for ((nk, nn), cells) in scalars {
+        let user = GridUser::new(name_from(nk, nn));
+        m.entry(user).or_default().extend(cells_from(cells));
+    }
+    m
+}
+
+/// Strategy: scalar raw material for one per-user cell map.
+fn user_scalars(max_users: usize) -> impl Strategy<Value = UserScalars> {
+    proptest::collection::vec(
+        (
+            (0u8..4, 0u64..1u64 << 40),
+            proptest::collection::vec((0u64..50_000, 0u8..4, 0u64..1u64 << 40), 1..6),
+        ),
+        0..max_users,
+    )
+}
+
+/// Strategy: a full summary with the publisher's own section plus relayed
+/// sections whose origins are distinct from the publisher (the publisher
+/// never relays itself).
+fn summary() -> impl Strategy<Value = UsageSummary> {
+    (
+        0u32..64,
+        0u64..10_000,
+        0u8..3,
+        user_scalars(6),
+        proptest::collection::vec((64u32..96, user_scalars(4)), 0..3),
+    )
+        .prop_map(|(site, seq, sk, per_user, relayed)| UsageSummary {
+            site: SiteId(site),
+            seq,
+            slot_s: [60.0, 300.0, 0.5][sk as usize],
+            per_user: user_cells_from(per_user),
+            relayed: relayed
+                .into_iter()
+                .map(|(o, scalars)| (SiteId(o), user_cells_from(scalars)))
+                .collect(),
+        })
+}
+
+/// The receiver's positive-delta merge against a per-origin mirror —
+/// the uss merge rule, restated here as the property under test.
+fn merge(
+    mirrors: &mut BTreeMap<SiteId, UserCells>,
+    acc: &mut BTreeMap<GridUser, BTreeMap<u64, f64>>,
+    origin: SiteId,
+    cells: &UserCells,
+) {
+    const CELL_EPS: f64 = 1e-12;
+    let mirror = mirrors.entry(origin).or_default();
+    for (user, slots) in cells {
+        let seen = mirror.entry(user.clone()).or_default();
+        for (&slot, &value) in slots {
+            let prev = seen.get(&slot).copied().unwrap_or(0.0);
+            if value - prev > CELL_EPS {
+                seen.insert(slot, value);
+                *acc.entry(user.clone())
+                    .or_default()
+                    .entry(slot)
+                    .or_insert(0.0) += value - prev;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn round_trip_is_lossless(s in summary()) {
+        for enc in [Encoding::Dense, Encoding::Delta] {
+            let buf = encode_summary(&s, enc);
+            prop_assert_eq!(buf.len(), encoded_size(&s, enc), "sizing must be exact");
+            let (got_enc, got) = decode_summary(&buf).unwrap();
+            prop_assert_eq!(got_enc, enc);
+            prop_assert_eq!(&got, &s, "{:?} round trip", enc);
+        }
+    }
+
+    #[test]
+    fn delta_streams_merge_idempotently(
+        base in user_scalars(6),
+        increments in proptest::collection::vec(((0u8..4, 0u64..1000), 0u64..100, 0.5..500.0f64), 1..12),
+        order in proptest::collection::vec(0usize..4096, 0..24),
+        dups in proptest::collection::vec(0usize..4096, 0..8),
+    ) {
+        // Build a monotone publication history: each step raises one cell's
+        // absolute cumulative value, publishing only the changed cell.
+        let origin = SiteId(3);
+        let mut truth: UserCells = user_cells_from(base);
+        let mut history: Vec<UsageSummary> = Vec::new();
+        for ((nk, nn), slot, inc) in increments {
+            let user = GridUser::new(name_from(nk, nn));
+            let cell = truth.entry(user.clone()).or_default().entry(slot).or_insert(0.0);
+            *cell += inc;
+            let value = *cell;
+            history.push(UsageSummary {
+                site: origin,
+                seq: history.len() as u64 + 1,
+                slot_s: 60.0,
+                per_user: [(user, [(slot, value)].into_iter().collect())].into_iter().collect(),
+                relayed: BTreeMap::new(),
+            });
+        }
+        // Final cumulative snapshot — what a resync falls back to after loss.
+        let snapshot = UsageSummary {
+            site: origin,
+            seq: history.len() as u64,
+            slot_s: 60.0,
+            per_user: truth.clone(),
+            relayed: BTreeMap::new(),
+        };
+        // Deliver an arbitrary subset in arbitrary order (loss + reorder),
+        // with arbitrary re-deliveries (duplication), each hop through the
+        // Delta codec, then the snapshot closes every remaining gap.
+        let mut mirrors = BTreeMap::new();
+        let mut acc = BTreeMap::new();
+        let deliveries = order
+            .iter()
+            .map(|&ix| &history[ix % history.len()])
+            .chain(dups.iter().map(|&ix| &history[ix % history.len()]))
+            .chain(std::iter::once(&snapshot))
+            .chain(std::iter::once(&snapshot)); // snapshot twice: idempotent
+        for s in deliveries {
+            let (_, decoded) = decode_summary(&encode_summary(s, Encoding::Delta)).unwrap();
+            merge(&mut mirrors, &mut acc, decoded.site, &decoded.per_user);
+        }
+        // The merged view equals the true cumulative values exactly once
+        // (no double-counting, nothing lost). Cells already present in the
+        // base start above zero: the snapshot must cover them too.
+        for (user, slots) in &truth {
+            for (&slot, &value) in slots {
+                if value <= 1e-12 {
+                    continue;
+                }
+                let got = acc.get(user).and_then(|m| m.get(&slot)).copied().unwrap_or(0.0);
+                prop_assert!((got - value).abs() <= 1e-9 * value.abs().max(1.0),
+                    "user {user:?} slot {slot}: merged {got} truth {value}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_bit_corruption_never_decodes(
+        s in summary(),
+        flips in proptest::collection::vec((0usize..65_536, 0u8..8), 1..16),
+    ) {
+        for enc in [Encoding::Dense, Encoding::Delta] {
+            let buf = encode_summary(&s, enc);
+            for &(ix, bit) in &flips {
+                let pos = ix % buf.len();
+                let mut bad = buf.clone();
+                bad[pos] ^= 1 << bit;
+                // CRC32 detects every single-bit error; nothing may decode.
+                prop_assert!(
+                    decode_summary(&bad).is_err(),
+                    "{:?}: flipped bit {} of byte {} decoded silently", enc, bit, pos
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_never_decodes(s in summary(), cut in 0usize..65_536) {
+        for enc in [Encoding::Dense, Encoding::Delta] {
+            let buf = encode_summary(&s, enc);
+            let cut = cut % buf.len();
+            prop_assert!(decode_summary(&buf[..cut]).is_err(), "{:?} cut at {}", enc, cut);
+        }
+    }
+}

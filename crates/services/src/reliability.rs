@@ -24,6 +24,7 @@
 //! state. Sequence numbers exist to *detect* loss quickly, not to order it.
 
 use crate::timings::ServiceTimings;
+use aequus_core::codec::{decode_summary, encode_summary, CodecError, Encoding};
 use aequus_core::ids::SiteId;
 use aequus_core::usage::UsageSummary;
 use aequus_telemetry::TraceCtx;
@@ -105,21 +106,144 @@ impl UssMessage {
         }
     }
 
-    /// Modeled serialized size in bytes (one tag byte plus the variant
-    /// payload; data messages delegate to
-    /// [`UsageSummary::wire_bytes`]) — the per-link gossip budget the
-    /// profiler accounts. Deterministic, like everything it feeds.
-    pub fn wire_size(&self) -> u64 {
+    /// Serialized size in bytes under `enc` — defined as the length of
+    /// [`UssMessage::encode`]'s output (a regression test holds the two
+    /// equal), so the profiler's gossip-byte counters and the bench gates
+    /// account exactly what the codec produces. Deterministic, like
+    /// everything it feeds.
+    pub fn wire_size(&self, enc: Encoding) -> u64 {
         match self {
-            UssMessage::Summary { summary, .. } | UssMessage::Snapshot { summary, .. } => {
-                1 + summary.wire_bytes()
+            UssMessage::Summary { summary, ctx } | UssMessage::Snapshot { summary, ctx } => {
+                let ctx_bytes = if ctx.is_some() { 16 } else { 0 };
+                2 + ctx_bytes + summary.wire_bytes(enc)
             }
             UssMessage::Ack { .. } => 1 + 4 + 8,
             UssMessage::Resync { .. } => 1 + 4 + 16,
             UssMessage::SnapshotRequest { .. } => 1 + 4,
         }
     }
+
+    /// Encode to the wire representation: one tag byte, then fixed-width
+    /// control fields, or (for data messages) a trace-context presence byte,
+    /// the optional 16-byte context, and the CRC-framed summary payload in
+    /// the chosen [`Encoding`].
+    pub fn encode(&self, enc: Encoding) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            UssMessage::Summary { summary, ctx } | UssMessage::Snapshot { summary, ctx } => {
+                out.push(if matches!(self, UssMessage::Summary { .. }) {
+                    TAG_SUMMARY
+                } else {
+                    TAG_SNAPSHOT
+                });
+                match ctx {
+                    Some(c) => {
+                        out.push(1);
+                        out.extend_from_slice(&c.trace_id.to_le_bytes());
+                        out.extend_from_slice(&c.span.to_le_bytes());
+                    }
+                    None => out.push(0),
+                }
+                out.extend_from_slice(&encode_summary(summary, enc));
+            }
+            UssMessage::Ack { from, seq } => {
+                out.push(TAG_ACK);
+                out.extend_from_slice(&from.0.to_le_bytes());
+                out.extend_from_slice(&seq.to_le_bytes());
+            }
+            UssMessage::Resync {
+                from,
+                from_seq,
+                to_seq,
+            } => {
+                out.push(TAG_RESYNC);
+                out.extend_from_slice(&from.0.to_le_bytes());
+                out.extend_from_slice(&from_seq.to_le_bytes());
+                out.extend_from_slice(&to_seq.to_le_bytes());
+            }
+            UssMessage::SnapshotRequest { from } => {
+                out.push(TAG_SNAPSHOT_REQUEST);
+                out.extend_from_slice(&from.0.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decode a wire frame produced by [`UssMessage::encode`], returning the
+    /// message and the summary encoding it travelled under (control messages
+    /// report the caller-irrelevant default).
+    pub fn decode(buf: &[u8]) -> Result<(Self, Encoding), CodecError> {
+        let (&tag, rest) = buf.split_first().ok_or(CodecError::Truncated)?;
+        let fixed = |n: usize| -> Result<&[u8], CodecError> {
+            (rest.len() == n).then_some(rest).ok_or(if rest.len() < n {
+                CodecError::Truncated
+            } else {
+                CodecError::Malformed("trailing bytes")
+            })
+        };
+        match tag {
+            TAG_SUMMARY | TAG_SNAPSHOT => {
+                let (&flag, rest) = rest.split_first().ok_or(CodecError::Truncated)?;
+                let (ctx, payload) = match flag {
+                    0 => (None, rest),
+                    1 => {
+                        if rest.len() < 16 {
+                            return Err(CodecError::Truncated);
+                        }
+                        let trace_id = u64::from_le_bytes(rest[..8].try_into().expect("8 bytes"));
+                        let span = u64::from_le_bytes(rest[8..16].try_into().expect("8 bytes"));
+                        (Some(TraceCtx { trace_id, span }), &rest[16..])
+                    }
+                    _ => return Err(CodecError::Malformed("bad trace-context flag")),
+                };
+                let (enc, summary) = decode_summary(payload)?;
+                let msg = if tag == TAG_SUMMARY {
+                    UssMessage::Summary { summary, ctx }
+                } else {
+                    UssMessage::Snapshot { summary, ctx }
+                };
+                Ok((msg, enc))
+            }
+            TAG_ACK => {
+                let b = fixed(12)?;
+                Ok((
+                    UssMessage::Ack {
+                        from: SiteId(u32::from_le_bytes(b[..4].try_into().expect("4 bytes"))),
+                        seq: u64::from_le_bytes(b[4..12].try_into().expect("8 bytes")),
+                    },
+                    Encoding::default(),
+                ))
+            }
+            TAG_RESYNC => {
+                let b = fixed(20)?;
+                Ok((
+                    UssMessage::Resync {
+                        from: SiteId(u32::from_le_bytes(b[..4].try_into().expect("4 bytes"))),
+                        from_seq: u64::from_le_bytes(b[4..12].try_into().expect("8 bytes")),
+                        to_seq: u64::from_le_bytes(b[12..20].try_into().expect("8 bytes")),
+                    },
+                    Encoding::default(),
+                ))
+            }
+            TAG_SNAPSHOT_REQUEST => {
+                let b = fixed(4)?;
+                Ok((
+                    UssMessage::SnapshotRequest {
+                        from: SiteId(u32::from_le_bytes(b[..4].try_into().expect("4 bytes"))),
+                    },
+                    Encoding::default(),
+                ))
+            }
+            _ => Err(CodecError::Malformed("unknown message tag")),
+        }
+    }
 }
+
+const TAG_SUMMARY: u8 = 1;
+const TAG_SNAPSHOT: u8 = 2;
+const TAG_ACK: u8 = 3;
+const TAG_RESYNC: u8 = 4;
+const TAG_SNAPSHOT_REQUEST: u8 = 5;
 
 /// Retry/backoff and retention configuration of the reliable exchange.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -197,6 +321,77 @@ pub enum StalePolicy {
         /// Staleness threshold in seconds.
         max_staleness_s: f64,
     },
+}
+
+/// The gossip overlay: which site pairs exchange summaries directly.
+///
+/// Full mesh is O(sites²) links; the hierarchical overlays cut that to
+/// O(sites) by routing through *forwarding* interior nodes, which aggregate
+/// everything they hear into `relayed` sections of their own publications
+/// (per-hop rollup). Each link still runs the full seq/ack/resync/snapshot
+/// machinery unchanged — the overlay only decides which links exist and who
+/// forwards. Because relayed cells stay absolute cumulative values keyed by
+/// their *origin* site and receivers merge against a per-origin mirror, any
+/// path multiplicity (meshed hubs) or hop count converges to the same view
+/// as the full mesh.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OverlayTopology {
+    /// Every site pair exchanges directly (the pre-overlay behavior).
+    #[default]
+    FullMesh,
+    /// A k-ary tree rooted at site 0: site `i > 0` links to its parent
+    /// `(i-1)/fanout`; interior nodes forward between their subtrees and
+    /// the rest of the tree.
+    Tree {
+        /// Children per node (clamped to ≥ 1).
+        fanout: usize,
+    },
+    /// The first `hubs` sites form a full mesh among themselves and
+    /// forward; every other site links only to its home hub `i % hubs`.
+    Hub {
+        /// Number of hub sites (clamped to `1..=sites`).
+        hubs: usize,
+    },
+}
+
+impl OverlayTopology {
+    /// Sites directly linked to `i` in an `n`-site deployment, ascending.
+    pub fn neighbors(&self, i: usize, n: usize) -> Vec<usize> {
+        match *self {
+            OverlayTopology::FullMesh => (0..n).filter(|&j| j != i).collect(),
+            OverlayTopology::Tree { fanout } => {
+                let k = fanout.max(1);
+                let mut out = Vec::new();
+                if i > 0 {
+                    out.push((i - 1) / k);
+                }
+                out.extend((k * i + 1..=k * i + k).take_while(|&c| c < n));
+                out.sort_unstable();
+                out
+            }
+            OverlayTopology::Hub { hubs } => {
+                let h = hubs.clamp(1, n.max(1));
+                if i < h {
+                    let mut out: Vec<usize> = (0..h).filter(|&j| j != i).collect();
+                    out.extend((h..n).filter(|&leaf| leaf % h == i));
+                    out
+                } else {
+                    vec![i % h]
+                }
+            }
+        }
+    }
+
+    /// Whether site `i` is an interior (forwarding) node: one that must
+    /// re-publish what it hears so data crosses it. Leaves and full-mesh
+    /// members never forward.
+    pub fn forwards(&self, i: usize, n: usize) -> bool {
+        match *self {
+            OverlayTopology::FullMesh => false,
+            OverlayTopology::Tree { fanout } => fanout.max(1) * i + 1 < n,
+            OverlayTopology::Hub { hubs } => i < hubs.clamp(1, n.max(1)) && n > 1,
+        }
+    }
 }
 
 /// A small self-contained deterministic RNG (splitmix64) for retry jitter.
@@ -284,6 +479,7 @@ mod tests {
             seq: 1,
             slot_s: 60.0,
             per_user: Default::default(),
+            relayed: Default::default(),
         };
         let summary = UssMessage::Summary {
             summary: s.clone(),
@@ -324,5 +520,168 @@ mod tests {
             assert!(!msg.is_data());
             assert_eq!(msg.kind(), kind);
         }
+    }
+
+    fn sample_messages() -> Vec<UssMessage> {
+        let mut per_user = std::collections::BTreeMap::new();
+        per_user.insert(
+            aequus_core::GridUser::new("u007"),
+            [(3u64, 120.5), (9u64, 600.0)].into_iter().collect(),
+        );
+        let mut relayed = std::collections::BTreeMap::new();
+        relayed.insert(SiteId(4), per_user.clone());
+        let summary = UsageSummary {
+            site: SiteId(2),
+            seq: 11,
+            slot_s: 300.0,
+            per_user,
+            relayed,
+        };
+        let ctx = TraceCtx {
+            trace_id: 77,
+            span: 9,
+        };
+        vec![
+            UssMessage::Summary {
+                summary: summary.clone(),
+                ctx: None,
+            },
+            UssMessage::Summary {
+                summary: summary.clone(),
+                ctx: Some(ctx),
+            },
+            UssMessage::Snapshot {
+                summary,
+                ctx: Some(ctx),
+            },
+            UssMessage::Ack {
+                from: SiteId(1),
+                seq: 3,
+            },
+            UssMessage::Resync {
+                from: SiteId(1),
+                from_seq: 2,
+                to_seq: 4,
+            },
+            UssMessage::SnapshotRequest { from: SiteId(1) },
+        ]
+    }
+
+    #[test]
+    fn wire_size_equals_encoded_length() {
+        for msg in sample_messages() {
+            for enc in [Encoding::Dense, Encoding::Delta] {
+                assert_eq!(
+                    msg.wire_size(enc),
+                    msg.encode(enc).len() as u64,
+                    "{} under {enc:?}",
+                    msg.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn message_encode_round_trips() {
+        for msg in sample_messages() {
+            for enc in [Encoding::Dense, Encoding::Delta] {
+                let bytes = msg.encode(enc);
+                let (decoded, dec_enc) = UssMessage::decode(&bytes).unwrap();
+                assert_eq!(decoded, msg);
+                if msg.is_data() {
+                    assert_eq!(dec_enc, enc);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_messages_never_decode() {
+        for msg in sample_messages() {
+            let bytes = msg.encode(Encoding::Delta);
+            for cut in 0..bytes.len() {
+                assert!(
+                    UssMessage::decode(&bytes[..cut]).is_err(),
+                    "{} cut at {cut}",
+                    msg.kind()
+                );
+            }
+        }
+    }
+
+    /// Every overlay must connect all sites, with symmetric links, and the
+    /// non-forwarding set must never separate two forwarding components.
+    #[test]
+    fn overlays_are_connected_and_symmetric() {
+        for n in [1usize, 2, 3, 5, 8, 17, 32] {
+            for overlay in [
+                OverlayTopology::FullMesh,
+                OverlayTopology::Tree { fanout: 1 },
+                OverlayTopology::Tree { fanout: 2 },
+                OverlayTopology::Tree { fanout: 4 },
+                OverlayTopology::Hub { hubs: 1 },
+                OverlayTopology::Hub { hubs: 3 },
+            ] {
+                let adj: Vec<Vec<usize>> = (0..n).map(|i| overlay.neighbors(i, n)).collect();
+                for (i, nbrs) in adj.iter().enumerate() {
+                    for &j in nbrs {
+                        assert!(j < n && j != i, "{overlay:?} n={n}: bad link {i}->{j}");
+                        assert!(
+                            adj[j].contains(&i),
+                            "{overlay:?} n={n}: asymmetric link {i}->{j}"
+                        );
+                    }
+                }
+                // BFS from 0.
+                let mut seen = vec![false; n];
+                let mut queue = vec![0usize];
+                seen[0] = true;
+                while let Some(i) = queue.pop() {
+                    for &j in &adj[i] {
+                        if !seen[j] {
+                            seen[j] = true;
+                            queue.push(j);
+                        }
+                    }
+                }
+                assert!(
+                    seen.iter().all(|&s| s),
+                    "{overlay:?} n={n}: overlay not connected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forwarding_marks_interior_nodes_only() {
+        let tree = OverlayTopology::Tree { fanout: 2 };
+        // 7 sites: 0 (root), 1, 2 interior; 3..=6 leaves.
+        assert!(tree.forwards(0, 7));
+        assert!(tree.forwards(1, 7));
+        assert!(tree.forwards(2, 7));
+        for leaf in 3..7 {
+            assert!(!tree.forwards(leaf, 7));
+        }
+        let hub = OverlayTopology::Hub { hubs: 2 };
+        assert!(hub.forwards(0, 6) && hub.forwards(1, 6));
+        for leaf in 2..6 {
+            assert!(!hub.forwards(leaf, 6));
+        }
+        for i in 0..6 {
+            assert!(!OverlayTopology::FullMesh.forwards(i, 6));
+        }
+    }
+
+    #[test]
+    fn hub_links_are_sparse() {
+        let overlay = OverlayTopology::Hub { hubs: 4 };
+        let n = 32;
+        let links: usize = (0..n).map(|i| overlay.neighbors(i, n).len()).sum();
+        // 4*3 intra-hub (directed) + 28 leaves * 2 directions.
+        assert_eq!(links, 12 + 56);
+        let full: usize = (0..n)
+            .map(|i| OverlayTopology::FullMesh.neighbors(i, n).len())
+            .sum();
+        assert_eq!(full, 32 * 31);
     }
 }

@@ -144,6 +144,7 @@ fn run_interleaving(kind: ProjectionKind, decay_sel: u8, ops: &[Op]) -> Result<(
                     seq: 0, // unsequenced ad-hoc summary (absolute cells)
                     slot_s: 60.0,
                     per_user,
+                    relayed: BTreeMap::new(),
                 });
             }
             2 => {

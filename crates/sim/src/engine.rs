@@ -160,13 +160,25 @@ impl GridSimulation {
         // peers that read global data and expects summaries from the peers
         // that contribute it (participation modes, §IV-A-4).
         let n = clusters.len();
+        let overlay = scenario.overlay;
         for (i, cluster) in clusters.iter_mut().enumerate() {
-            let tx: Vec<SiteId> = (0..n)
-                .filter(|&j| j != i && scenario.clusters[j].participation.reads_global())
+            // Links come from the overlay topology (full mesh by default);
+            // participation modes then filter within the linked set. A site
+            // expects summaries from linked peers that either contribute
+            // their own data or forward others' (overlay interior nodes).
+            let nbrs = overlay.neighbors(i, n);
+            let tx: Vec<SiteId> = nbrs
+                .iter()
+                .copied()
+                .filter(|&j| scenario.clusters[j].participation.reads_global())
                 .map(|j| SiteId(j as u32))
                 .collect();
-            let rx: Vec<SiteId> = (0..n)
-                .filter(|&j| j != i && scenario.clusters[j].participation.contributes())
+            let rx: Vec<SiteId> = nbrs
+                .iter()
+                .copied()
+                .filter(|&j| {
+                    scenario.clusters[j].participation.contributes() || overlay.forwards(j, n)
+                })
                 .map(|j| SiteId(j as u32))
                 .collect();
             cluster.site.configure_exchange(
@@ -176,6 +188,7 @@ impl GridSimulation {
                 scenario.stale_policy,
                 scenario.seed,
             );
+            cluster.site.uss.set_forwarding(overlay.forwards(i, n));
         }
         let telemetry = if scenario.telemetry {
             Telemetry::enabled()

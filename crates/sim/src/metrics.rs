@@ -52,6 +52,10 @@ pub struct Sample {
     /// usage, and after faults clear the anti-entropy layer must drive it
     /// back toward `0`. `0` when fewer than two sites hold comparable views.
     pub usage_view_divergence: f64,
+    /// Cumulative gossip bytes-on-wire across all sites at this sample —
+    /// the codec-accurate encoded size of every exchange message sent so
+    /// far (under the scenario's wire encoding).
+    pub gossip_bytes: u64,
     /// Per-site telemetry registry snapshots, in cluster order. Empty when
     /// the scenario runs without telemetry.
     pub site_telemetry: Vec<aequus_telemetry::Snapshot>,
@@ -86,6 +90,8 @@ pub struct ShardSample {
     /// divergence metric (reads global data and is not crashed); `None`
     /// otherwise.
     pub usage_view: Option<BTreeMap<GridUser, f64>>,
+    /// Cumulative gossip bytes this site has put on the wire.
+    pub gossip_bytes: u64,
     /// This site's telemetry registry snapshot, when telemetry is on.
     pub telemetry: Option<aequus_telemetry::Snapshot>,
 }
@@ -106,6 +112,7 @@ impl Sample {
         let mut fcs_inc = 0u64;
         let mut fcs_nodes = 0u64;
         let mut views: Vec<BTreeMap<GridUser, f64>> = Vec::new();
+        let mut gossip_bytes = 0u64;
         let mut site_telemetry = Vec::new();
         for frag in fragments {
             if !frag.users.is_empty() {
@@ -122,6 +129,7 @@ impl Sample {
             if let Some(view) = frag.usage_view {
                 views.push(view);
             }
+            gossip_bytes += frag.gossip_bytes;
             if let Some(snap) = frag.telemetry {
                 site_telemetry.push(snap);
             }
@@ -138,6 +146,7 @@ impl Sample {
             fcs_incremental_refreshes: fcs_inc,
             fcs_nodes_recomputed: fcs_nodes,
             usage_view_divergence: view_divergence(&views),
+            gossip_bytes,
             site_telemetry,
         }
     }
@@ -386,6 +395,19 @@ impl MetricsLog {
             .collect()
     }
 
+    /// Time series of cumulative gossip bytes-on-wire.
+    pub fn gossip_bytes_series(&self) -> Vec<(f64, u64)> {
+        self.samples
+            .iter()
+            .map(|s| (s.t_s, s.gossip_bytes))
+            .collect()
+    }
+
+    /// Total gossip bytes-on-wire at the end of the run.
+    pub fn total_gossip_bytes(&self) -> u64 {
+        self.samples.last().map(|s| s.gossip_bytes).unwrap_or(0)
+    }
+
     /// Earliest sample time from which the cross-site usage views stay
     /// within `eps` of each other through the end of the run — the
     /// convergence-after-fault time the chaos suite and fault-sweep bench
@@ -429,6 +451,7 @@ mod tests {
             fcs_incremental_refreshes: 0,
             fcs_nodes_recomputed: 0,
             usage_view_divergence: 0.0,
+            gossip_bytes: 0,
             site_telemetry: vec![],
         }
     }
@@ -524,6 +547,7 @@ mod tests {
             fcs_incremental_refreshes: 0,
             fcs_nodes_recomputed: 0,
             usage_view_divergence: 0.0,
+            gossip_bytes: 0,
             site_telemetry: vec![],
         });
         assert!(log.balance_windows(0.1).is_empty());
@@ -553,6 +577,7 @@ mod tests {
             fcs_incremental_refreshes: 5,
             fcs_nodes_recomputed: 9,
             usage_view: Some([(GridUser::new("a"), 100.0)].into_iter().collect()),
+            gossip_bytes: 70,
             telemetry: None,
         };
         let f1 = ShardSample {
@@ -565,6 +590,7 @@ mod tests {
             fcs_incremental_refreshes: 3,
             fcs_nodes_recomputed: 4,
             usage_view: Some([(GridUser::new("a"), 94.0)].into_iter().collect()),
+            gossip_bytes: 30,
             ..ShardSample::default()
         };
         let s = Sample::assemble(120.0, vec![f0, f1], 8);
@@ -578,6 +604,7 @@ mod tests {
         assert_eq!(s.fcs_incremental_refreshes, 8);
         assert_eq!(s.fcs_nodes_recomputed, 13);
         assert!((s.usage_view_divergence - 6.0).abs() < 1e-12);
+        assert_eq!(s.gossip_bytes, 100);
     }
 
     #[test]

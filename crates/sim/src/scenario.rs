@@ -1,11 +1,14 @@
 //! Scenario definitions: cluster fleets, policies, and all tunables of a
 //! simulated grid deployment.
 
+use aequus_core::codec::Encoding;
 use aequus_core::fairshare::FairshareConfig;
 use aequus_core::policy::{flat_policy, PolicyTree};
 use aequus_core::projection::ProjectionKind;
 use aequus_rms::PriorityWeights;
-use aequus_services::{ParticipationMode, RetryPolicy, ServiceTimings, StalePolicy, StoreConfig};
+use aequus_services::{
+    OverlayTopology, ParticipationMode, RetryPolicy, ServiceTimings, StalePolicy, StoreConfig,
+};
 
 use crate::dispatch::DispatchPolicy;
 use crate::faults::FaultPlan;
@@ -159,6 +162,15 @@ pub struct GridScenario {
     /// assert the differ attributes it to `barrier.wait`. Never set in real
     /// scenarios.
     pub debug_barrier_sleep_ns: u64,
+    /// Gossip overlay topology: which sites exchange summaries directly.
+    /// Interior nodes of non-mesh overlays relay merged cells onward
+    /// (per-hop aggregation), so every site still converges to the full
+    /// grid view.
+    pub overlay: OverlayTopology,
+    /// Wire encoding used to account gossip bytes-on-wire (`wire_size` of
+    /// every delivered message — the sim never ships real buffers, but the
+    /// byte accounting is the codec's real encoded size).
+    pub encoding: Encoding,
 }
 
 impl GridScenario {
@@ -208,6 +220,8 @@ impl GridScenario {
             metrics_user_cap: None,
             profile: aequus_telemetry::ProfileMode::Off,
             debug_barrier_sleep_ns: 0,
+            overlay: OverlayTopology::FullMesh,
+            encoding: Encoding::default(),
         }
     }
 
@@ -299,6 +313,18 @@ impl GridScenario {
     /// Choose the site→worker placement strategy.
     pub fn with_placement(mut self, placement: ShardPlacement) -> Self {
         self.placement = placement;
+        self
+    }
+
+    /// Choose the gossip overlay topology (default: full mesh).
+    pub fn with_overlay(mut self, overlay: OverlayTopology) -> Self {
+        self.overlay = overlay;
+        self
+    }
+
+    /// Choose the wire encoding for gossip byte accounting.
+    pub fn with_encoding(mut self, encoding: Encoding) -> Self {
+        self.encoding = encoding;
         self
     }
 

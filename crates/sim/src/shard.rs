@@ -51,6 +51,9 @@ pub struct ShardStats {
     pub ticks: u64,
     /// Data (summary) messages delivered to this site.
     pub gossip_deliveries: u64,
+    /// Total encoded bytes this site put on the wire (codec-accurate:
+    /// `UssMessage::wire_size` under the scenario's encoding).
+    pub gossip_bytes: u64,
     /// Deliveries refused because the site was partitioned or crashed.
     pub partitioned: u64,
     /// Sends lost to the random-drop fault.
@@ -66,6 +69,7 @@ impl ShardStats {
         self.arrivals += other.arrivals;
         self.ticks += other.ticks;
         self.gossip_deliveries += other.gossip_deliveries;
+        self.gossip_bytes += other.gossip_bytes;
         self.partitioned += other.partitioned;
         self.dropped += other.dropped;
         self.crashes += other.crashes;
@@ -258,8 +262,11 @@ impl Shard {
         let arrival = (now + self.scenario.timings.exchange_latency_s + transfer).max(limit_s);
         // Bytes-on-wire: only messages that actually leave the site count
         // (drops above never hit the wire). Staging order is deterministic,
-        // so these link budgets are too.
-        self.prof.add_wire(dest, msg.wire_size());
+        // so these link budgets are too. The size is the codec's real
+        // encoded length under the scenario's wire encoding.
+        let bytes = msg.wire_size(self.scenario.encoding);
+        self.prof.add_wire(dest, bytes);
+        self.stats.gossip_bytes += bytes;
         out.push(Outgoing {
             source: self.index,
             dest,
@@ -336,6 +343,7 @@ impl Shard {
             fcs_incremental_refreshes: self.cluster.site.fcs.incremental_refreshes(),
             fcs_nodes_recomputed: self.cluster.site.fcs.nodes_recomputed(),
             usage_view,
+            gossip_bytes: self.stats.gossip_bytes,
             telemetry: self.cluster.telemetry.snapshot(),
         }
     }

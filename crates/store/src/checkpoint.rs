@@ -1,8 +1,8 @@
 //! Checkpoint snapshots: a single CRC-framed object capturing everything a
 //! site needs to restart without replaying its full history — the USS local
 //! histogram and ingest counters, the publisher sequence, per-peer exchange
-//! cursors (including the absolute-cell mirrors the positive-delta merge
-//! depends on), and the UMS decayed-usage cache.
+//! cursors, the origin-scoped absolute-cell mirrors the positive-delta
+//! merge depends on, and the UMS decayed-usage cache.
 //!
 //! Checkpoints alternate between two slots (`ckpt-a` / `ckpt-b`): a write
 //! always targets the slot *not* holding the latest good snapshot, so a
@@ -20,20 +20,21 @@ use std::collections::{BTreeMap, BTreeSet};
 
 /// Checkpoint format version (bumped on incompatible layout changes;
 /// decoders reject unknown versions rather than misreading them).
-const VERSION: u8 = 1;
+/// Version 2 moved the merge mirrors from per-peer cursors to the
+/// origin-scoped `origin_cells` map (hierarchical-overlay support).
+const VERSION: u8 = 2;
 
 /// The two alternating slot names.
 pub const SLOTS: [&str; 2] = ["ckpt-a", "ckpt-b"];
 
-/// Per-peer exchange cursor as of the checkpoint.
+/// Per-peer exchange cursor as of the checkpoint. Sequence state only —
+/// the merge mirrors are origin-scoped, not link-scoped, and live in
+/// [`CheckpointState::origin_cells`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PeerCursor {
     /// Next summary sequence expected from this peer (1-based); the
     /// highest absorbed is `next_expected - 1`.
     pub next_expected: u64,
-    /// Absolute cumulative cells already merged from this peer — the
-    /// receive-side mirror the positive-delta merge is computed against.
-    pub seen_cells: BTreeMap<GridUser, BTreeMap<u64, f64>>,
 }
 
 /// Everything a checkpoint captures. Produced by the services layer
@@ -58,6 +59,11 @@ pub struct CheckpointState {
     pub next_seq: u64,
     /// Per-peer exchange cursors.
     pub peers: BTreeMap<SiteId, PeerCursor>,
+    /// Absolute cumulative cells already merged, keyed by **originating**
+    /// site — the receive-side mirror the positive-delta merge is computed
+    /// against. Origin-scoped so relayed deliveries (hierarchical overlays)
+    /// restore identically to direct ones.
+    pub origin_cells: BTreeMap<SiteId, BTreeMap<GridUser, BTreeMap<u64, f64>>>,
     /// UMS decay epoch, if a refresh has happened.
     pub ums_epoch_s: Option<f64>,
     /// UMS cached decayed usage per user (valid at `ums_epoch_s`).
@@ -79,6 +85,7 @@ impl Default for CheckpointState {
             records_ingested: 0,
             next_seq: 1,
             peers: BTreeMap::new(),
+            origin_cells: BTreeMap::new(),
             ums_epoch_s: None,
             ums_cached: BTreeMap::new(),
             dirty_users: None,
@@ -111,7 +118,11 @@ impl CheckpointState {
         for (site, cursor) in &self.peers {
             w.u32(site.0);
             w.u64(cursor.next_expected);
-            encode_cells(&mut w, &cursor.seen_cells);
+        }
+        w.u32(self.origin_cells.len() as u32);
+        for (origin, cells) in &self.origin_cells {
+            w.u32(origin.0);
+            encode_cells(&mut w, cells);
         }
         match self.ums_epoch_s {
             Some(e) => {
@@ -152,19 +163,19 @@ impl CheckpointState {
         let local_cells = decode_cells(&mut r)?;
         let records_ingested = r.u64()?;
         let next_seq = r.u64()?;
-        let npeers = r.seq_len(16)?;
+        let npeers = r.seq_len(12)?;
         let mut peers = BTreeMap::new();
         for _ in 0..npeers {
             let peer = SiteId(r.u32()?);
             let next_expected = r.u64()?;
-            let seen_cells = decode_cells(&mut r)?;
-            peers.insert(
-                peer,
-                PeerCursor {
-                    next_expected,
-                    seen_cells,
-                },
-            );
+            peers.insert(peer, PeerCursor { next_expected });
+        }
+        let norigins = r.seq_len(8)?;
+        let mut origin_cells = BTreeMap::new();
+        for _ in 0..norigins {
+            let origin = SiteId(r.u32()?);
+            let cells = decode_cells(&mut r)?;
+            origin_cells.insert(origin, cells);
         }
         let ums_epoch_s = match r.u8()? {
             0 => None,
@@ -197,6 +208,7 @@ impl CheckpointState {
             records_ingested,
             next_seq,
             peers,
+            origin_cells,
             ums_epoch_s,
             ums_cached,
             dirty_users,
@@ -265,13 +277,9 @@ mod tests {
         slots.insert(5u64, 321.0625);
         local_cells.insert(GridUser::new("U65"), slots);
         let mut peers = BTreeMap::new();
-        peers.insert(
-            SiteId(2),
-            PeerCursor {
-                next_expected: 9,
-                seen_cells: local_cells.clone(),
-            },
-        );
+        peers.insert(SiteId(2), PeerCursor { next_expected: 9 });
+        let mut origin_cells = BTreeMap::new();
+        origin_cells.insert(SiteId(2), local_cells.clone());
         let mut ums_cached = BTreeMap::new();
         ums_cached.insert(GridUser::new("U65"), 0.125);
         CheckpointState {
@@ -283,6 +291,7 @@ mod tests {
             records_ingested: 42,
             next_seq: 17,
             peers,
+            origin_cells,
             ums_epoch_s: Some(1200.0),
             ums_cached,
             dirty_users: Some([GridUser::new("U30")].into_iter().collect()),

@@ -92,21 +92,38 @@ pub fn decode_cells(
     Ok(cells)
 }
 
-/// Encode a [`UsageSummary`].
+/// Encode a [`UsageSummary`], including any relayed per-origin sections
+/// (overlay interior nodes journal exactly what they merged).
 pub fn encode_summary(w: &mut Writer, s: &UsageSummary) {
     w.u32(s.site.0);
     w.u64(s.seq);
     w.f64(s.slot_s);
     encode_cells(w, &s.per_user);
+    w.u32(s.relayed.len() as u32);
+    for (origin, cells) in &s.relayed {
+        w.u32(origin.0);
+        encode_cells(w, cells);
+    }
 }
 
 /// Decode a [`UsageSummary`].
 pub fn decode_summary(r: &mut Reader<'_>) -> Result<UsageSummary, CodecError> {
+    let site = SiteId(r.u32()?);
+    let seq = r.u64()?;
+    let slot_s = r.f64()?;
+    let per_user = decode_cells(r)?;
+    let norigins = r.seq_len(8)?;
+    let mut relayed = BTreeMap::new();
+    for _ in 0..norigins {
+        let origin = SiteId(r.u32()?);
+        relayed.insert(origin, decode_cells(r)?);
+    }
     Ok(UsageSummary {
-        site: SiteId(r.u32()?),
-        seq: r.u64()?,
-        slot_s: r.f64()?,
-        per_user: decode_cells(r)?,
+        site,
+        seq,
+        slot_s,
+        per_user,
+        relayed,
     })
 }
 
@@ -158,11 +175,18 @@ mod tests {
         slots.insert(7u64, 0.25);
         per_user.insert(GridUser::new("U65"), slots);
         per_user.insert(GridUser::new("U30"), BTreeMap::new());
+        let mut relayed = BTreeMap::new();
+        let mut relay_slots = BTreeMap::new();
+        relay_slots.insert(9u64, 64.0);
+        let mut relay_cells = BTreeMap::new();
+        relay_cells.insert(GridUser::new("U7"), relay_slots);
+        relayed.insert(SiteId(9), relay_cells);
         UsageSummary {
             site: SiteId(4),
             seq,
             slot_s: 60.0,
             per_user,
+            relayed,
         }
     }
 

@@ -617,6 +617,7 @@ mod tests {
                         seq,
                         slot_s: 60.0,
                         per_user: BTreeMap::new(),
+                        relayed: BTreeMap::new(),
                     },
                     snapshot: false,
                 },

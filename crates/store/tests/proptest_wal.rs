@@ -32,12 +32,21 @@ fn record(kind: u8, a: u64, b: u64) -> WalRecord {
             slots.insert(a % 50 + 1, (a % 700) as f64 + 0.5);
             let mut per_user = BTreeMap::new();
             per_user.insert(GridUser::new(format!("u{}", a % 5)), slots);
+            let mut relayed = BTreeMap::new();
+            if b.is_multiple_of(3) {
+                let mut relay_slots = BTreeMap::new();
+                relay_slots.insert(a % 30, (a % 500) as f64 + 0.125);
+                let mut relay_cells = BTreeMap::new();
+                relay_cells.insert(GridUser::new(format!("u{}", b % 5)), relay_slots);
+                relayed.insert(SiteId((a % 7) as u32), relay_cells);
+            }
             WalRecord::PeerData {
                 summary: UsageSummary {
                     site: SiteId((b % 4) as u32),
                     seq: a % 100 + 1,
                     slot_s: 60.0,
                     per_user,
+                    relayed,
                 },
                 snapshot: b.is_multiple_of(4),
             }

@@ -6,8 +6,10 @@
 //! summaries are retried, gaps are pulled back, crashes recover from peer
 //! snapshots, and nothing is ever double-counted.
 
+use aequus::core::codec::Encoding;
+use aequus::core::projection::ProjectionKind;
 use aequus::core::GridUser;
-use aequus::services::{RetryPolicy, ServiceTimings};
+use aequus::services::{OverlayTopology, RetryPolicy, ServiceTimings};
 use aequus::sim::{FaultPlan, GridScenario, GridSimulation, Outage, SimResult};
 use aequus::workload::{Trace, TraceJob};
 use std::collections::BTreeMap;
@@ -324,6 +326,134 @@ fn faulted_runs_are_deterministic() {
     for (x, y) in sa.iter().zip(sb) {
         assert_eq!(x.usage_view_divergence, y.usage_view_divergence);
         assert_eq!(x.utilization, y.utilization);
+    }
+}
+
+/// The overlay axis runs on all six testbed sites so Tree and Hub have real
+/// interior structure: `Tree { fanout: 2 }` makes sites 0–2 interior with
+/// leaves 3–5, and `Hub { hubs: 2 }` meshes sites 0–1 with leaves 2–5 split
+/// between them. Delta encoding rides along so the faulted relay paths also
+/// exercise the wire codec.
+fn overlay_scenario(seed: u64, projection: ProjectionKind) -> GridScenario {
+    let mut sc = GridScenario::national_testbed(
+        &[
+            ("U65", 0.6525),
+            ("U30", 0.3049),
+            ("U3", 0.0286),
+            ("Uoth", 0.0140),
+        ],
+        seed,
+    );
+    for c in &mut sc.clusters {
+        c.nodes = 2;
+    }
+    sc.projection = projection;
+    sc.timings = ServiceTimings {
+        report_delay_s: 5.0,
+        uss_publish_interval_s: 30.0,
+        ums_refresh_interval_s: 30.0,
+        fcs_refresh_interval_s: 30.0,
+        lib_cache_ttl_s: 10.0,
+        lib_identity_ttl_s: 60.0,
+        exchange_latency_s: 5.0,
+    };
+    sc.usage_slot_s = 60.0;
+    sc.tick_interval_s = 5.0;
+    sc.retry = RetryPolicy {
+        ack_timeout_s: 15.0,
+        max_backoff_s: 60.0,
+        jitter_frac: 0.2,
+        history_cap: 8,
+        outbox_cap: 8,
+    };
+    sc.with_encoding(Encoding::Delta)
+}
+
+const PROJECTIONS: [ProjectionKind; 3] = [
+    ProjectionKind::Dictionary,
+    ProjectionKind::Bitwise,
+    ProjectionKind::Percental,
+];
+
+/// Fault-free equivalence across the whole overlay × encoding grid: every
+/// topology, under either codec, must end with exactly the full-mesh views.
+/// This is the invariant the fault cases below lean on — the baseline they
+/// reconverge to is the same no matter how summaries were routed.
+#[test]
+fn overlay_topologies_match_full_mesh_views_fault_free() {
+    let seed = base_seed();
+    let baseline = run(overlay_scenario(seed, ProjectionKind::Percental));
+    for overlay in [
+        OverlayTopology::Tree { fanout: 2 },
+        OverlayTopology::Hub { hubs: 2 },
+    ] {
+        for encoding in [Encoding::Dense, Encoding::Delta] {
+            let sc = overlay_scenario(seed, ProjectionKind::Percental)
+                .with_overlay(overlay)
+                .with_encoding(encoding);
+            let got = run(sc);
+            assert_converged_to(
+                &got,
+                &baseline,
+                &format!("fault-free {overlay:?} {encoding:?}"),
+            );
+        }
+    }
+}
+
+/// Partition a hub: sites 2 and 4 lose their *only* route into the grid for
+/// 300 s (hub 0 is their sole neighbor), while 10% of the surviving traffic
+/// drops. Once the partition lifts, retry/resync through the hub must bring
+/// every leaf back to the fault-free full-mesh views — across 3 seeds and
+/// all 3 priority projections.
+#[test]
+fn hub_partition_leaves_reconverge_across_projections() {
+    let base = base_seed();
+    for seed in [base, base + 1, base + 2] {
+        for projection in PROJECTIONS {
+            let baseline = run(overlay_scenario(seed, projection));
+            let mut sc =
+                overlay_scenario(seed, projection).with_overlay(OverlayTopology::Hub { hubs: 2 });
+            sc.faults = FaultPlan {
+                drop_probability: 0.10,
+                outages: vec![outage(0, 300.0, 600.0)],
+                crashes: vec![],
+            };
+            let faulted = run(sc);
+            assert_converged_to(
+                &faulted,
+                &baseline,
+                &format!("hub-partition seed={seed} projection={projection:?}"),
+            );
+        }
+    }
+}
+
+/// Crash a tree-interior node: site 1 (parent of leaves 3 and 4) loses all
+/// volatile USS state — including its per-origin relay mirror — for 300 s.
+/// On recovery it pulls peer snapshots, rebuilds the mirror, and must
+/// re-relay without double-charging: every leaf's view ends within 1e-9 of
+/// the fault-free full-mesh run, across 3 seeds × 3 projections.
+#[test]
+fn tree_interior_crash_leaves_reconverge_across_projections() {
+    let base = base_seed();
+    for seed in [base, base + 1, base + 2] {
+        for projection in PROJECTIONS {
+            let baseline = run(overlay_scenario(seed, projection));
+            let mut sc = overlay_scenario(seed, projection)
+                .with_overlay(OverlayTopology::Tree { fanout: 2 });
+            sc.faults = FaultPlan {
+                drop_probability: 0.10,
+                outages: vec![],
+                crashes: vec![outage(1, 400.0, 700.0)],
+            };
+            let faulted = run(sc);
+            assert_converged_to(
+                &faulted,
+                &baseline,
+                &format!("tree-crash seed={seed} projection={projection:?}"),
+            );
+        }
     }
 }
 

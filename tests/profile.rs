@@ -6,6 +6,7 @@
 //! Verified over the chaos grid — drops, an outage, and a crash — because a
 //! profiler that is only deterministic on clean runs is not deterministic.
 
+use aequus::core::codec::Encoding;
 use aequus::sim::{FaultPlan, GridScenario, GridSimulation, Outage, SimResult};
 use aequus::telemetry::export::JsonValue;
 use aequus::telemetry::{ProfileMode, RunProfile};
@@ -201,6 +202,42 @@ fn queue_gauges_surface_in_both_exporters() {
     assert_eq!(
         engine.gauges["aequus_sim_mailbox_hwm"],
         profile.mailbox_hwm as f64
+    );
+}
+
+/// Modeled-vs-actual wire-bytes drift guard: the profiler's per-link wire
+/// counters and the metrics `gossip_bytes` series are fed by the same
+/// `UssMessage::wire_size`, which in turn must equal the codec's encoded
+/// length (asserted at the unit level in `reliability.rs`). If either path
+/// ever re-grows its own byte model, the two exporters disagree and this
+/// test fails. Run under both encodings; Delta must also actually be the
+/// smaller wire format on this workload.
+#[test]
+fn profiler_gossip_bytes_match_codec_bytes() {
+    let mut totals = std::collections::BTreeMap::new();
+    for encoding in [Encoding::Dense, Encoding::Delta] {
+        let sc = scenario(base_seed(), ProfileMode::Counters).with_encoding(encoding);
+        let result = GridSimulation::new(sc).run(&trace(), 1800.0);
+        let profiled: u64 = profile_of(&result)
+            .shards
+            .iter()
+            .flat_map(|s| s.link_bytes.values())
+            .sum();
+        let metered = result.metrics.total_gossip_bytes();
+        assert!(profiled > 0, "{encoding:?}: no gossip bytes profiled");
+        assert_eq!(
+            profiled, metered,
+            "{encoding:?}: profiler wire counters diverged from metrics gossip_bytes"
+        );
+        // The cumulative series ends at the total and never decreases.
+        let series = result.metrics.gossip_bytes_series();
+        assert_eq!(series.last().map(|&(_, b)| b), Some(metered));
+        assert!(series.windows(2).all(|w| w[0].1 <= w[1].1));
+        totals.insert(format!("{encoding:?}"), metered);
+    }
+    assert!(
+        totals["Delta"] < totals["Dense"],
+        "Delta must shrink the wire: {totals:?}"
     );
 }
 
