@@ -39,8 +39,15 @@ cargo run -q --release -p aequus-bench --bin profiler_overhead -- --check
 # gate runs at the full 100k-user x 32-site shape via `gossip_sweep`).
 cargo run -q --release -p aequus-bench --bin gossip_sweep -- --check
 
-# Benchmark snapshot + regression gate: writes BENCH_PR8.json (and its
-# PROFILE_PR8.json attribution sidecar) and compares against the most
+# Fairness-health gate: the fault-free chaos grid must fire zero alerts,
+# the 30%-drop + outage run must fire a staleness alert and resolve it
+# after recovery, the health report and alert stream must be
+# byte-identical across worker counts, and the SLO engine + health map
+# must cost <= 5% sim wall time on a production-density run.
+cargo run -q --release -p aequus-bench --bin aequus-health -- --check
+
+# Benchmark snapshot + regression gate: writes BENCH_PR9.json (and its
+# PROFILE_PR9.json attribution sidecar) and compares against the most
 # recent previous BENCH_*.json within tolerance (passes with a note when
 # none exists yet). Thread-scaling keys skip on hosts with < 8 cores.
 cargo run -q --release -p aequus-bench --bin bench_snapshot -- 1500 --check

@@ -1,9 +1,10 @@
-//! Machine-readable benchmark snapshot: writes `BENCH_PR8.json` with the
+//! Machine-readable benchmark snapshot: writes `BENCH_PR9.json` with the
 //! headline numbers of this revision (fairshare refresh latency, query p99,
 //! gossip convergence under faults, the wire codec's bytes-per-user and the
 //! overlay convergence time from the gossip sweep, causal-tracing overhead,
-//! crash recovery with/without the durable store, and the sharded engine's
-//! smoke-sized scaling numbers) plus `PROFILE_PR8.json`, the
+//! crash recovery with/without the durable store, the sharded engine's
+//! smoke-sized scaling numbers, and the fairness-health subsystem's
+//! staleness/alert-lag/depth-rollup figures) plus `PROFILE_PR9.json`, the
 //! continuous-profiler run profile that `bench_diff` uses to attribute
 //! wall-clock regressions to a pipeline stage. With `--check` it compares each key against the most
 //! recent previous `BENCH_*.json` in the working directory (shared gate
@@ -23,15 +24,15 @@
 
 use aequus_bench::snapshot::{compare, host_cores, previous_snapshot, skip_scaling_keys};
 use aequus_bench::{
-    baseline_trace, jobs_arg, run_gossip_sweep, run_recovery_sweep, run_scale_sweep,
-    run_with_faults, GossipConfig, ScaleConfig, ScenarioBuilder,
+    baseline_trace, jobs_arg, run_gossip_sweep, run_health_chaos, run_recovery_sweep,
+    run_scale_sweep, run_with_faults, GossipConfig, ScaleConfig, ScenarioBuilder,
 };
 use aequus_sim::{GridScenario, GridSimulation, SimResult};
 use aequus_workload::users::baseline_policy_shares;
 use std::time::Instant;
 
-const OUT: &str = "BENCH_PR8.json";
-const PROFILE_OUT: &str = "PROFILE_PR8.json";
+const OUT: &str = "BENCH_PR9.json";
+const PROFILE_OUT: &str = "PROFILE_PR9.json";
 
 /// The compact two-cluster testbed used for the timing ratios, so the
 /// telemetry-only / unsampled / fully-traced runs are strictly comparable.
@@ -162,6 +163,34 @@ fn main() {
     let scale_eps_1t = scale.events_per_sec(1).unwrap_or(-1.0);
     let scale_eps_8t = scale.events_per_sec(8).unwrap_or(-1.0);
     let scale_speedup = scale.best_speedup();
+    // Fairness-health figures from the chaos-calibration grid (the same
+    // runs `aequus-health --check` gates): worst per-link staleness p99 and
+    // the staleness alert's detection lag on the full mesh, plus the
+    // depth-2 convergence-lag rollup on a fanout-2 tree overlay. All three
+    // are sim-time-deterministic per revision; −1.0 marks "did not fire /
+    // no depth-2 links", which the gate table skips.
+    let health = run_health_chaos(seed, 3, None);
+    let health_report = health.health_report.as_ref().expect("health run reports");
+    let staleness_p99 = health_report
+        .links
+        .iter()
+        .map(|l| l.staleness_p99_s)
+        .fold(0.0f64, f64::max);
+    let alert_detection_lag = health
+        .alerts
+        .iter()
+        .find(|a| a.transition == "firing" && a.rule.starts_with("staleness:"))
+        .map_or(-1.0, |a| a.t_s - 300.0);
+    let tree = run_health_chaos(
+        seed,
+        6,
+        Some(aequus_services::OverlayTopology::Tree { fanout: 2 }),
+    );
+    let depth2_lag = tree
+        .health_report
+        .as_ref()
+        .and_then(|r| r.depth_lag(2))
+        .unwrap_or(-1.0);
     // The serial smoke run's profile is this snapshot's attribution
     // sidecar: when a later `bench_diff` sees a wall-clock key regress, it
     // diffs the two PROFILE files' stage shares to name the culprit.
@@ -171,7 +200,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"pr\": 8,\n  \"jobs\": {jobs},\n  \"host_cores\": {cores},\n  \
+        "{{\n  \"pr\": 9,\n  \"jobs\": {jobs},\n  \"host_cores\": {cores},\n  \
          \"refresh_mean_s\": {refresh_mean:?},\n  \
          \"refresh_p99_s\": {refresh_p99:?},\n  \"query_p99_s\": {query_p99:?},\n  \
          \"gossip_divergent_s\": {divergent_s:?},\n  \
@@ -183,7 +212,10 @@ fn main() {
          \"recovery_snapshot_only_s\": {recovery_snap:?},\n  \
          \"scale_speedup_x\": {scale_speedup:?},\n  \
          \"events_per_sec_1t\": {scale_eps_1t:?},\n  \
-         \"events_per_sec_8t\": {scale_eps_8t:?}\n}}\n"
+         \"events_per_sec_8t\": {scale_eps_8t:?},\n  \
+         \"staleness_p99_s\": {staleness_p99:?},\n  \
+         \"alert_detection_lag_s\": {alert_detection_lag:?},\n  \
+         \"depth2_convergence_lag_s\": {depth2_lag:?}\n}}\n"
     );
     std::fs::write(OUT, &json).expect("write benchmark snapshot");
     println!("wrote {OUT}:");

@@ -169,6 +169,65 @@ pub fn run_bursty_on(jobs: usize, seed: u64, threads: usize) -> SimResult {
     GridSimulation::new(scenario).run(&trace, 1800.0)
 }
 
+/// Run the chaos-calibration grid with health monitoring on: `sites`
+/// clusters of 4 nodes under 30% gossip drops plus a 300 s outage of
+/// site 1, the fault plan that `aequus-health --check` gates on. The fast
+/// cadences (30 s publishes, 15 s ack timeouts, 60 s usage slots) make the
+/// outage span several missed delivery opportunities, so the staleness SLO
+/// fires and resolves within the run. `overlay` selects the gossip
+/// topology (default full mesh) — hierarchical overlays populate the
+/// health report's per-depth convergence-lag rollup.
+pub fn run_health_chaos(
+    seed: u64,
+    sites: usize,
+    overlay: Option<aequus_services::OverlayTopology>,
+) -> SimResult {
+    let mut sc = GridScenario::national_testbed(&baseline_policy_shares(), seed);
+    sc.clusters.truncate(sites.max(2));
+    for c in &mut sc.clusters {
+        c.nodes = 4;
+    }
+    sc.timings.report_delay_s = 5.0;
+    sc.timings.uss_publish_interval_s = 30.0;
+    sc.timings.ums_refresh_interval_s = 30.0;
+    sc.timings.fcs_refresh_interval_s = 30.0;
+    sc.timings.lib_cache_ttl_s = 10.0;
+    sc.timings.exchange_latency_s = 5.0;
+    sc.usage_slot_s = 60.0;
+    sc.tick_interval_s = 5.0;
+    sc.retry = aequus_services::RetryPolicy {
+        ack_timeout_s: 15.0,
+        max_backoff_s: 60.0,
+        jitter_frac: 0.2,
+        history_cap: 8,
+        outbox_cap: 8,
+    };
+    if let Some(topology) = overlay {
+        sc.overlay = topology;
+    }
+    sc.faults = aequus_sim::FaultPlan {
+        drop_probability: 0.30,
+        outages: vec![aequus_sim::Outage {
+            cluster: 1,
+            from_s: 300.0,
+            to_s: 600.0,
+        }],
+        crashes: vec![],
+    };
+    let sc = sc.with_health(aequus_telemetry::SloConfig::default());
+    let trace = Trace::new(
+        (0..48)
+            .map(|i| aequus_workload::TraceJob {
+                user: ["U65", "U30", "U3", "Uoth"][i % 4].to_string(),
+                submit_s: i as f64 * 15.0,
+                duration_s: 40.0,
+                cores: 1,
+            })
+            .collect(),
+    );
+    GridSimulation::new(sc).run(&trace, 1800.0)
+}
+
 /// Run a baseline with injected faults: gossip drops and one site outage.
 pub fn run_with_faults(jobs: usize, drop_probability: f64, seed: u64) -> SimResult {
     let scenario = ScenarioBuilder::testbed(&baseline_policy_shares(), seed)

@@ -74,6 +74,14 @@ pub const GATES: &[Gate] = &[
     gate("scale_speedup_x", Dir::HigherIsBetter, 1.5, 0.5),
     gate("events_per_sec_1t", Dir::HigherIsBetter, 2.0, 50_000.0),
     gate("events_per_sec_8t", Dir::HigherIsBetter, 2.0, 50_000.0),
+    // Fairness-health figures from the chaos-calibration runs. All three
+    // are sim-time measurements (deterministic per revision), quantized to
+    // the 60 s sample cadence — the slack tolerates one to two samples of
+    // drift; −1.0 ("did not fire / no such depth") skips via the negative
+    // sentinel rule above.
+    gate("staleness_p99_s", Dir::LowerIsBetter, 1.25, 90.0),
+    gate("alert_detection_lag_s", Dir::LowerIsBetter, 1.25, 90.0),
+    gate("depth2_convergence_lag_s", Dir::LowerIsBetter, 1.25, 120.0),
 ];
 
 /// Keys that only measure something real on a multi-core host: wall-clock

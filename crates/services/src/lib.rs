@@ -40,7 +40,10 @@ pub use irs::Irs;
 pub use libaequus::LibAequus;
 pub use participation::ParticipationMode;
 pub use pds::Pds;
-pub use reliability::{JitterRng, OverlayTopology, RetryPolicy, StalePolicy, UssMessage};
+pub use reliability::{
+    DepthReport, HealthMap, HealthReport, JitterRng, LinkObservation, LinkReport, OverlayTopology,
+    RetryPolicy, StalePolicy, UssMessage,
+};
 pub use site::AequusSite;
 pub use timings::ServiceTimings;
 pub use ums::Ums;

@@ -32,7 +32,7 @@
 //!   configured [`StalePolicy`] (serve-stale vs. local-only weighting).
 
 use crate::participation::ParticipationMode;
-use crate::reliability::{JitterRng, RetryPolicy, StalePolicy, UssMessage};
+use crate::reliability::{JitterRng, LinkObservation, RetryPolicy, StalePolicy, UssMessage};
 use aequus_core::arena::DirtySet;
 use aequus_core::ids::SiteId;
 use aequus_core::usage::{UsageHistogram, UsageRecord, UsageSummary, UserCells};
@@ -128,13 +128,22 @@ impl UssMetrics {
 /// Publisher-side per-peer delivery state.
 #[derive(Debug, Clone)]
 struct PeerTx {
-    /// Unacked published sequence numbers, oldest first.
-    outbox: VecDeque<u64>,
+    /// Unacked published `(seq, published_at_s)` entries, oldest first. The
+    /// publication timestamp turns the outbox head into the link's
+    /// *undelivered-data age* — the health map's staleness signal: zero
+    /// while everything is acked, growing while a peer is unreachable, and
+    /// silent during quiescent drains (an empty outbox means the peer is
+    /// missing nothing).
+    outbox: VecDeque<(u64, f64)>,
     /// Earliest time the outbox may be (re)flushed.
     next_attempt_s: f64,
     /// Completed sends of the current outbox without a full ack — drives the
     /// exponential backoff; reset to zero once the outbox drains.
     attempts: u32,
+    /// Cumulative retry sends to this peer (health map).
+    retries: u64,
+    /// Cumulative snapshot catch-ups sent to this peer (health map).
+    snapshots: u64,
 }
 
 impl PeerTx {
@@ -143,6 +152,8 @@ impl PeerTx {
             outbox: VecDeque::new(),
             next_attempt_s: f64::NEG_INFINITY,
             attempts: 0,
+            retries: 0,
+            snapshots: 0,
         }
     }
 }
@@ -160,6 +171,10 @@ struct PeerRx {
     /// Last time any data message from this peer arrived (staleness anchor);
     /// `NEG_INFINITY` until the first one.
     last_heard_s: f64,
+    /// Cumulative sequence gaps detected on this link (health map).
+    gaps: u64,
+    /// Cumulative anti-entropy resyncs issued on this link (health map).
+    resyncs: u64,
 }
 
 impl PeerRx {
@@ -168,6 +183,8 @@ impl PeerRx {
             next_expected: 1,
             seen_above: BTreeSet::new(),
             last_heard_s: f64::NEG_INFINITY,
+            gaps: 0,
+            resyncs: 0,
         }
     }
 }
@@ -544,7 +561,7 @@ impl Uss {
         }
         for peer in &self.peers {
             let tx = self.tx.entry(*peer).or_insert_with(PeerTx::new);
-            tx.outbox.push_back(seq);
+            tx.outbox.push_back((seq, now_s));
             while tx.outbox.len() > self.retry.outbox_cap.max(1) {
                 // Oldest unacked entry overflows; the receiver recovers it
                 // through gap detection → resync (→ snapshot fallback).
@@ -577,9 +594,10 @@ impl Uss {
             if tx.outbox.is_empty() || now_s < tx.next_attempt_s {
                 continue;
             }
-            let seqs: Vec<u64> = tx.outbox.iter().copied().collect();
+            let seqs: Vec<u64> = tx.outbox.iter().map(|&(seq, _)| seq).collect();
             let retrying = tx.attempts > 0;
             let mut sent = 0u64;
+            let mut snapshots_now = 0u64;
             let mut evicted: Vec<u64> = Vec::new();
             for seq in seqs {
                 match self.history.iter().find(|s| s.seq == seq) {
@@ -608,6 +626,7 @@ impl Uss {
                 ));
                 self.snapshots_sent += 1;
                 self.metrics.snapshots.inc();
+                snapshots_now += 1;
                 sent += 1;
             }
             if retrying {
@@ -618,7 +637,11 @@ impl Uss {
             // The entry was present at the top of the loop; re-check rather
             // than `expect` — a serving site must not panic on map state.
             if let Some(tx) = self.tx.get_mut(&peer) {
-                tx.outbox.retain(|seq| !evicted.contains(seq));
+                tx.outbox.retain(|&(seq, _)| !evicted.contains(&seq));
+                if retrying {
+                    tx.retries += sent;
+                }
+                tx.snapshots += snapshots_now;
                 tx.attempts += 1;
                 tx.next_attempt_s = now_s + self.retry.backoff_s(tx.attempts, unit);
             }
@@ -647,6 +670,7 @@ impl Uss {
                 }
                 self.snapshots_sent += 1;
                 self.metrics.snapshots.inc();
+                self.tx.entry(*from).or_insert_with(PeerTx::new).snapshots += 1;
                 vec![(
                     *from,
                     UssMessage::Snapshot {
@@ -753,6 +777,8 @@ impl Uss {
                     // twice is harmless (merges are idempotent), so repeated
                     // gap hits double as resync retries.
                     let (from_seq, to_seq) = (rx.next_expected, s.seq - 1);
+                    rx.gaps += 1;
+                    rx.resyncs += 1;
                     self.seq_gaps += 1;
                     self.metrics.gaps.inc();
                     self.resyncs += 1;
@@ -791,7 +817,7 @@ impl Uss {
 
     fn on_ack(&mut self, from: SiteId, seq: u64) {
         if let Some(tx) = self.tx.get_mut(&from) {
-            if let Some(pos) = tx.outbox.iter().position(|&q| q == seq) {
+            if let Some(pos) = tx.outbox.iter().position(|&(q, _)| q == seq) {
                 tx.outbox.remove(pos);
             }
             if tx.outbox.is_empty() {
@@ -834,6 +860,7 @@ impl Uss {
             ));
             self.snapshots_sent += 1;
             self.metrics.snapshots.inc();
+            self.tx.entry(from).or_insert_with(PeerTx::new).snapshots += 1;
         }
         out
     }
@@ -1256,6 +1283,48 @@ impl Uss {
     pub fn outbox_depth(&self, peer: SiteId) -> usize {
         self.tx.get(&peer).map_or(0, |t| t.outbox.len())
     }
+
+    /// Per-link health rows at `now_s`: one tx-side row per delivery peer
+    /// and one rx-side row per expected publisher. The tx staleness signal
+    /// is the **undelivered-data age** — `now` minus the publication time
+    /// of the oldest unacked outbox entry, zero when the outbox is empty —
+    /// so it grows only while a peer actually misses data and stays silent
+    /// through quiescent drains. Wire bytes/message counts and overlay
+    /// depths are filled in by the sim shard, which owns the wire
+    /// accounting.
+    pub fn link_stats(&self, now_s: f64) -> Vec<LinkObservation> {
+        let mut out = Vec::with_capacity(self.peers.len() + self.rx_peers.len());
+        for peer in &self.peers {
+            let mut row = LinkObservation::tx(self.site.0, peer.0, 0);
+            if let Some(tx) = self.tx.get(peer) {
+                row.staleness_s = tx
+                    .outbox
+                    .front()
+                    .map_or(0.0, |&(_, published_s)| (now_s - published_s).max(0.0));
+                row.outbox = tx.outbox.len();
+                row.retries = tx.retries;
+                row.snapshots = tx.snapshots;
+            }
+            out.push(row);
+        }
+        for peer in &self.rx_peers {
+            let mut row = LinkObservation::rx(peer.0, self.site.0, 0);
+            match self.rx.get(peer) {
+                Some(rx) => {
+                    row.heard_age_s = if rx.last_heard_s.is_finite() {
+                        (now_s - rx.last_heard_s).max(0.0)
+                    } else {
+                        now_s.max(0.0)
+                    };
+                    row.gaps = rx.gaps;
+                    row.resyncs = rx.resyncs;
+                }
+                None => row.heard_age_s = now_s.max(0.0),
+            }
+            out.push(row);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -1466,6 +1535,40 @@ mod tests {
         // The ack cleared the outbox; nothing further is sent.
         assert_eq!(a.outbox_depth(SiteId(1)), 0);
         assert!(a.poll(500.0).is_empty());
+    }
+
+    #[test]
+    fn link_stats_report_undelivered_data_age() {
+        let (mut a, mut b) = reliable_pair();
+        a.ingest(&rec(0, "u", 0.0, 80.0));
+        a.publish(200.0);
+        let sent = a.poll(200.0);
+        // The summary is in flight but unacked: staleness is the age of the
+        // oldest undelivered publish, measured at the asking clock.
+        let tx = a
+            .link_stats(260.0)
+            .into_iter()
+            .find(|o| o.to == 1 && o.heard_age_s < 0.0)
+            .expect("tx row for peer 1");
+        assert!((tx.staleness_s - 60.0).abs() < 1e-9);
+        assert_eq!(tx.outbox, 1);
+        drain(&mut a, &mut b, sent, 261.0);
+        // Once acked the outbox drains and the link reads fresh again, even
+        // if no new data has been published since (quiescent != stale).
+        let tx = a
+            .link_stats(1000.0)
+            .into_iter()
+            .find(|o| o.to == 1 && o.heard_age_s < 0.0)
+            .expect("tx row for peer 1");
+        assert_eq!(tx.staleness_s, 0.0);
+        assert_eq!(tx.outbox, 0);
+        // The receiving side reports how long since it last heard from us.
+        let rx = b
+            .link_stats(300.0)
+            .into_iter()
+            .find(|o| o.from == 0 && o.staleness_s < 0.0)
+            .expect("rx row for peer 0");
+        assert!((rx.heard_age_s - 39.0).abs() < 1e-9);
     }
 
     #[test]

@@ -17,10 +17,15 @@ use crate::scenario::GridScenario;
 use crate::shard::{SampleSpec, Shard, ShardStats};
 use aequus_core::{GridUser, SiteId};
 use aequus_rms::SchedulerStats;
-use aequus_services::StoreStats;
+use aequus_services::{HealthMap, HealthReport, StoreStats};
+use aequus_telemetry::export::series_name;
 use aequus_telemetry::flight::{dump_jsonl, FlightRecorder};
 use aequus_telemetry::provenance::ProvenanceRecord;
-use aequus_telemetry::{ProfileMode, RunProfile, ShardProfiler, Snapshot, SpanRecord, Telemetry};
+use aequus_telemetry::slo::StarvationClock;
+use aequus_telemetry::{
+    AlertEvent, ProfileMode, RunProfile, ShardProfiler, SloEngine, SloRule, Snapshot, SpanRecord,
+    Telemetry,
+};
 use aequus_workload::Trace;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -90,6 +95,16 @@ pub struct SimResult {
     /// scenario enabled profiling ([`GridScenario::with_profiling`]).
     /// Export with [`RunProfile::to_chrome_trace`] / [`RunProfile::to_folded`].
     pub profile: Option<RunProfile>,
+    /// The finalized gossip health report: per-link staleness/bytes/retry
+    /// aggregates and the per-depth convergence-lag attribution. `None`
+    /// unless the scenario enabled health monitoring
+    /// ([`GridScenario::with_health`]). Deterministic at any worker count.
+    pub health_report: Option<HealthReport>,
+    /// The SLO alert stream: every lifecycle transition
+    /// (pending/firing/resolved/cleared) stamped with sim time, in emission
+    /// order. Empty unless the scenario enabled health monitoring.
+    /// Bit-identical across worker counts.
+    pub alerts: Vec<AlertEvent>,
 }
 
 impl SimResult {
@@ -273,6 +288,94 @@ impl GridSimulation {
         let mut flight_records: Vec<String> = Vec::new();
         let site0_telemetry = self.site0_telemetry.clone();
 
+        // Fairness-health monitoring: resolve auto thresholds from the
+        // scenario's cadences, then fix the rule set up front — fairness and
+        // starvation per tracked user, the grid-wide divergence and
+        // convergence-lag rules, and one staleness rule per directed overlay
+        // link. A fixed rule set means a fixed observation order, so the
+        // alert stream is bit-identical at any worker count.
+        let n_sites = self.scenario.clusters.len();
+        let mut health_links: Vec<(u32, u32)> = Vec::new();
+        if self.scenario.health.is_some() {
+            for i in 0..n_sites {
+                for j in self.scenario.overlay.neighbors(i, n_sites) {
+                    if self.scenario.clusters[j].participation.reads_global() {
+                        health_links.push((i as u32, j as u32));
+                    }
+                }
+            }
+        }
+        let mut slo = self.scenario.health.clone().map(|mut cfg| {
+            if cfg.staleness_threshold_s <= 0.0 {
+                // Three missed delivery opportunities end-to-end.
+                cfg.staleness_threshold_s = 3.0
+                    * (self.scenario.timings.uss_publish_interval_s
+                        + self.scenario.timings.exchange_latency_s
+                        + self.scenario.retry.ack_timeout_s);
+            }
+            if cfg.divergence_threshold <= 0.0 {
+                // The structural divergence floor: the biggest site can
+                // accrue a full slot of usage locally before a publish +
+                // exchange round carries it to the peers.
+                let max_cores = self
+                    .scenario
+                    .clusters
+                    .iter()
+                    .map(crate::scenario::ClusterSpec::cores)
+                    .max()
+                    .unwrap_or(1);
+                cfg.divergence_threshold = 2.0
+                    * f64::from(max_cores)
+                    * (self.scenario.usage_slot_s
+                        + self.scenario.timings.uss_publish_interval_s
+                        + self.scenario.timings.exchange_latency_s);
+            }
+            let mut rules = Vec::new();
+            for (name, _) in &tracked {
+                rules.push(SloRule {
+                    id: format!("fairness:{name}"),
+                    threshold: cfg.fairness_threshold,
+                });
+            }
+            for (name, _) in &tracked {
+                rules.push(SloRule {
+                    id: format!("starvation:{name}"),
+                    threshold: cfg.starvation_age_s,
+                });
+            }
+            rules.push(SloRule {
+                id: "divergence".to_string(),
+                threshold: cfg.divergence_threshold,
+            });
+            rules.push(SloRule {
+                id: "convergence_lag".to_string(),
+                threshold: cfg.convergence_lag_s,
+            });
+            for &(from, to) in &health_links {
+                rules.push(SloRule {
+                    id: format!("staleness:{from}->{to}"),
+                    threshold: cfg.staleness_threshold_s,
+                });
+            }
+            SloEngine::new(cfg, rules)
+        });
+        let slo_starv_frac = slo.as_ref().map_or(0.0, |e| e.config().starvation_frac);
+        let slo_div_eps = slo
+            .as_ref()
+            .map_or(0.0, |e| e.config().divergence_threshold);
+        // Rule index of each link's staleness value, so the barrier hook
+        // fills the value vector with one pass over the observation rows
+        // instead of a per-link search.
+        let staleness_base = 2 * tracked.len() + 2;
+        let link_rule_idx: BTreeMap<(u32, u32), usize> = health_links
+            .iter()
+            .enumerate()
+            .map(|(k, &link)| (link, staleness_base + k))
+            .collect();
+        let mut health_map = HealthMap::default();
+        let mut starvation = StarvationClock::default();
+        let mut diverged_since: Option<f64> = None;
+
         let at_barrier = |now: f64, frags: BarrierFragments| {
             c_samples.inc();
             let suppressed = frags.iter().any(|(_, s)| *s);
@@ -291,6 +394,45 @@ impl GridSimulation {
                 anomalies.extend(rec.observe_divergence(sample.usage_view_divergence, now));
                 for a in anomalies {
                     flight_records.push(dump_jsonl(&a, &site0_telemetry));
+                }
+            }
+            if let Some(engine) = slo.as_mut() {
+                health_map.observe_all(&sample.link_health);
+                // One value per rule, in the order the rules were built.
+                let mut values = Vec::with_capacity(engine.rules().len());
+                for (name, target) in &tracked {
+                    let achieved = sample.users.get(name).map(|u| u.usage_share).unwrap_or(0.0);
+                    values.push((achieved - target).abs());
+                }
+                for (name, target) in &tracked {
+                    let achieved = sample.users.get(name).map(|u| u.usage_share).unwrap_or(0.0);
+                    values.push(starvation.age(name, achieved, *target, slo_starv_frac, now));
+                }
+                values.push(sample.usage_view_divergence);
+                // Convergence lag: how long the views have continuously
+                // disagreed beyond the divergence threshold.
+                if sample.usage_view_divergence > slo_div_eps {
+                    diverged_since.get_or_insert(now);
+                } else {
+                    diverged_since = None;
+                }
+                values.push(diverged_since.map_or(0.0, |s| now - s));
+                // Staleness rules default to 0.0 (no outstanding data),
+                // then one pass over the tx rows fills the observed links.
+                values.resize(engine.rules().len(), 0.0);
+                for o in &sample.link_health {
+                    if o.heard_age_s < 0.0 {
+                        if let Some(&k) = link_rule_idx.get(&(o.from, o.to)) {
+                            values[k] = o.staleness_s;
+                        }
+                    }
+                }
+                for ev in engine.observe(now, &values) {
+                    if let Some(rec) = recorder.as_mut() {
+                        if let Some(a) = rec.observe_alert(&ev.rule, ev.transition, ev.value, now) {
+                            flight_records.push(dump_jsonl(&a, &site0_telemetry));
+                        }
+                    }
                 }
             }
             metrics.record(sample);
@@ -389,6 +531,57 @@ impl GridSimulation {
             rp
         });
 
+        // Finalize the health subsystem: render the per-link report, export
+        // the labeled series into the engine registry (both exporters pick
+        // them up), and take the full alert log.
+        let (health_report, alerts) = match slo {
+            Some(engine) => {
+                let report = health_map.finalize();
+                for link in &report.links {
+                    let from = link.from.to_string();
+                    let to = link.to.to_string();
+                    let depth = link.depth.to_string();
+                    let labels = [
+                        ("depth", depth.as_str()),
+                        ("from", from.as_str()),
+                        ("to", to.as_str()),
+                    ];
+                    self.telemetry
+                        .gauge(&series_name("aequus_health_link_staleness_p99_s", &labels))
+                        .set(link.staleness_p99_s);
+                    self.telemetry
+                        .counter(&series_name("aequus_health_link_bytes_total", &labels))
+                        .add(link.bytes);
+                }
+                for d in &report.depths {
+                    let depth = d.depth.to_string();
+                    self.telemetry
+                        .gauge(&series_name(
+                            "aequus_health_depth_lag_s",
+                            &[("depth", depth.as_str())],
+                        ))
+                        .set(d.convergence_lag_s);
+                }
+                let events = engine.into_events();
+                let mut transitions: BTreeMap<(String, &'static str), u64> = BTreeMap::new();
+                for ev in &events {
+                    *transitions
+                        .entry((ev.rule.clone(), ev.transition))
+                        .or_default() += 1;
+                }
+                for ((rule, to), count) in transitions {
+                    self.telemetry
+                        .counter(&series_name(
+                            "aequus_slo_alert_transitions_total",
+                            &[("rule", &rule), ("to", to)],
+                        ))
+                        .add(count);
+                }
+                (Some(report), events)
+            }
+            None => (None, Vec::new()),
+        };
+
         let cluster_utilization: Vec<f64> = shards
             .iter_mut()
             .map(|s| s.cluster.rms.utilization(end_s))
@@ -423,6 +616,8 @@ impl GridSimulation {
                 .collect(),
             flight_records,
             profile,
+            health_report,
+            alerts,
         }
     }
 }
@@ -737,6 +932,41 @@ mod tests {
     }
 
     #[test]
+    fn health_monitoring_yields_report_and_quiet_alerts() {
+        use aequus_telemetry::SloConfig;
+        let trace = uniform_trace(40, 10.0, 30.0);
+        // An 8-core grid needs a longer fairness warmup than the default:
+        // with so few cores the first completions swing shares for ~10 min.
+        let cfg = SloConfig {
+            warmup_s: 600.0,
+            ..SloConfig::default()
+        };
+        let sc = small_scenario().with_health(cfg.clone());
+        let result = GridSimulation::new(sc).run(&trace, 2000.0);
+        let report = result.health_report.expect("health report assembled");
+        assert_eq!(report.links.len(), 2, "both directed links observed");
+        assert_eq!(report.depths.len(), 1, "full mesh is one depth class");
+        assert!(report.links.iter().all(|l| l.bytes > 0 && l.msgs > 0));
+        // Fault-free: nothing fires (early pendings may clear, never fire).
+        assert!(
+            result.alerts.iter().all(|a| a.transition != "firing"),
+            "{:?}",
+            result.alerts
+        );
+        // The report and alert stream are worker-count invariant.
+        let par = GridSimulation::new(small_scenario().with_health(cfg).with_threads(2))
+            .run(&trace, 2000.0);
+        assert_eq!(
+            par.health_report.expect("report").to_json(),
+            report.to_json()
+        );
+        assert_eq!(par.alerts, result.alerts);
+        // Health off leaves both fields empty.
+        let off = GridSimulation::new(small_scenario()).run(&trace, 2000.0);
+        assert!(off.health_report.is_none() && off.alerts.is_empty());
+    }
+
+    #[test]
     fn mean_utilization_is_capacity_weighted() {
         // A big busy cluster and a tiny idle one: the plain mean would say
         // 50%; the capacity-weighted truth is ~99%.
@@ -755,6 +985,8 @@ mod tests {
             flight_records: vec![],
             site_store_stats: vec![],
             profile: None,
+            health_report: None,
+            alerts: vec![],
         };
         assert!((result.mean_utilization() - 0.9801).abs() < 1e-12);
     }

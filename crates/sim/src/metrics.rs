@@ -8,6 +8,7 @@
 //! metrics to the single-threaded run.
 
 use aequus_core::GridUser;
+use aequus_services::LinkObservation;
 use std::collections::BTreeMap;
 
 /// Per-user state at one sample instant.
@@ -59,6 +60,10 @@ pub struct Sample {
     /// Per-site telemetry registry snapshots, in cluster order. Empty when
     /// the scenario runs without telemetry.
     pub site_telemetry: Vec<aequus_telemetry::Snapshot>,
+    /// Per-link gossip health observations across all sites, in site order
+    /// (tx rows then rx rows per site). Empty unless the scenario runs
+    /// health monitoring.
+    pub link_health: Vec<LinkObservation>,
 }
 
 /// One shard's contribution to a metrics sample, gathered locally at a
@@ -94,6 +99,9 @@ pub struct ShardSample {
     pub gossip_bytes: u64,
     /// This site's telemetry registry snapshot, when telemetry is on.
     pub telemetry: Option<aequus_telemetry::Snapshot>,
+    /// This site's per-link gossip health observations (empty unless the
+    /// scenario runs health monitoring).
+    pub link_health: Vec<LinkObservation>,
 }
 
 impl Sample {
@@ -114,6 +122,7 @@ impl Sample {
         let mut views: Vec<BTreeMap<GridUser, f64>> = Vec::new();
         let mut gossip_bytes = 0u64;
         let mut site_telemetry = Vec::new();
+        let mut link_health = Vec::new();
         for frag in fragments {
             if !frag.users.is_empty() {
                 users = frag.users;
@@ -133,6 +142,7 @@ impl Sample {
             if let Some(snap) = frag.telemetry {
                 site_telemetry.push(snap);
             }
+            link_health.extend(frag.link_health);
         }
         Self {
             t_s,
@@ -148,6 +158,7 @@ impl Sample {
             usage_view_divergence: view_divergence(&views),
             gossip_bytes,
             site_telemetry,
+            link_health,
         }
     }
 }
@@ -453,6 +464,7 @@ mod tests {
             usage_view_divergence: 0.0,
             gossip_bytes: 0,
             site_telemetry: vec![],
+            link_health: vec![],
         }
     }
 
@@ -549,6 +561,7 @@ mod tests {
             usage_view_divergence: 0.0,
             gossip_bytes: 0,
             site_telemetry: vec![],
+            link_health: vec![],
         });
         assert!(log.balance_windows(0.1).is_empty());
         assert_eq!(log.active_balance_windows(0.1), vec![(0.0, 0.0)]);
@@ -579,6 +592,7 @@ mod tests {
             usage_view: Some([(GridUser::new("a"), 100.0)].into_iter().collect()),
             gossip_bytes: 70,
             telemetry: None,
+            link_health: vec![],
         };
         let f1 = ShardSample {
             site_priority: [("a".to_string(), -0.2)].into_iter().collect(),

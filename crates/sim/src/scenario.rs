@@ -171,6 +171,12 @@ pub struct GridScenario {
     /// every delivered message — the sim never ships real buffers, but the
     /// byte accounting is the codec's real encoded size).
     pub encoding: Encoding,
+    /// Fairness-health monitoring: streaming SLO rules with multi-window
+    /// burn-rate alerting plus the per-link gossip health map. `None` (the
+    /// default) skips all health collection; `Some` fills
+    /// [`crate::SimResult::health_report`] and [`crate::SimResult::alerts`].
+    /// Thresholds left at `0.0` are auto-derived from the scenario timings.
+    pub health: Option<aequus_telemetry::SloConfig>,
 }
 
 impl GridScenario {
@@ -222,6 +228,7 @@ impl GridScenario {
             debug_barrier_sleep_ns: 0,
             overlay: OverlayTopology::FullMesh,
             encoding: Encoding::default(),
+            health: None,
         }
     }
 
@@ -325,6 +332,13 @@ impl GridScenario {
     /// Choose the wire encoding for gossip byte accounting.
     pub fn with_encoding(mut self, encoding: Encoding) -> Self {
         self.encoding = encoding;
+        self
+    }
+
+    /// Enable fairness-health monitoring (SLO burn-rate alerting + per-link
+    /// gossip health map) with the given configuration.
+    pub fn with_health(mut self, cfg: aequus_telemetry::SloConfig) -> Self {
+        self.health = Some(cfg);
         self
     }
 

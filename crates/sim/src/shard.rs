@@ -124,6 +124,12 @@ pub struct Shard {
     /// Continuous-profiling accumulator (disabled outside profiled runs).
     /// Shard-owned like `stats`, so the hot loop records without locks.
     pub prof: ShardProfiler,
+    /// Cumulative per-destination wire counters `(bytes, msgs)`, indexed by
+    /// destination site and kept only when the scenario runs health
+    /// monitoring — they feed the per-link health map, which wants link
+    /// budgets, not the site total in `stats`. A flat vector keeps the
+    /// per-send accounting to two adds.
+    link_wire: Vec<(u64, u64)>,
     scenario: Arc<GridScenario>,
     spec: Arc<SampleSpec>,
 }
@@ -138,6 +144,11 @@ impl Shard {
         prof: ShardProfiler,
     ) -> Self {
         let faults = FaultRng::for_shard(scenario.seed, index as u64);
+        let link_wire = if scenario.health.is_some() {
+            vec![(0, 0); scenario.clusters.len()]
+        } else {
+            Vec::new()
+        };
         Self {
             index,
             cluster,
@@ -146,6 +157,7 @@ impl Shard {
             crashed: false,
             stats: ShardStats::default(),
             prof,
+            link_wire,
             scenario,
             spec,
         }
@@ -267,6 +279,10 @@ impl Shard {
         let bytes = msg.wire_size(self.scenario.encoding);
         self.prof.add_wire(dest, bytes);
         self.stats.gossip_bytes += bytes;
+        if let Some(slot) = self.link_wire.get_mut(dest) {
+            slot.0 += bytes;
+            slot.1 += 1;
+        }
         out.push(Outgoing {
             source: self.index,
             dest,
@@ -284,7 +300,7 @@ impl Shard {
     /// This shard's contribution to the metrics sample at `now`: local
     /// queue/usage/FCS readouts, plus the reference-site per-user readout
     /// when this shard hosts site 0.
-    pub fn sample_fragment(&mut self, _now: f64) -> ShardSample {
+    pub fn sample_fragment(&mut self, now: f64) -> ShardSample {
         let mut users: BTreeMap<String, UserSample> = BTreeMap::new();
         if self.index == 0 {
             if let Some(tree) = self.cluster.site.fairshare_tree() {
@@ -332,6 +348,27 @@ impl Shard {
                 .participation
                 .reads_global())
         .then(|| self.cluster.site.uss.grid_view());
+        let link_health = if self.scenario.health.is_some() {
+            let n = self.scenario.clusters.len();
+            let mut rows = self.cluster.site.uss.link_stats(now);
+            for row in &mut rows {
+                row.depth = self
+                    .scenario
+                    .overlay
+                    .link_depth(row.from as usize, row.to as usize, n);
+                // Tx rows additionally carry this site's cumulative wire
+                // budget toward the peer (the rx side never sees drops).
+                if row.heard_age_s < 0.0 {
+                    if let Some(&(bytes, msgs)) = self.link_wire.get(row.to as usize) {
+                        row.bytes = bytes;
+                        row.msgs = msgs;
+                    }
+                }
+            }
+            rows
+        } else {
+            Vec::new()
+        };
         ShardSample {
             users,
             site_priority,
@@ -345,6 +382,7 @@ impl Shard {
             usage_view,
             gossip_bytes: self.stats.gossip_bytes,
             telemetry: self.cluster.telemetry.snapshot(),
+            link_health,
         }
     }
 

@@ -34,17 +34,69 @@ fn parse_f64(s: &str) -> Option<f64> {
     }
 }
 
+/// Escape a label value for the Prometheus text exposition format:
+/// backslash, double quote, and newline must be escaped or the series line
+/// is unparseable (a raw newline even breaks the format's line framing).
+pub fn escape_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The canonical labeled series key `base{k="v",…}` with escaped label
+/// values (just `base` when `labels` is empty). Registry entries keyed this
+/// way export verbatim and round-trip through [`from_prometheus`] — this is
+/// how user- and site-named series carry hostile characters safely.
+pub fn series_name(base: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return base.to_string();
+    }
+    let mut out = format!("{base}{{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    out.push('}');
+    out
+}
+
+/// The series name with any `{…}` label section removed.
+fn base_name(series: &str) -> &str {
+    series.split('{').next().unwrap_or(series)
+}
+
 /// Render `snap` in the Prometheus text exposition format. Histograms are
 /// exported as summaries: `<name>{quantile="…"}` series plus `_count`,
-/// `_sum`, and `_max`. Events are *not* rendered — the exposition format
-/// has no place for them; use [`to_json`] for a lossless archive.
+/// `_sum`, and `_max`. Labeled counter/gauge series (keys built with
+/// [`series_name`]) share one `# TYPE` comment per base name. Events are
+/// *not* rendered — the exposition format has no place for them; use
+/// [`to_json`] for a lossless archive.
 pub fn to_prometheus(snap: &Snapshot) -> String {
     let mut out = String::new();
+    let mut typed: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
     for (name, v) in &snap.counters {
-        out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        let base = base_name(name);
+        if typed.insert(base) {
+            out.push_str(&format!("# TYPE {base} counter\n"));
+        }
+        out.push_str(&format!("{name} {v}\n"));
     }
+    typed.clear();
     for (name, v) in &snap.gauges {
-        out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", fmt_f64(*v)));
+        let base = base_name(name);
+        if typed.insert(base) {
+            out.push_str(&format!("# TYPE {base} gauge\n"));
+        }
+        out.push_str(&format!("{name} {}\n", fmt_f64(*v)));
     }
     for (name, h) in &snap.histograms {
         out.push_str(&format!("# TYPE {name} summary\n"));
@@ -56,6 +108,34 @@ pub fn to_prometheus(snap: &Snapshot) -> String {
         out.push_str(&format!("{name}_max {}\n", fmt_f64(h.max)));
     }
     out
+}
+
+/// Split a sample line into `(series, value)`. A naive `rsplit(' ')` would
+/// split inside quoted label values (spaces are legal there); instead, scan
+/// past the label section respecting quotes and backslash escapes.
+fn split_sample(line: &str) -> Option<(&str, &str)> {
+    let Some(open) = line.find('{') else {
+        return line.rsplit_once(' ');
+    };
+    let bytes = line.as_bytes();
+    let mut i = open + 1;
+    let mut in_quotes = false;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_quotes => i += 1,
+            b'"' => in_quotes = !in_quotes,
+            b'}' if !in_quotes => {
+                let value = line[i + 1..].trim();
+                if value.is_empty() {
+                    return None;
+                }
+                return Some((&line[..=i], value));
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
 }
 
 /// Parse text produced by [`to_prometheus`] back into a [`Snapshot`].
@@ -81,18 +161,32 @@ pub fn from_prometheus(text: &str) -> Option<Snapshot> {
         if line.starts_with('#') {
             continue;
         }
-        let (series, value) = line.rsplit_once(' ')?;
+        let (series, value) = split_sample(line)?;
         if let Some((name, labels)) = series.split_once('{') {
-            let q = labels
-                .strip_suffix("\"}")?
-                .strip_prefix("quantile=\"")?
-                .to_string();
-            let h = snap.histograms.get_mut(name)?;
-            let v = parse_f64(value)?;
-            match q.as_str() {
-                "0.5" => h.p50 = v,
-                "0.95" => h.p95 = v,
-                "0.99" => h.p99 = v,
+            // Histogram quantile series keep their dedicated decoding; any
+            // other labeled series is a counter or gauge stored under its
+            // full (already-canonical) series key.
+            let quantile = labels
+                .strip_suffix("\"}")
+                .and_then(|l| l.strip_prefix("quantile=\""));
+            if let (Some(q), Some(h)) = (quantile, snap.histograms.get_mut(name)) {
+                let v = parse_f64(value)?;
+                match q {
+                    "0.5" => h.p50 = v,
+                    "0.95" => h.p95 = v,
+                    "0.99" => h.p99 = v,
+                    _ => return None,
+                }
+                continue;
+            }
+            match types.get(name).map(String::as_str) {
+                Some("counter") => {
+                    snap.counters
+                        .insert(series.to_string(), value.parse().ok()?);
+                }
+                Some("gauge") => {
+                    snap.gauges.insert(series.to_string(), parse_f64(value)?);
+                }
                 _ => return None,
             }
             continue;
@@ -599,6 +693,66 @@ mod tests {
         assert!(text.contains("aequus_overflow_s{quantile=\"0.5\"} inf"));
         let back = from_prometheus(&text).expect("parse own output");
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn labeled_series_round_trip_with_hostile_values() {
+        let r = Registry::new();
+        // User/site names carrying every character the text format must
+        // escape — backslash, double quote, newline — plus a raw space.
+        let evil = "a\\b\"c\nd e";
+        r.counter(&series_name(
+            "aequus_slo_alert_transitions_total",
+            &[("rule", &format!("fairness:{evil}")), ("to", "firing")],
+        ))
+        .add(3);
+        r.counter("aequus_slo_alert_transitions_total").add(9);
+        r.gauge(&series_name(
+            "aequus_health_link_staleness_p99_s",
+            &[("from", "site 0"), ("to", evil), ("depth", "2")],
+        ))
+        .set(12.5);
+        let snap = r.snapshot();
+        let text = to_prometheus(&snap);
+        // One TYPE comment per base name even with labeled + plain series.
+        assert_eq!(
+            text.matches("# TYPE aequus_slo_alert_transitions_total counter")
+                .count(),
+            1
+        );
+        // The hostile value is escaped on the wire, never raw.
+        assert!(text.contains("to=\"a\\\\b\\\"c\\nd e\""));
+        assert!(!text.contains("a\\b\"c\nd"));
+        let back = from_prometheus(&text).expect("parse own labeled output");
+        assert_eq!(back, snap);
+        // JSON round-trips the same keys via its own escaping.
+        assert_eq!(from_json(&to_json(&snap)).unwrap(), snap);
+    }
+
+    #[test]
+    fn series_name_escapes_and_orders_labels() {
+        assert_eq!(series_name("base", &[]), "base");
+        assert_eq!(
+            series_name("base", &[("a", "x"), ("b", "y\"z")]),
+            "base{a=\"x\",b=\"y\\\"z\"}"
+        );
+        assert_eq!(escape_label_value("p\\q\"r\ns"), "p\\\\q\\\"r\\ns");
+    }
+
+    #[test]
+    fn split_sample_respects_quoted_spaces() {
+        assert_eq!(split_sample("m{u=\"a b\"} 3"), Some(("m{u=\"a b\"}", "3")));
+        assert_eq!(
+            split_sample("m{u=\"a\\\"} b\"} 4"),
+            Some(("m{u=\"a\\\"} b\"}", "4")),
+            "escaped quote inside the value does not close the section"
+        );
+        assert_eq!(split_sample("plain 7"), Some(("plain", "7")));
+        assert!(split_sample("m{u=\"open 3").is_none());
+        assert!(
+            split_sample("m{u=\"v\"}").is_none(),
+            "no value after labels"
+        );
     }
 
     #[test]

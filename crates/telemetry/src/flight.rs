@@ -27,6 +27,11 @@ pub struct AnomalyConfig {
     pub starvation_frac: f64,
     /// Usage-view divergence above this triggers a dump.
     pub divergence_threshold: f64,
+    /// An identical SLO alert transition (same rule, same transition kind)
+    /// within this window is deduplicated — a sustained breach flapping
+    /// through pending/firing produces one flight record per window, not
+    /// one per flap.
+    pub alert_dedup_window_s: f64,
 }
 
 impl Default for AnomalyConfig {
@@ -35,6 +40,7 @@ impl Default for AnomalyConfig {
             starvation_window_s: 3600.0,
             starvation_frac: 0.25,
             divergence_threshold: 0.25,
+            alert_dedup_window_s: 600.0,
         }
     }
 }
@@ -62,6 +68,8 @@ pub struct FlightRecorder {
     starved: BTreeMap<String, bool>,
     degraded: bool,
     diverged: bool,
+    /// (rule, transition) → last time a flight record was emitted for it.
+    alert_last: BTreeMap<(String, String), f64>,
 }
 
 impl FlightRecorder {
@@ -135,6 +143,31 @@ impl FlightRecorder {
                 "usage-view divergence {divergence:.4} > {:.4}",
                 self.cfg.divergence_threshold
             ),
+        })
+    }
+
+    /// Observe one SLO alert lifecycle transition (from the
+    /// [`crate::slo::SloEngine`]). Returns an anomaly to dump unless an
+    /// identical (rule, transition) record was emitted inside the dedup
+    /// window.
+    pub fn observe_alert(
+        &mut self,
+        rule: &str,
+        transition: &str,
+        value: f64,
+        now_s: f64,
+    ) -> Option<Anomaly> {
+        let key = (rule.to_string(), transition.to_string());
+        if let Some(&last) = self.alert_last.get(&key) {
+            if now_s - last < self.cfg.alert_dedup_window_s {
+                return None;
+            }
+        }
+        self.alert_last.insert(key, now_s);
+        Some(Anomaly {
+            t_s: now_s,
+            kind: "slo_alert",
+            detail: format!("rule {rule} {transition} (value {value:.4})"),
         })
     }
 }
@@ -223,7 +256,34 @@ mod tests {
             starvation_window_s: 100.0,
             starvation_frac: 0.5,
             divergence_threshold: 0.2,
+            alert_dedup_window_s: 300.0,
         }
+    }
+
+    #[test]
+    fn alert_records_dedup_per_window() {
+        let mut fr = FlightRecorder::new(cfg());
+        let a = fr
+            .observe_alert("staleness:1->0", "firing", 212.5, 540.0)
+            .expect("first firing records");
+        assert_eq!(a.kind, "slo_alert");
+        assert!(a.detail.contains("staleness:1->0 firing"));
+        // Same transition inside the window: suppressed.
+        assert!(fr
+            .observe_alert("staleness:1->0", "firing", 250.0, 700.0)
+            .is_none());
+        // A different transition of the same rule is independent.
+        assert!(fr
+            .observe_alert("staleness:1->0", "resolved", 10.0, 720.0)
+            .is_some());
+        // And so is another rule.
+        assert!(fr
+            .observe_alert("staleness:2->0", "firing", 180.0, 720.0)
+            .is_some());
+        // Past the window the same transition records again.
+        assert!(fr
+            .observe_alert("staleness:1->0", "firing", 300.0, 900.0)
+            .is_some());
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //!   dump of recent events, spans, and explanations;
 //! * **continuous profiling** ([`profile`]): per-shard stage accounting
 //!   with deterministic counters and wall-clock dual clocks, exported as a
-//!   Chrome trace and a folded-stacks profile.
+//!   Chrome trace and a folded-stacks profile;
+//! * the **SLO engine** ([`slo`]): streaming fairness-health rules
+//!   evaluated on sim-time windows with multi-window burn-rate alerting
+//!   and a deterministic pending → firing → resolved lifecycle.
 //!
 //! A disabled handle ([`Telemetry::disabled`]) reduces every operation to
 //! an `Option` check — no allocation, no clock reads, no locks — so
@@ -38,6 +41,7 @@ mod hist;
 pub mod profile;
 pub mod provenance;
 mod registry;
+pub mod slo;
 pub mod span;
 pub mod tracer;
 
@@ -45,6 +49,7 @@ pub use events::{EventRing, TelemetryEvent};
 pub use hist::{Histogram, HistogramSnapshot, SpanTimer};
 pub use profile::{ProfileMode, RunProfile, ShardProfile, ShardProfiler, StageStats};
 pub use registry::{Counter, Gauge, Registry, Snapshot};
+pub use slo::{AlertEvent, AlertState, SloConfig, SloEngine, SloRule};
 pub use span::{SpanConfig, SpanRecord, SpanTree, TraceCtx};
 
 use provenance::{ProvenanceRecord, ProvenanceStore};
