@@ -46,8 +46,17 @@ cargo run -q --release -p aequus-bench --bin gossip_sweep -- --check
 # must cost <= 5% sim wall time on a production-density run.
 cargo run -q --release -p aequus-bench --bin aequus-health -- --check
 
-# Benchmark snapshot + regression gate: writes BENCH_PR9.json (and its
-# PROFILE_PR9.json attribution sidecar) and compares against the most
+# Backfill dispatch gate (smoke-sized): every dispatch order x projection
+# cell must drain the bursty mixed-width trace with finite fairness error,
+# EASY/SAF utilization must not fall below FIFO's, FIFO and EASY must be
+# bit-identical on the single-core baseline, the learned predictors must
+# beat request echo on mean |rel err| with the prediction-accuracy
+# telemetry counter live, and the scheduler hot path must hold its budget
+# (sub-us pick_next at 10k-deep queues, plan-scan growth well under O(n^2)).
+cargo run -q --release -p aequus-bench --bin backfill_sweep -- --check
+
+# Benchmark snapshot + regression gate: writes BENCH_PR10.json (and its
+# PROFILE_PR10.json attribution sidecar) and compares against the most
 # recent previous BENCH_*.json within tolerance (passes with a note when
 # none exists yet). Thread-scaling keys skip on hosts with < 8 cores.
 cargo run -q --release -p aequus-bench --bin bench_snapshot -- 1500 --check

@@ -1,10 +1,12 @@
-//! Machine-readable benchmark snapshot: writes `BENCH_PR9.json` with the
+//! Machine-readable benchmark snapshot: writes `BENCH_PR10.json` with the
 //! headline numbers of this revision (fairshare refresh latency, query p99,
 //! gossip convergence under faults, the wire codec's bytes-per-user and the
 //! overlay convergence time from the gossip sweep, causal-tracing overhead,
 //! crash recovery with/without the durable store, the sharded engine's
-//! smoke-sized scaling numbers, and the fairness-health subsystem's
-//! staleness/alert-lag/depth-rollup figures) plus `PROFILE_PR9.json`, the
+//! smoke-sized scaling numbers, the fairness-health subsystem's
+//! staleness/alert-lag/depth-rollup figures, and the PR-10 backfill
+//! matrix's utilization/slowdown/convergence/predictor-accuracy headline
+//! cells) plus `PROFILE_PR10.json`, the
 //! continuous-profiler run profile that `bench_diff` uses to attribute
 //! wall-clock regressions to a pipeline stage. With `--check` it compares each key against the most
 //! recent previous `BENCH_*.json` in the working directory (shared gate
@@ -24,15 +26,18 @@
 
 use aequus_bench::snapshot::{compare, host_cores, previous_snapshot, skip_scaling_keys};
 use aequus_bench::{
-    baseline_trace, jobs_arg, run_gossip_sweep, run_health_chaos, run_recovery_sweep,
-    run_scale_sweep, run_with_faults, GossipConfig, ScaleConfig, ScenarioBuilder,
+    baseline_trace, jobs_arg, run_gossip_sweep, run_health_chaos, run_matrix,
+    run_prediction_comparison, run_recovery_sweep, run_scale_sweep, run_with_faults,
+    BackfillConfig, GossipConfig, ScaleConfig, ScenarioBuilder,
 };
+use aequus_core::projection::ProjectionKind;
+use aequus_rms::DispatchOrder;
 use aequus_sim::{GridScenario, GridSimulation, SimResult};
 use aequus_workload::users::baseline_policy_shares;
 use std::time::Instant;
 
-const OUT: &str = "BENCH_PR9.json";
-const PROFILE_OUT: &str = "PROFILE_PR9.json";
+const OUT: &str = "BENCH_PR10.json";
+const PROFILE_OUT: &str = "PROFILE_PR10.json";
 
 /// The compact two-cluster testbed used for the timing ratios, so the
 /// telemetry-only / unsampled / fully-traced runs are strictly comparable.
@@ -191,6 +196,27 @@ fn main() {
         .as_ref()
         .and_then(|r| r.depth_lag(2))
         .unwrap_or(-1.0);
+    // Backfill dispatch matrix, smoke-sized (the full 6k-job sweep is
+    // `backfill_sweep`'s job): FIFO and EASY utilization, EASY bounded
+    // slowdown and convergence time on the Percental column of the bursty
+    // mixed-width workload, plus the running-average predictor's accuracy
+    // under 3×-padded requests. All sim-time-deterministic per revision;
+    // convergence uses the −1.0 sentinel when the cell never balances.
+    let backfill_cfg = BackfillConfig::smoke();
+    let matrix = run_matrix(&backfill_cfg);
+    let backfill_cell = |order: DispatchOrder| {
+        matrix
+            .iter()
+            .find(|c| c.order == order && c.projection == ProjectionKind::Percental)
+            .expect("full matrix")
+    };
+    let backfill_fifo_util = 100.0 * backfill_cell(DispatchOrder::Fifo).utilization;
+    let easy = backfill_cell(DispatchOrder::Easy);
+    let backfill_easy_util = 100.0 * easy.utilization;
+    let backfill_easy_slowdown = easy.mean_slowdown;
+    let backfill_easy_conv = easy.converge_s.unwrap_or(-1.0);
+    let backfill_predict_err = run_prediction_comparison(&backfill_cfg).avg_err;
+
     // The serial smoke run's profile is this snapshot's attribution
     // sidecar: when a later `bench_diff` sees a wall-clock key regress, it
     // diffs the two PROFILE files' stage shares to name the culprit.
@@ -200,7 +226,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"pr\": 9,\n  \"jobs\": {jobs},\n  \"host_cores\": {cores},\n  \
+        "{{\n  \"pr\": 10,\n  \"jobs\": {jobs},\n  \"host_cores\": {cores},\n  \
          \"refresh_mean_s\": {refresh_mean:?},\n  \
          \"refresh_p99_s\": {refresh_p99:?},\n  \"query_p99_s\": {query_p99:?},\n  \
          \"gossip_divergent_s\": {divergent_s:?},\n  \
@@ -215,7 +241,12 @@ fn main() {
          \"events_per_sec_8t\": {scale_eps_8t:?},\n  \
          \"staleness_p99_s\": {staleness_p99:?},\n  \
          \"alert_detection_lag_s\": {alert_detection_lag:?},\n  \
-         \"depth2_convergence_lag_s\": {depth2_lag:?}\n}}\n"
+         \"depth2_convergence_lag_s\": {depth2_lag:?},\n  \
+         \"backfill_fifo_util_pct\": {backfill_fifo_util:?},\n  \
+         \"backfill_easy_util_pct\": {backfill_easy_util:?},\n  \
+         \"backfill_easy_slowdown\": {backfill_easy_slowdown:?},\n  \
+         \"backfill_easy_conv_s\": {backfill_easy_conv:?},\n  \
+         \"backfill_predict_rel_err\": {backfill_predict_err:?}\n}}\n"
     );
     std::fs::write(OUT, &json).expect("write benchmark snapshot");
     println!("wrote {OUT}:");

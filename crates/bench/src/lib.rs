@@ -21,12 +21,14 @@
 //! | `throughput` | §IV-A throughput/utilization measurements |
 //! | `production` | §IV production-deployment statistics (HPC2N shape) |
 //! | `ablation_*` | design-choice ablations (k weight, decay, projection, dispatch, cache TTL) |
+//! | `backfill_sweep` | ROADMAP item 2 — dispatch-policy × projection matrix on the bursty mixed-width workload |
 //!
 //! Micro-benchmarks of the underlying kernels live in `benches/`, driven by
 //! the in-repo [`harness`] (an offline criterion-shaped shim).
 
 #![warn(missing_docs)]
 
+pub mod backfill;
 pub mod experiments;
 pub mod gossip;
 pub mod harness;
@@ -34,6 +36,11 @@ pub mod report;
 pub mod snapshot;
 pub mod sweep;
 
+pub use backfill::{
+    bursty_mixed_trace, run_hotpath_bench, run_matrix, run_prediction_comparison,
+    run_singlecore_equivalence, BackfillConfig, EquivalenceReport, HotPathReport, MatrixCell,
+    PredictionReport,
+};
 pub use experiments::*;
 pub use gossip::{run_gossip_sweep, GossipConfig, GossipPoint, GossipSweep};
 pub use sweep::{

@@ -82,6 +82,17 @@ pub const GATES: &[Gate] = &[
     gate("staleness_p99_s", Dir::LowerIsBetter, 1.25, 90.0),
     gate("alert_detection_lag_s", Dir::LowerIsBetter, 1.25, 90.0),
     gate("depth2_convergence_lag_s", Dir::LowerIsBetter, 1.25, 120.0),
+    // Backfill dispatch matrix headline cells (smoke shape, Percental
+    // column). Sim-time-deterministic per revision, so the tolerances only
+    // absorb workload-shape drift. Utilization is throughput-shaped; the
+    // slowdown/convergence/predictor keys are latency-shaped, convergence
+    // quantized to the 60 s sample cadence with the −1.0 "never balanced"
+    // sentinel skipping via the negative rule above.
+    gate("backfill_fifo_util_pct", Dir::HigherIsBetter, 1.15, 3.0),
+    gate("backfill_easy_util_pct", Dir::HigherIsBetter, 1.15, 3.0),
+    gate("backfill_easy_slowdown", Dir::LowerIsBetter, 1.25, 0.5),
+    gate("backfill_easy_conv_s", Dir::LowerIsBetter, 1.2, 120.0),
+    gate("backfill_predict_rel_err", Dir::LowerIsBetter, 1.25, 0.1),
 ];
 
 /// Keys that only measure something real on a multi-core host: wall-clock

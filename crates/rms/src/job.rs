@@ -42,6 +42,10 @@ pub struct Job {
     /// Wall-clock duration once started, seconds (the test-bed replaces
     /// computation with idle waits of this length).
     pub duration_s: f64,
+    /// Requested walltime, seconds — the user's declared upper bound, which
+    /// backfill reservations and kill-at-limit enforcement are based on.
+    /// Defaults to `duration_s` (a perfectly honest request).
+    pub request_s: f64,
     /// Current state.
     pub state: JobState,
 }
@@ -62,8 +66,16 @@ impl Job {
             cores,
             submit_s,
             duration_s,
+            request_s: duration_s,
             state: JobState::Pending,
         }
+    }
+
+    /// Set the requested walltime (builder style). Requests below the true
+    /// duration model under-requesting users; above, padded requests.
+    pub fn with_request(mut self, request_s: f64) -> Self {
+        self.request_s = request_s;
+        self
     }
 
     /// Time spent waiting in the queue as of `now_s` (0 once running).

@@ -10,21 +10,29 @@
 //!
 //! Both prioritize with a [`multifactor`] linear combination of `[0, 1]`
 //! factors (fairshare, age, QoS, size) and dispatch onto a virtual
-//! [`nodes::NodePool`] with EASY backfill. The fairshare factor itself comes
+//! [`nodes::NodePool`] through a pluggable [`dispatch::DispatchPolicy`]
+//! (FIFO, EASY, Conservative, or SAF backfill) fed by the [`predict`]
+//! runtime estimators. The fairshare factor itself comes
 //! through the [`plugin::FairshareSource`] seam — either the full Aequus
 //! stack (global fairshare) or the classic [`plugin::LocalFairshare`]
 //! baseline it replaces.
 
 #![warn(missing_docs)]
 
+pub mod dispatch;
 pub mod job;
 pub mod maui;
 pub mod multifactor;
 pub mod nodes;
 pub mod plugin;
+pub mod predict;
 pub mod scheduler;
 pub mod slurm;
 
+pub use dispatch::{
+    pick_next, ConservativeBackfill, DispatchConfig, DispatchOrder, DispatchPlan, DispatchPolicy,
+    EasyBackfill, FifoDispatch, PlannedStart, QueuedJob, RunningSlice, SafBackfill,
+};
 pub use job::{Job, JobState};
 pub use maui::{MauiConfig, MauiScheduler};
 pub use multifactor::{
@@ -32,5 +40,6 @@ pub use multifactor::{
 };
 pub use nodes::NodePool;
 pub use plugin::{FairshareSource, LocalFairshare};
-pub use scheduler::{ReprioritizePolicy, SchedulerCore, SchedulerStats};
+pub use predict::{MispredictPolicy, PredictionStats, PredictorKind, RuntimePredictor};
+pub use scheduler::{ReprioritizePolicy, SchedulerCore, SchedulerStats, SLOWDOWN_TAU_S};
 pub use slurm::{SlurmConfig, SlurmScheduler};

@@ -9,6 +9,7 @@
 //! priorities on **every scheduling iteration**, so there is no stage-IV
 //! re-prioritization interval — only the libaequus cache bounds freshness.
 
+use crate::dispatch::DispatchConfig;
 use crate::job::Job;
 use crate::multifactor::{FactorConfig, PriorityWeights};
 use crate::nodes::NodePool;
@@ -23,6 +24,8 @@ pub struct MauiConfig {
     pub weights: PriorityWeights,
     /// Factor shaping parameters.
     pub factors: FactorConfig,
+    /// Dispatch order, runtime predictor, and overrun policy.
+    pub dispatch: DispatchConfig,
 }
 
 /// A Maui-like scheduler with the patched libaequus call-outs.
@@ -35,12 +38,13 @@ impl MauiScheduler {
     /// Create a Maui-like scheduler over the given node pool.
     pub fn new(site: SiteId, nodes: NodePool, config: MauiConfig) -> Self {
         Self {
-            core: SchedulerCore::new(
+            core: SchedulerCore::with_dispatch(
                 site,
                 nodes,
                 config.weights,
                 config.factors,
                 ReprioritizePolicy::EveryCycle,
+                config.dispatch,
             ),
         }
     }

@@ -1,19 +1,28 @@
-//! Shared scheduling machinery: priority queue management, dispatch with
-//! EASY backfill, completion handling, and statistics. The SLURM-like and
-//! Maui-like front ends configure this core with their respective
-//! re-prioritization semantics and integration styles.
+//! Shared scheduling machinery: priority queue management, pluggable
+//! dispatch (see [`crate::dispatch`]), completion handling, and statistics.
+//! The SLURM-like and Maui-like front ends configure this core with their
+//! respective re-prioritization semantics and integration styles; the
+//! dispatch order (FIFO / EASY / Conservative / SAF) and the runtime
+//! predictor feeding it come from a [`DispatchConfig`].
 
+use crate::dispatch::{DispatchConfig, DispatchPolicy, QueuedJob, RunningSlice};
 use crate::job::{Job, JobState};
 use crate::multifactor::{
     combined_priority, explain_combined, FactorConfig, PriorityBreakdown, PriorityWeights,
 };
 use crate::nodes::NodePool;
 use crate::plugin::FairshareSource;
+use crate::predict::{PredictionStats, RuntimePredictor};
 use aequus_core::ids::{JobId, SiteId};
 use aequus_core::usage::UsageRecord;
 use aequus_core::{GridUser, UserId};
 use aequus_telemetry::{Counter, Histogram, Telemetry};
 use std::collections::BTreeMap;
+
+/// Bounded-slowdown threshold τ, seconds: jobs shorter than this do not
+/// inflate the slowdown metric (the standard guard against near-zero
+/// runtimes dominating the mean).
+pub const SLOWDOWN_TAU_S: f64 = 10.0;
 
 /// Pre-registered scheduler metric handles (no-ops until wired).
 #[derive(Debug, Clone, Default)]
@@ -62,10 +71,19 @@ pub struct SchedulerStats {
     pub completed: u64,
     /// Jobs started via backfill (not at the head of the queue).
     pub backfilled: u64,
+    /// Jobs killed at their requested walltime
+    /// ([`crate::predict::MispredictPolicy::KillAtRequest`]).
+    pub killed: u64,
     /// Total queue wait time of started jobs, seconds.
     pub total_wait_s: f64,
+    /// Sum of bounded slowdowns `(wait + run) / max(run, τ)` of completed
+    /// jobs, with τ = [`SLOWDOWN_TAU_S`].
+    pub slowdown_sum: f64,
     /// Per-grid-user completed wall-clock·cores usage.
     pub usage_by_user: BTreeMap<GridUser, f64>,
+    /// Runtime-prediction accuracy accounting (mirrors the scheduler's
+    /// predictor state after every completion).
+    pub prediction: PredictionStats,
 }
 
 impl SchedulerStats {
@@ -75,6 +93,15 @@ impl SchedulerStats {
             0.0
         } else {
             self.total_wait_s / self.started as f64
+        }
+    }
+
+    /// Mean bounded slowdown of completed jobs (1.0 is ideal).
+    pub fn mean_bounded_slowdown(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.slowdown_sum / self.completed as f64
         }
     }
 }
@@ -101,6 +128,8 @@ pub struct SchedulerCore {
     pending: Vec<PendingEntry>,
     running: Vec<Job>,
     last_reprio_s: f64,
+    policy: Box<dyn DispatchPolicy>,
+    predictor: RuntimePredictor,
     /// Statistics.
     pub stats: SchedulerStats,
     /// Telemetry handles (no-ops until wired).
@@ -108,13 +137,33 @@ pub struct SchedulerCore {
 }
 
 impl SchedulerCore {
-    /// Create a scheduler over the given node pool.
+    /// Create a scheduler over the given node pool with the default
+    /// dispatch configuration (EASY backfill over verbatim requests).
     pub fn new(
         site: SiteId,
         nodes: NodePool,
         weights: PriorityWeights,
         factors: FactorConfig,
         reprio: ReprioritizePolicy,
+    ) -> Self {
+        Self::with_dispatch(
+            site,
+            nodes,
+            weights,
+            factors,
+            reprio,
+            DispatchConfig::default(),
+        )
+    }
+
+    /// Create a scheduler with an explicit dispatch configuration.
+    pub fn with_dispatch(
+        site: SiteId,
+        nodes: NodePool,
+        weights: PriorityWeights,
+        factors: FactorConfig,
+        reprio: ReprioritizePolicy,
+        dispatch: DispatchConfig,
     ) -> Self {
         Self {
             site,
@@ -125,6 +174,8 @@ impl SchedulerCore {
             pending: Vec::new(),
             running: Vec::new(),
             last_reprio_s: f64::NEG_INFINITY,
+            policy: dispatch.order.build(),
+            predictor: RuntimePredictor::new(dispatch.predictor, dispatch.mispredict),
             stats: SchedulerStats::default(),
             metrics: SchedMetrics::default(),
         }
@@ -134,6 +185,17 @@ impl SchedulerCore {
     /// [`Telemetry::disabled`] to detach.
     pub fn set_telemetry(&mut self, t: &Telemetry) {
         self.metrics = SchedMetrics::wire(t);
+        self.predictor.set_telemetry(t);
+    }
+
+    /// The active dispatch policy's label.
+    pub fn dispatch_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Runtime-prediction accuracy accounting.
+    pub fn prediction_stats(&self) -> &PredictionStats {
+        &self.predictor.stats
     }
 
     /// The site this scheduler manages.
@@ -241,6 +303,10 @@ impl SchedulerCore {
                 self.nodes.release(job.cores);
                 self.stats.completed += 1;
                 self.metrics.completed.inc();
+                let run_s = end - start_s;
+                self.stats.slowdown_sum += (job.wait_time(end) + run_s) / run_s.max(SLOWDOWN_TAU_S);
+                self.predictor.on_complete(&job, run_s);
+                self.stats.prediction = self.predictor.stats.clone();
                 if let Some(user) = &job.grid_user {
                     *self.stats.usage_by_user.entry(user.clone()).or_insert(0.0) +=
                         job.cores as f64 * job.duration_s;
@@ -262,11 +328,10 @@ impl SchedulerCore {
         }
     }
 
-    /// Dispatch pending jobs in priority order with EASY backfill: when the
-    /// head job does not fit, a reservation (shadow time) is computed from
-    /// running jobs' expected ends, and lower-priority jobs may start only
-    /// if they terminate before the shadow time or leave the reserved cores
-    /// untouched.
+    /// Dispatch pending jobs in priority order through the configured
+    /// [`DispatchPolicy`]: the policy sees the sorted queue with predicted
+    /// runtimes and the running set with believed ends, and returns the
+    /// starts (head or backfill) to apply this cycle.
     fn dispatch(&mut self, now_s: f64) {
         let _span = self.metrics.h_dispatch.start_timer();
         // Highest priority first; FIFO (submit time, id) as tie-breakers.
@@ -278,54 +343,58 @@ impl SchedulerCore {
                 .then(a.job.id.cmp(&b.job.id))
         });
 
-        let mut shadow: Option<(f64, u32)> = None; // (shadow time, extra free cores at shadow)
-        let mut started: std::collections::BTreeSet<JobId> = std::collections::BTreeSet::new();
-        for PendingEntry { job, .. } in &self.pending {
-            if shadow.is_none() {
-                if self.nodes.free_cores() >= job.cores {
-                    // Start at head position.
-                    started.insert(job.id);
-                    self.nodes.allocate(job.cores);
-                } else {
-                    // Reserve: find when enough cores free up.
-                    shadow = self.compute_shadow(job.cores, started.len());
-                }
-            } else if let Some((shadow_t, spare)) = shadow {
-                // Backfill candidate: must fit now, and either finish before
-                // the shadow time or fit within the spare (non-reserved)
-                // cores.
-                if self.nodes.free_cores() >= job.cores
-                    && (now_s + job.duration_s <= shadow_t || job.cores <= spare)
-                {
-                    started.insert(job.id);
-                    self.nodes.allocate(job.cores);
-                    if job.cores > 0 && now_s + job.duration_s > shadow_t {
-                        shadow = Some((shadow_t, spare - job.cores));
-                    }
-                }
-            }
-        }
-        if started.is_empty() {
+        let queue: Vec<QueuedJob> = self
+            .pending
+            .iter()
+            .map(|e| QueuedJob {
+                cores: e.job.cores,
+                predicted_s: self.predictor.predict(&e.job),
+            })
+            .collect();
+        let running: Vec<RunningSlice> = self
+            .running
+            .iter()
+            .filter_map(|j| {
+                self.predictor
+                    .believed_end(j, now_s)
+                    .map(|end_s| RunningSlice {
+                        end_s,
+                        cores: j.cores,
+                    })
+            })
+            .collect();
+        let plan = self
+            .policy
+            .plan(now_s, self.nodes.free_cores(), &queue, &running);
+        if plan.starts.is_empty() {
             return;
         }
-        let backfill_from_head = {
-            // Jobs started after a reservation was placed count as backfilled.
-            let head_started: usize = self
-                .pending
-                .iter()
-                .take_while(|e| started.contains(&e.job.id))
-                .count();
-            head_started
-        };
-        let mut order = 0usize;
+        let started: BTreeMap<usize, bool> = plan
+            .starts
+            .iter()
+            .map(|s| (s.queue_idx, s.backfill))
+            .collect();
+        let mut idx = 0usize;
         self.pending.retain_mut(|entry| {
-            if started.contains(&entry.job.id) {
+            let i = idx;
+            idx += 1;
+            if let Some(&backfill) = started.get(&i) {
+                assert!(
+                    self.nodes.allocate(entry.job.cores),
+                    "dispatch plan oversubscribed the pool"
+                );
                 entry.job.state = JobState::Running { start_s: now_s };
+                // Record the prediction this start was made under; enforce
+                // the walltime limit if the overrun policy kills.
+                let (run_for_s, killed) = self.predictor.on_start(&entry.job);
+                if killed {
+                    self.stats.killed += 1;
+                    entry.job.duration_s = run_for_s;
+                }
                 self.stats.started += 1;
                 self.metrics.started.inc();
                 self.stats.total_wait_s += entry.job.wait_time(now_s);
-                order += 1;
-                if order > backfill_from_head {
+                if backfill {
                     self.stats.backfilled += 1;
                     self.metrics.backfilled.inc();
                 }
@@ -335,25 +404,6 @@ impl SchedulerCore {
                 true
             }
         });
-    }
-
-    /// Earliest time at which `cores` become available, given running jobs,
-    /// plus the cores spare beyond the reservation at that time.
-    fn compute_shadow(&self, cores: u32, _already_started: usize) -> Option<(f64, u32)> {
-        let mut ends: Vec<(f64, u32)> = self
-            .running
-            .iter()
-            .filter_map(|j| j.expected_end().map(|e| (e, j.cores)))
-            .collect();
-        ends.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-        let mut free = self.nodes.free_cores();
-        for (end, c) in ends {
-            free += c;
-            if free >= cores {
-                return Some((end, free - cores));
-            }
-        }
-        None // job larger than the machine: never dispatchable
     }
 
     /// The earliest future time anything happens by itself: the next job

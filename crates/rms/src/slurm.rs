@@ -7,6 +7,7 @@
 //! SLURM recalculates queue priorities on a periodic interval
 //! (`PriorityCalcPeriod`), which is stage IV of the §IV-A-2 delay chain.
 
+use crate::dispatch::DispatchConfig;
 use crate::job::Job;
 use crate::multifactor::{FactorConfig, PriorityWeights};
 use crate::nodes::NodePool;
@@ -23,6 +24,8 @@ pub struct SlurmConfig {
     pub factors: FactorConfig,
     /// Priority recalculation period, seconds (`PriorityCalcPeriod`).
     pub priority_calc_period_s: f64,
+    /// Dispatch order, runtime predictor, and overrun policy.
+    pub dispatch: DispatchConfig,
 }
 
 impl Default for SlurmConfig {
@@ -31,6 +34,7 @@ impl Default for SlurmConfig {
             weights: PriorityWeights::fairshare_only(),
             factors: FactorConfig::default(),
             priority_calc_period_s: 30.0,
+            dispatch: DispatchConfig::default(),
         }
     }
 }
@@ -46,12 +50,13 @@ impl SlurmScheduler {
     /// Create a SLURM-like scheduler over the given node pool.
     pub fn new(site: SiteId, nodes: NodePool, config: SlurmConfig) -> Self {
         Self {
-            core: SchedulerCore::new(
+            core: SchedulerCore::with_dispatch(
                 site,
                 nodes,
                 config.weights,
                 config.factors,
                 ReprioritizePolicy::Interval(config.priority_calc_period_s),
+                config.dispatch,
             ),
         }
     }

@@ -81,6 +81,9 @@ pub struct SimCluster {
     /// plus its RMS report into it (disabled unless the scenario opts in).
     pub telemetry: Telemetry,
     next_job: u64,
+    /// Walltime-request padding factor applied to trace jobs (scenario
+    /// [`GridScenario::request_factor`]).
+    request_factor: f64,
 }
 
 impl SimCluster {
@@ -140,6 +143,7 @@ impl SimCluster {
                     weights: scenario.weights,
                     factors: FactorConfig::default(),
                     priority_calc_period_s: scenario.tick_interval_s.max(5.0),
+                    dispatch: scenario.dispatch,
                 },
             )),
             RmsKind::Maui => Rms::Maui(MauiScheduler::new(
@@ -148,6 +152,7 @@ impl SimCluster {
                 MauiConfig {
                     weights: scenario.weights,
                     factors: FactorConfig::default(),
+                    dispatch: scenario.dispatch,
                 },
             )),
         };
@@ -160,10 +165,12 @@ impl SimCluster {
             site,
             telemetry,
             next_job: (index as u64) << 40, // disjoint id spaces per cluster
+            request_factor: scenario.request_factor,
         }
     }
 
-    /// Submit a trace job to this cluster at `now_s`.
+    /// Submit a trace job to this cluster at `now_s`. The walltime request
+    /// is the true duration scaled by the scenario's `request_factor`.
     pub fn submit(&mut self, job: &TraceJob, now_s: f64) {
         let id = JobId(self.next_job);
         self.next_job += 1;
@@ -173,7 +180,8 @@ impl SimCluster {
             job.cores,
             now_s,
             job.duration_s,
-        );
+        )
+        .with_request(job.duration_s * self.request_factor);
         self.rms.submit(rms_job, &mut self.site, now_s);
     }
 

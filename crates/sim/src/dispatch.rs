@@ -9,9 +9,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-/// How the submission host spreads jobs over clusters.
+/// How the submission host routes jobs to clusters (grid-level routing —
+/// distinct from the per-cluster queue dispatch order in
+/// [`aequus_rms::dispatch`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum DispatchPolicy {
+pub enum RoutingPolicy {
     /// Pick a cluster uniformly at random (capacity-weighted).
     Stochastic,
     /// Cycle through clusters in order (capacity-weighted by repetition).
@@ -21,7 +23,7 @@ pub enum DispatchPolicy {
 /// Stateful dispatcher choosing a cluster index per job.
 #[derive(Debug)]
 pub struct Dispatcher {
-    policy: DispatchPolicy,
+    policy: RoutingPolicy,
     /// Per-cluster capacity weights (core counts).
     weights: Vec<u32>,
     total_weight: u64,
@@ -31,7 +33,7 @@ pub struct Dispatcher {
 
 impl Dispatcher {
     /// Create a dispatcher over clusters with the given capacities.
-    pub fn new(policy: DispatchPolicy, capacities: &[u32], seed: u64) -> Self {
+    pub fn new(policy: RoutingPolicy, capacities: &[u32], seed: u64) -> Self {
         assert!(!capacities.is_empty(), "need at least one cluster");
         assert!(
             capacities.iter().any(|&c| c > 0),
@@ -49,7 +51,7 @@ impl Dispatcher {
     /// Choose the cluster index for the next job.
     pub fn pick(&mut self) -> usize {
         match self.policy {
-            DispatchPolicy::Stochastic => {
+            RoutingPolicy::Stochastic => {
                 let mut x = self.rng.gen_range(0..self.total_weight);
                 for (i, &w) in self.weights.iter().enumerate() {
                     if x < w as u64 {
@@ -59,7 +61,7 @@ impl Dispatcher {
                 }
                 self.weights.len() - 1
             }
-            DispatchPolicy::RoundRobin => {
+            RoutingPolicy::RoundRobin => {
                 // Capacity-weighted round robin: cluster i gets weight_i of
                 // every total_weight consecutive jobs.
                 let mut x = self.rr_cursor % self.total_weight;
@@ -82,7 +84,7 @@ mod tests {
 
     #[test]
     fn stochastic_roughly_capacity_weighted() {
-        let mut d = Dispatcher::new(DispatchPolicy::Stochastic, &[30, 10], 1);
+        let mut d = Dispatcher::new(RoutingPolicy::Stochastic, &[30, 10], 1);
         let mut counts = [0usize; 2];
         for _ in 0..10_000 {
             counts[d.pick()] += 1;
@@ -93,7 +95,7 @@ mod tests {
 
     #[test]
     fn round_robin_exactly_weighted_per_cycle() {
-        let mut d = Dispatcher::new(DispatchPolicy::RoundRobin, &[3, 1], 1);
+        let mut d = Dispatcher::new(RoutingPolicy::RoundRobin, &[3, 1], 1);
         let mut counts = [0usize; 2];
         for _ in 0..400 {
             counts[d.pick()] += 1;
@@ -104,7 +106,7 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let picks = |seed| {
-            let mut d = Dispatcher::new(DispatchPolicy::Stochastic, &[1, 1, 1], seed);
+            let mut d = Dispatcher::new(RoutingPolicy::Stochastic, &[1, 1, 1], seed);
             (0..50).map(|_| d.pick()).collect::<Vec<_>>()
         };
         assert_eq!(picks(9), picks(9));
@@ -114,6 +116,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one cluster")]
     fn empty_clusters_rejected() {
-        Dispatcher::new(DispatchPolicy::Stochastic, &[], 0);
+        Dispatcher::new(RoutingPolicy::Stochastic, &[], 0);
     }
 }

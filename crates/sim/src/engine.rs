@@ -247,7 +247,7 @@ impl GridSimulation {
         // submission-time order (ties by trace index) — the exact order the
         // serial event loop popped arrivals in, so placement is unchanged.
         let mut dispatcher = Dispatcher::new(
-            self.scenario.dispatch,
+            self.scenario.routing,
             &self.scenario.capacities(),
             self.scenario.seed,
         );

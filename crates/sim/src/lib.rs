@@ -9,7 +9,7 @@
 //!
 //! * [`event`] — deterministic time-ordered event queues (per-shard, plus
 //!   the cross-shard mailbox/order contract).
-//! * [`dispatch`] — stochastic / round-robin grid-level dispatch.
+//! * [`dispatch`] — stochastic / round-robin grid-level routing.
 //! * [`cluster`] — one cluster: RMS + per-site Aequus stack.
 //! * [`scenario`] — fleet/policy/delay configuration, including the paper's
 //!   six-cluster national test bed and the HPC2N production shape.
@@ -32,7 +32,7 @@ pub mod metrics;
 pub mod scenario;
 pub mod shard;
 
-pub use dispatch::DispatchPolicy;
+pub use dispatch::RoutingPolicy;
 pub use engine::{GridSimulation, SimResult};
 pub use event::{Event, EventQueue, Mailbox, ShardedQueues};
 pub use faults::{FaultPlan, Outage};

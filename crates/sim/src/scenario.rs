@@ -5,12 +5,12 @@ use aequus_core::codec::Encoding;
 use aequus_core::fairshare::FairshareConfig;
 use aequus_core::policy::{flat_policy, PolicyTree};
 use aequus_core::projection::ProjectionKind;
-use aequus_rms::PriorityWeights;
+use aequus_rms::{DispatchConfig, PriorityWeights};
 use aequus_services::{
     OverlayTopology, ParticipationMode, RetryPolicy, ServiceTimings, StalePolicy, StoreConfig,
 };
 
-use crate::dispatch::DispatchPolicy;
+use crate::dispatch::RoutingPolicy;
 use crate::faults::FaultPlan;
 
 /// Which RMS front end a cluster runs.
@@ -97,8 +97,17 @@ pub struct GridScenario {
     /// RMS priority factor weights ("fairshare is the only scheduling
     /// factor used during these tests").
     pub weights: PriorityWeights,
-    /// Submission-host dispatch policy.
-    pub dispatch: DispatchPolicy,
+    /// Submission-host routing policy (which cluster gets each job).
+    pub routing: RoutingPolicy,
+    /// Per-cluster queue dispatch: order (FIFO / EASY / Conservative /
+    /// SAF), runtime predictor, and walltime-overrun policy, applied to
+    /// every site's RMS.
+    pub dispatch: DispatchConfig,
+    /// Walltime-request padding: each trace job's request is its true
+    /// duration times this factor (1.0 = perfectly honest requests, the
+    /// paper's idle-wait test bed; > 1 models the padded requests real
+    /// users submit, < 1 models under-requesting).
+    pub request_factor: f64,
     /// Cluster advance interval, seconds of simulated time.
     pub tick_interval_s: f64,
     /// Metrics sampling interval, seconds.
@@ -207,7 +216,9 @@ impl GridScenario {
             projection: ProjectionKind::Percental,
             timings,
             weights: PriorityWeights::fairshare_only(),
-            dispatch: DispatchPolicy::Stochastic,
+            routing: RoutingPolicy::Stochastic,
+            dispatch: DispatchConfig::default(),
+            request_factor: 1.0,
             tick_interval_s: 5.0,
             sample_interval_s: 60.0,
             usage_slot_s: 60.0,
@@ -348,6 +359,26 @@ impl GridScenario {
         self
     }
 
+    /// Choose the submission-host routing policy.
+    pub fn with_routing(mut self, routing: RoutingPolicy) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Configure every site's queue dispatch (order, predictor, overrun
+    /// policy).
+    pub fn with_dispatch(mut self, dispatch: DispatchConfig) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
+    /// Set the walltime-request padding factor applied to trace jobs.
+    pub fn with_request_factor(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "request factor must be positive");
+        self.request_factor = factor;
+        self
+    }
+
     /// Enable continuous profiling. Any mode other than `Off` implies
     /// telemetry — the profiler folds the per-site service histograms
     /// (USS ingest/publish, gossip merge, UMS/FCS refresh, WAL
@@ -393,7 +424,9 @@ mod tests {
         assert_eq!(s.projection, ProjectionKind::Percental);
         assert_eq!(s.fairshare.k_weight, 0.5);
         assert_eq!(s.weights, PriorityWeights::fairshare_only());
-        assert_eq!(s.dispatch, DispatchPolicy::Stochastic);
+        assert_eq!(s.routing, RoutingPolicy::Stochastic);
+        assert_eq!(s.dispatch, DispatchConfig::default());
+        assert_eq!(s.request_factor, 1.0);
     }
 
     #[test]

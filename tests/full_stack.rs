@@ -2,7 +2,7 @@
 //! fairshare behavior, spanning every crate in the workspace.
 
 use aequus::core::{DecayPolicy, GridUser};
-use aequus::sim::{DispatchPolicy, FaultPlan, GridScenario, GridSimulation, Outage};
+use aequus::sim::{FaultPlan, GridScenario, GridSimulation, Outage, RoutingPolicy};
 use aequus::workload::users::baseline_policy_shares;
 use aequus::workload::{test_trace, TestTraceConfig, Trace, TraceJob};
 
@@ -98,11 +98,11 @@ fn round_robin_and_stochastic_agree_within_noise() {
     let trace = small_trace(6000, 4);
     let run = |policy| {
         let mut sc = small_scenario(4);
-        sc.dispatch = policy;
+        sc.routing = policy;
         GridSimulation::new(sc).run(&trace, 2400.0)
     };
-    let a = run(DispatchPolicy::Stochastic);
-    let b = run(DispatchPolicy::RoundRobin);
+    let a = run(RoutingPolicy::Stochastic);
+    let b = run(RoutingPolicy::RoundRobin);
     let ca = a.total_completed() as f64;
     let cb = b.total_completed() as f64;
     assert!((ca - cb).abs() / ca < 0.02, "{ca} vs {cb}");

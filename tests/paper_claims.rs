@@ -106,18 +106,18 @@ fn claim_partial_participation_alignment() {
 /// evaluated without any noticeable difference."
 #[test]
 fn claim_dispatch_equivalence() {
-    use aequus::sim::DispatchPolicy;
+    use aequus::sim::RoutingPolicy;
     let trace = test_trace(&TestTraceConfig {
         total_jobs: 8000,
         ..Default::default()
     });
     let run = |policy| {
         let mut sc = GridScenario::national_testbed(&baseline_policy_shares(), 42);
-        sc.dispatch = policy;
+        sc.routing = policy;
         GridSimulation::new(sc).run(&trace, 2400.0)
     };
-    let a = run(DispatchPolicy::Stochastic);
-    let b = run(DispatchPolicy::RoundRobin);
+    let a = run(RoutingPolicy::Stochastic);
+    let b = run(RoutingPolicy::RoundRobin);
     let rel = (a.total_completed() as f64 - b.total_completed() as f64).abs()
         / a.total_completed() as f64;
     assert!(rel < 0.02, "completion difference {rel}");
